@@ -1,0 +1,120 @@
+// Experiment T1 — Flash-cloning latency breakdown.
+//
+// Reproduces the paper's clone-latency table: per-phase cost of flash cloning a VM
+// on the unoptimized (xend-style) control plane, the projected optimized control
+// plane, and the full-copy / cold-boot baselines. Also cross-checks the model by
+// actually running clones through the virtual-time engine, and measures the *real*
+// wall-clock cost of the clone mechanics (CoW mapping vs full page copy) in this
+// implementation.
+#include <chrono>
+#include <cstdio>
+
+#include "src/base/flags.h"
+#include "src/base/strings.h"
+#include "src/base/table.h"
+#include "src/hv/clone_engine.h"
+
+namespace potemkin {
+namespace {
+
+PhysicalHostConfig HostConfig(uint64_t memory_mb) {
+  PhysicalHostConfig config;
+  config.memory_mb = memory_mb;
+  config.content_mode = ContentMode::kMetadataOnly;
+  return config;
+}
+
+Duration RunEngineClone(CloneKind kind, const CloneLatencyModel& model,
+                        uint32_t image_pages) {
+  EventLoop loop;
+  PhysicalHost host(HostConfig(2048));
+  ReferenceImageConfig image_config;
+  image_config.num_pages = image_pages;
+  const ImageId image = host.RegisterImage(image_config);
+  CloneEngineConfig engine_config;
+  engine_config.kind = kind;
+  engine_config.latency = model;
+  CloneEngine engine(&loop, &host, engine_config);
+  Duration total;
+  engine.RequestClone(image, "vm", Ipv4Address(10, 1, 0, 1), MacAddress::FromId(1),
+                      [&](VirtualMachine*, const CloneTiming& t) { total = t.Total(); });
+  loop.RunAll();
+  return total;
+}
+
+double MeasureMechanicsMs(CloneKind kind, uint32_t image_pages, int iterations) {
+  PhysicalHost host(HostConfig(8192));
+  ReferenceImageConfig image_config;
+  image_config.num_pages = image_pages;
+  const ImageId image = host.RegisterImage(image_config);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iterations; ++i) {
+    VirtualMachine* vm = host.CreateClone(image, kind, "bench");
+    if (vm != nullptr) {
+      host.DestroyVm(vm->id());
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count() / iterations;
+}
+
+void Run(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const uint32_t pages = static_cast<uint32_t>(flags.GetUint("image-pages", 8192));
+  const int iters = static_cast<int>(flags.GetInt("mechanics-iters", 50));
+
+  std::printf("=== T1: flash-cloning latency breakdown ===\n");
+  std::printf("image: %u pages (%s)\n\n", pages,
+              HumanBytes(static_cast<uint64_t>(pages) * kPageSize).c_str());
+
+  const CloneLatencyModel unoptimized;
+  const CloneLatencyModel optimized = CloneLatencyModel::Optimized();
+
+  Table table({"phase", "unoptimized (ms)", "optimized (ms)"});
+  for (int p = 0; p < static_cast<int>(ClonePhase::kNumPhases); ++p) {
+    const auto phase = static_cast<ClonePhase>(p);
+    table.AddRow({ClonePhaseName(phase),
+                  StrFormat("%.1f", unoptimized.PhaseCost(phase, pages).millis_f()),
+                  StrFormat("%.1f", optimized.PhaseCost(phase, pages).millis_f())});
+  }
+  table.AddRow({"TOTAL (flash clone)",
+                StrFormat("%.1f", unoptimized.FlashCloneTotal(pages).millis_f()),
+                StrFormat("%.1f", optimized.FlashCloneTotal(pages).millis_f())});
+  std::printf("%s\n", table.ToAscii().c_str());
+
+  Table baselines({"strategy", "latency", "vs flash"});
+  const Duration flash = unoptimized.FlashCloneTotal(pages);
+  const Duration full = unoptimized.FullCopyTotal(pages);
+  const Duration cold = flash + unoptimized.cold_boot;
+  baselines.AddRow({"flash clone (delta virt)", flash.ToString(), "1.0x"});
+  baselines.AddRow({"full-copy clone", full.ToString(),
+                    StrFormat("%.2fx", full / flash)});
+  baselines.AddRow({"cold boot", cold.ToString(), StrFormat("%.0fx", cold / flash)});
+  std::printf("%s\n", baselines.ToAscii().c_str());
+
+  // Cross-check: the virtual-time engine reproduces the model totals exactly.
+  const Duration engine_flash = RunEngineClone(CloneKind::kFlash, unoptimized, pages);
+  const Duration engine_full = RunEngineClone(CloneKind::kFullCopy, unoptimized, pages);
+  std::printf("engine cross-check: flash=%s (model %s), full-copy=%s (model %s)\n\n",
+              engine_flash.ToString().c_str(), flash.ToString().c_str(),
+              engine_full.ToString().c_str(), full.ToString().c_str());
+
+  // Real wall-clock mechanics of this implementation (not the paper's numbers).
+  std::printf("implementation mechanics (real wall clock, metadata mode, %d iters):\n",
+              iters);
+  std::printf("  flash-clone mechanics:     %.3f ms/clone\n",
+              MeasureMechanicsMs(CloneKind::kFlash, pages, iters));
+  std::printf("  full-copy clone mechanics: %.3f ms/clone\n\n",
+              MeasureMechanicsMs(CloneKind::kFullCopy, pages, iters));
+
+  std::printf("shape check (paper): total ~0.5s unoptimized, dominated by "
+              "control-plane phases; flash << full-copy << cold boot.\n");
+}
+
+}  // namespace
+}  // namespace potemkin
+
+int main(int argc, char** argv) {
+  potemkin::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Experiment F6 — Clone-engine scalability under concurrent demand.
+//
+// The rate at which a host can materialize VMs bounds how much new traffic the
+// farm absorbs. This bench offers Poisson clone-request storms at increasing
+// arrival rates against (a) the paper's serialized control plane and (b) the
+// projected parallel/optimized one, reporting completion throughput, latency
+// inflation from queueing, and the saturation point.
+#include <cstdio>
+
+#include "src/base/event_loop.h"
+#include "src/base/flags.h"
+#include "src/base/rng.h"
+#include "src/base/strings.h"
+#include "src/base/table.h"
+#include "src/hv/clone_engine.h"
+
+namespace potemkin {
+namespace {
+
+struct StormResult {
+  double offered_rate = 0;
+  double completed_rate = 0;
+  double mean_latency_ms = 0;
+  double p99_latency_ms = 0;
+  double mean_queue_wait_ms = 0;
+  uint64_t failures = 0;
+};
+
+StormResult RunStorm(double arrival_rate, int workers, const CloneLatencyModel& model,
+                     Duration run_for, uint64_t seed) {
+  EventLoop loop;
+  PhysicalHostConfig host_config;
+  host_config.memory_mb = 64ull << 10;  // plenty: isolate control-plane limits
+  host_config.content_mode = ContentMode::kMetadataOnly;
+  host_config.domain_overhead_frames = 16;
+  PhysicalHost host(host_config);
+  ReferenceImageConfig image_config;
+  image_config.num_pages = 8192;
+  const ImageId image = host.RegisterImage(image_config);
+
+  CloneEngineConfig engine_config;
+  engine_config.latency = model;
+  engine_config.control_plane_workers = workers;
+  CloneEngine engine(&loop, &host, engine_config);
+
+  // Poisson arrivals; retire each VM as soon as it is created so memory is not
+  // the bottleneck.
+  Rng rng(seed);
+  std::function<void()> arrival = [&]() {
+    static uint64_t counter = 0;
+    ++counter;
+    engine.RequestClone(
+        image, "storm", Ipv4Address(10, 1, 0, 1), MacAddress::FromId(counter),
+        [&engine](VirtualMachine* vm, const CloneTiming&) {
+          if (vm != nullptr) {
+            engine.RequestDestroy(vm->id());
+          }
+        });
+    loop.ScheduleAfter(Duration::Seconds(rng.NextExponential(arrival_rate)), arrival);
+  };
+  loop.ScheduleAfter(Duration::Seconds(rng.NextExponential(arrival_rate)), arrival);
+  loop.RunUntil(TimePoint() + run_for);
+
+  StormResult result;
+  result.offered_rate = arrival_rate;
+  result.completed_rate =
+      static_cast<double>(engine.clones_completed()) / run_for.seconds();
+  result.mean_latency_ms = engine.latency_histogram().Mean();
+  result.p99_latency_ms = engine.latency_histogram().Quantile(0.99);
+  result.mean_queue_wait_ms = engine.queue_wait_histogram().Mean();
+  result.failures = engine.clones_failed();
+  return result;
+}
+
+void Run(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const double seconds = flags.GetDouble("seconds", 120.0);
+
+  std::printf("=== F6: clone-engine throughput under concurrent demand ===\n");
+  std::printf("Poisson clone-request storms, %.0fs of virtual time each\n\n", seconds);
+
+  struct Scenario {
+    const char* name;
+    CloneLatencyModel model;
+    int workers;
+  };
+  const Scenario scenarios[] = {
+      {"unoptimized, serial control plane (paper prototype)", CloneLatencyModel{}, 1},
+      {"unoptimized, 4 control-plane workers", CloneLatencyModel{}, 4},
+      {"optimized control plane, serial", CloneLatencyModel::Optimized(), 1},
+      {"optimized, 4 workers", CloneLatencyModel::Optimized(), 4},
+  };
+
+  for (const auto& scenario : scenarios) {
+    const double service_rate =
+        static_cast<double>(scenario.workers) /
+        scenario.model.FlashCloneTotal(8192).seconds();
+    std::printf("--- %s (service capacity ~%.1f clones/s) ---\n", scenario.name,
+                service_rate);
+    Table table({"offered (req/s)", "completed (clones/s)", "mean latency (ms)",
+                 "p99 latency (ms)", "mean queue wait (ms)"});
+    for (double frac : {0.25, 0.5, 0.9, 1.5, 3.0}) {
+      const double rate = service_rate * frac;
+      const StormResult r = RunStorm(rate, scenario.workers, scenario.model,
+                                     Duration::Seconds(seconds), 3);
+      table.AddRow({StrFormat("%.2f", r.offered_rate),
+                    StrFormat("%.2f", r.completed_rate),
+                    StrFormat("%.0f", r.mean_latency_ms),
+                    StrFormat("%.0f", r.p99_latency_ms),
+                    StrFormat("%.0f", r.mean_queue_wait_ms)});
+    }
+    std::printf("%s\n", table.ToAscii().c_str());
+  }
+
+  std::printf("shape check (paper): completion rate tracks offered load until the "
+              "control plane saturates at ~1/clone-latency per worker, after which "
+              "queue wait grows without bound; the optimized control plane raises "
+              "the ceiling ~10x.\n");
+}
+
+}  // namespace
+}  // namespace potemkin
+
+int main(int argc, char** argv) {
+  potemkin::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Micro-benchmarks (google-benchmark) of the hot paths underneath every
+// experiment: packet construction/parsing/checksums, CoW fault handling, flash
+// clone mechanics, flow tracking, and reflection target computation.
+#include <benchmark/benchmark.h>
+
+#include "src/gateway/containment.h"
+#include "src/hv/physical_host.h"
+#include "src/net/flow.h"
+#include "src/net/packet.h"
+
+namespace potemkin {
+namespace {
+
+const Ipv4Prefix kFarm(Ipv4Address(10, 1, 0, 0), 16);
+
+PacketSpec SynSpec(uint32_t salt) {
+  PacketSpec spec;
+  spec.src_mac = MacAddress::FromId(1);
+  spec.dst_mac = MacAddress::FromId(2);
+  spec.src_ip = Ipv4Address(198, 51, 100, static_cast<uint8_t>(salt));
+  spec.dst_ip = kFarm.AddressAt(salt % 65536);
+  spec.proto = IpProto::kTcp;
+  spec.src_port = static_cast<uint16_t>(1024 + salt % 60000);
+  spec.dst_port = 445;
+  spec.tcp_flags = TcpFlags::kSyn;
+  return spec;
+}
+
+void BM_BuildPacket(benchmark::State& state) {
+  uint32_t salt = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildPacket(SynSpec(++salt)));
+  }
+}
+BENCHMARK(BM_BuildPacket);
+
+void BM_ParsePacket(benchmark::State& state) {
+  const Packet packet = BuildPacket(SynSpec(7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PacketView::Parse(packet));
+  }
+}
+BENCHMARK(BM_ParsePacket);
+
+void BM_ValidateChecksums(benchmark::State& state) {
+  PacketSpec spec = SynSpec(7);
+  spec.payload.assign(static_cast<size_t>(state.range(0)), 0xab);
+  const Packet packet = BuildPacket(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ValidateChecksums(packet));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(packet.size()));
+}
+BENCHMARK(BM_ValidateChecksums)->Arg(0)->Arg(512)->Arg(1400);
+
+void BM_RewriteDst(benchmark::State& state) {
+  Packet packet = BuildPacket(SynSpec(7));
+  uint32_t salt = 0;
+  for (auto _ : state) {
+    RewriteIpv4Dst(packet, kFarm.AddressAt(++salt % 65536));
+    benchmark::DoNotOptimize(packet);
+  }
+}
+BENCHMARK(BM_RewriteDst);
+
+void BM_CowFault(benchmark::State& state) {
+  // Measures a single CoW break: map shared, write one byte, unmap, repeat.
+  FrameAllocator alloc(1 << 20, ContentMode::kStoreBytes);
+  const FrameId shared = alloc.AllocateZeroed();
+  const uint8_t data[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  alloc.Write(shared, 0, std::span(data, 8));
+  AddressSpace as(&alloc, 1);
+  for (auto _ : state) {
+    as.MapSharedCow(0, shared);
+    benchmark::DoNotOptimize(as.WriteGuest(0, std::span(data, 8)));
+  }
+  alloc.Unref(shared);
+}
+BENCHMARK(BM_CowFault);
+
+void BM_GuestWriteNoFault(benchmark::State& state) {
+  FrameAllocator alloc(1 << 16, ContentMode::kStoreBytes);
+  AddressSpace as(&alloc, 16);
+  const uint8_t data[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  as.WriteGuest(0, std::span(data, 8));  // materialize
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(as.WriteGuest(0, std::span(data, 8)));
+  }
+}
+BENCHMARK(BM_GuestWriteNoFault);
+
+void BM_FlashCloneMechanics(benchmark::State& state) {
+  PhysicalHostConfig config;
+  config.memory_mb = 8192;
+  config.content_mode = ContentMode::kMetadataOnly;
+  PhysicalHost host(config);
+  ReferenceImageConfig image_config;
+  image_config.num_pages = static_cast<uint32_t>(state.range(0));
+  const ImageId image = host.RegisterImage(image_config);
+  for (auto _ : state) {
+    VirtualMachine* vm = host.CreateClone(image, CloneKind::kFlash, "b");
+    benchmark::DoNotOptimize(vm);
+    host.DestroyVm(vm->id());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_FlashCloneMechanics)->Arg(2048)->Arg(8192)->Arg(32768);
+
+void BM_FlowTableRecord(benchmark::State& state) {
+  FlowTable table(Duration::Seconds(60), 1 << 20);
+  std::vector<Packet> packets;
+  for (uint32_t i = 0; i < 4096; ++i) {
+    packets.push_back(BuildPacket(SynSpec(i)));
+  }
+  std::vector<PacketView> views;
+  for (const auto& p : packets) {
+    views.push_back(*PacketView::Parse(p));
+  }
+  TimePoint now;
+  size_t i = 0;
+  for (auto _ : state) {
+    now += Duration::Micros(1);
+    benchmark::DoNotOptimize(table.Record(views[i++ % views.size()], now));
+  }
+}
+BENCHMARK(BM_FlowTableRecord);
+
+void BM_ReflectTarget(benchmark::State& state) {
+  ContainmentConfig config;
+  ContainmentEngine engine(config, kFarm, 42);
+  uint32_t salt = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.ReflectTarget(Ipv4Address(++salt), kFarm.AddressAt(1)));
+  }
+}
+BENCHMARK(BM_ReflectTarget);
+
+}  // namespace
+}  // namespace potemkin
+
+BENCHMARK_MAIN();

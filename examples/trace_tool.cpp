@@ -1,0 +1,155 @@
+// trace_tool — inspect, synthesize and summarize PKT1 packet traces.
+//
+//   ./trace_tool --generate out.pkt [--hours 1] [--pps 50] [--prefix 10.1.0.0/16]
+//   ./trace_tool --stats trace.pkt
+//   ./trace_tool --dump trace.pkt [--limit 20]
+//
+// Useful for preparing telescope_replay inputs and for eyeballing what the
+// radiation generator produces (port mix, source skew, rate over time).
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+#include "src/base/flags.h"
+#include "src/base/strings.h"
+#include "src/base/table.h"
+#include "src/malware/radiation.h"
+#include "src/net/trace.h"
+
+using namespace potemkin;
+
+namespace {
+
+int Generate(const Flags& flags) {
+  const std::string path = flags.GetString("generate", "trace.pkt");
+  RadiationConfig config;
+  config.telescope =
+      Ipv4Prefix::Parse(flags.GetString("prefix", "10.1.0.0/16")).value();
+  config.duration = Duration::Hours(flags.GetDouble("hours", 1.0));
+  config.mean_pps = flags.GetDouble("pps", 50.0);
+  config.diurnal_amplitude = flags.GetDouble("diurnal", 0.35);
+  config.source_pool = static_cast<uint32_t>(flags.GetUint("sources", 20000));
+  config.seed = flags.GetUint("seed", 7);
+  RadiationGenerator generator(config);
+  const RadiationSummary summary = generator.GenerateToFile(path);
+  std::printf("wrote %s: %s packets, %s distinct sources, %s distinct destinations\n",
+              path.c_str(), WithCommas(summary.packets).c_str(),
+              WithCommas(summary.distinct_sources).c_str(),
+              WithCommas(summary.distinct_destinations).c_str());
+  return 0;
+}
+
+int Stats(const Flags& flags) {
+  const std::string path = flags.GetString("stats", "");
+  TraceReader reader(path);
+  if (!reader.ok()) {
+    std::printf("cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::map<std::pair<uint8_t, uint16_t>, uint64_t> port_mix;
+  std::unordered_map<uint32_t, uint64_t> per_source;
+  std::unordered_map<uint32_t, uint64_t> per_dest;
+  std::map<int64_t, uint64_t> per_minute;
+  uint64_t total = 0;
+  uint64_t bytes = 0;
+  TimePoint first;
+  TimePoint last;
+  TraceRecord record;
+  while (reader.Next(&record)) {
+    if (total == 0) {
+      first = record.time;
+    }
+    last = record.time;
+    ++total;
+    bytes += record.wire_size;
+    ++port_mix[{static_cast<uint8_t>(record.proto), record.dst_port}];
+    ++per_source[record.src.value()];
+    ++per_dest[record.dst.value()];
+    ++per_minute[record.time.nanos() / 60000000000ll];
+  }
+  if (total == 0) {
+    std::printf("empty trace\n");
+    return 0;
+  }
+  const double span_s = (last - first).seconds();
+  std::printf("%s: %s packets, %s, %.1f s span, %.1f pps mean\n\n", path.c_str(),
+              WithCommas(total).c_str(), HumanBytes(bytes).c_str(), span_s,
+              span_s > 0 ? static_cast<double>(total) / span_s : 0.0);
+  std::printf("distinct sources: %s | distinct destinations: %s\n\n",
+              WithCommas(per_source.size()).c_str(),
+              WithCommas(per_dest.size()).c_str());
+
+  // Port mix, descending.
+  std::vector<std::pair<std::pair<uint8_t, uint16_t>, uint64_t>> ports(
+      port_mix.begin(), port_mix.end());
+  std::sort(ports.begin(), ports.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  Table table({"proto/port", "packets", "share"});
+  for (size_t i = 0; i < std::min<size_t>(ports.size(), 10); ++i) {
+    table.AddRow({StrFormat("%s/%u",
+                            IpProtoName(static_cast<IpProto>(ports[i].first.first)),
+                            ports[i].first.second),
+                  WithCommas(ports[i].second),
+                  StrFormat("%.1f%%", 100.0 * static_cast<double>(ports[i].second) /
+                                          static_cast<double>(total))});
+  }
+  std::printf("%s\n", table.ToAscii().c_str());
+
+  // Source skew.
+  std::vector<uint64_t> counts;
+  counts.reserve(per_source.size());
+  for (const auto& [src, n] : per_source) {
+    counts.push_back(n);
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  uint64_t top10 = 0;
+  const size_t tenth = std::max<size_t>(1, counts.size() / 10);
+  for (size_t i = 0; i < tenth; ++i) {
+    top10 += counts[i];
+  }
+  std::printf("source skew: top 10%% of sources carry %.1f%% of packets "
+              "(busiest source: %s packets)\n",
+              100.0 * static_cast<double>(top10) / static_cast<double>(total),
+              WithCommas(counts.front()).c_str());
+  return 0;
+}
+
+int Dump(const Flags& flags) {
+  const std::string path = flags.GetString("dump", "");
+  const uint64_t limit = flags.GetUint("limit", 20);
+  TraceReader reader(path);
+  if (!reader.ok()) {
+    std::printf("cannot read %s\n", path.c_str());
+    return 1;
+  }
+  TraceRecord record;
+  uint64_t shown = 0;
+  while (shown < limit && reader.Next(&record)) {
+    std::printf("%12.6fs  %-15s > %-15s %s dport=%-5u len=%u\n",
+                record.time.seconds(), record.src.ToString().c_str(),
+                record.dst.ToString().c_str(), IpProtoName(record.proto),
+                record.dst_port, record.wire_size);
+    ++shown;
+  }
+  std::printf("... (%s records total)\n", WithCommas(reader.record_count()).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  if (flags.Has("generate")) {
+    return Generate(flags);
+  }
+  if (flags.Has("stats")) {
+    return Stats(flags);
+  }
+  if (flags.Has("dump")) {
+    return Dump(flags);
+  }
+  std::printf("usage: trace_tool --generate out.pkt | --stats trace.pkt | "
+              "--dump trace.pkt [--limit N]\n");
+  return 1;
+}

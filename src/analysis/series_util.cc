@@ -1,0 +1,72 @@
+#include "src/analysis/series_util.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+
+namespace potemkin {
+
+namespace {
+
+// Value of a step-function series at time `t` (last sample at or before t).
+double ValueAt(const TimeSeries& series, TimePoint t) {
+  double value = 0.0;
+  for (const auto& sample : series.samples()) {
+    if (sample.time > t) {
+      break;
+    }
+    value = sample.value;
+  }
+  return value;
+}
+
+}  // namespace
+
+Table AlignSeries(const std::vector<NamedSeries>& series, Duration interval,
+                  TimePoint end) {
+  std::vector<std::string> headers;
+  headers.push_back("t_seconds");
+  for (const auto& s : series) {
+    headers.push_back(s.name);
+  }
+  Table table(std::move(headers));
+
+  for (TimePoint t; t <= end; t += interval) {
+    std::vector<std::string> row;
+    row.push_back(StrFormat("%.1f", t.seconds()));
+    for (const auto& s : series) {
+      row.push_back(StrFormat("%.0f", ValueAt(s.series, t)));
+    }
+    table.AddRow(std::move(row));
+    if (interval.IsZero()) {
+      break;
+    }
+  }
+  return table;
+}
+
+std::string Sparkline(const TimeSeries& series, size_t buckets, TimePoint end) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  if (buckets == 0 || series.empty()) {
+    return "";
+  }
+  std::vector<double> values(buckets, 0.0);
+  const Duration step = Duration::Nanos(end.nanos() / static_cast<int64_t>(buckets));
+  if (step.IsZero()) {
+    return "";
+  }
+  double max_value = 0.0;
+  for (size_t i = 0; i < buckets; ++i) {
+    values[i] = ValueAt(series, TimePoint() + step * static_cast<double>(i + 1));
+    max_value = std::max(max_value, values[i]);
+  }
+  std::string out;
+  for (double v : values) {
+    const size_t level =
+        max_value > 0.0 ? static_cast<size_t>(v / max_value * 7.0 + 0.5) : 0;
+    out += kLevels[std::min<size_t>(level, 7)];
+  }
+  return out;
+}
+
+}  // namespace potemkin

@@ -1,0 +1,31 @@
+// Helpers for turning telemetry time series into the figure data the benchmark
+// harness prints (aligned multi-series tables, simple ASCII sparklines).
+#ifndef SRC_ANALYSIS_SERIES_UTIL_H_
+#define SRC_ANALYSIS_SERIES_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/stats.h"
+#include "src/base/table.h"
+
+namespace potemkin {
+
+struct NamedSeries {
+  std::string name;
+  TimeSeries series;
+};
+
+// Resamples every series onto a common time grid (step-function semantics: the
+// value at grid point t is the last sample at or before t) and renders one row per
+// grid point: "t  v1  v2 ...".
+Table AlignSeries(const std::vector<NamedSeries>& series, Duration interval,
+                  TimePoint end);
+
+// A compact ASCII sparkline (8 levels) of a series resampled to `buckets` points;
+// useful for eyeballing figure shapes in terminal output.
+std::string Sparkline(const TimeSeries& series, size_t buckets, TimePoint end);
+
+}  // namespace potemkin
+
+#endif  // SRC_ANALYSIS_SERIES_UTIL_H_

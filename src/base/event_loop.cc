@@ -1,0 +1,87 @@
+#include "src/base/event_loop.h"
+
+#include <memory>
+#include <unordered_map>
+
+namespace potemkin {
+
+namespace {
+// Cancellation index shared by all loops would be wrong; instead each loop tracks its
+// own pending entries. The map lives here as a member-like static-free helper is not
+// possible, so we keep it inside the loop via an intrusive flag: `Cancel` marks the
+// entry and the pop path skips it. The index below maps handle ids to entries.
+}  // namespace
+
+EventLoop::~EventLoop() {
+  while (!queue_.empty()) {
+    delete queue_.top();
+    queue_.pop();
+  }
+}
+
+EventHandle EventLoop::ScheduleAt(TimePoint when, Callback cb) {
+  if (when < now_) {
+    when = now_;
+  }
+  auto* entry = new Entry{when, next_sequence_++, next_id_++, std::move(cb), false};
+  queue_.push(entry);
+  index_[entry->id] = entry;
+  ++live_events_;
+  return EventHandle(entry->id);
+}
+
+bool EventLoop::Cancel(EventHandle handle) {
+  auto it = index_.find(handle.id());
+  if (it == index_.end() || it->second->cancelled) {
+    return false;
+  }
+  it->second->cancelled = true;
+  --live_events_;
+  index_.erase(it);
+  return true;
+}
+
+bool EventLoop::Step() {
+  while (!queue_.empty()) {
+    Entry* entry = queue_.top();
+    queue_.pop();
+    if (entry->cancelled) {
+      delete entry;
+      continue;
+    }
+    index_.erase(entry->id);
+    --live_events_;
+    now_ = entry->when;
+    Callback cb = std::move(entry->cb);
+    delete entry;
+    ++executed_events_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+uint64_t EventLoop::RunUntil(TimePoint deadline) {
+  uint64_t executed = 0;
+  while (!queue_.empty()) {
+    Entry* entry = queue_.top();
+    if (entry->cancelled) {
+      queue_.pop();
+      delete entry;
+      continue;
+    }
+    if (entry->when > deadline) {
+      now_ = deadline;
+      return executed;
+    }
+    if (Step()) {
+      ++executed;
+    }
+  }
+  if (deadline != TimePoint::Max() && deadline > now_) {
+    now_ = deadline;
+  }
+  return executed;
+}
+
+}  // namespace potemkin

@@ -1,0 +1,103 @@
+// Discrete-event simulation core.
+//
+// The entire honeyfarm (gateway, hosts, guests, links, worms) is driven by one
+// `EventLoop`: components schedule callbacks at virtual times and the loop executes
+// them in timestamp order, advancing a virtual clock. The loop is single-threaded
+// and fully deterministic given a fixed schedule, which is what lets the benchmark
+// harness reproduce the paper's time-based figures exactly across runs.
+#ifndef SRC_BASE_EVENT_LOOP_H_
+#define SRC_BASE_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/time_types.h"
+
+namespace potemkin {
+
+// Handle for a scheduled event; allows cancellation.
+class EventHandle {
+ public:
+  EventHandle() : id_(0) {}
+  explicit EventHandle(uint64_t id) : id_(id) {}
+  uint64_t id() const { return id_; }
+  bool IsValid() const { return id_ != 0; }
+
+ private:
+  uint64_t id_;
+};
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  EventLoop() = default;
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Current virtual time.
+  TimePoint Now() const { return now_; }
+
+  // Schedules `cb` to run at absolute virtual time `when`. Events scheduled in the
+  // past run at the current time. Returns a handle usable with `Cancel`.
+  EventHandle ScheduleAt(TimePoint when, Callback cb);
+
+  // Schedules `cb` to run `delay` after the current time.
+  EventHandle ScheduleAfter(Duration delay, Callback cb) {
+    return ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  // Cancels a pending event. Returns true if the event existed and had not yet run.
+  bool Cancel(EventHandle handle);
+
+  // Runs events until the queue is empty or `deadline` is reached. The clock stops
+  // at the timestamp of the last event executed (or at `deadline` if it was hit).
+  // Returns the number of events executed.
+  uint64_t RunUntil(TimePoint deadline);
+
+  // Runs all pending events (including ones scheduled while running).
+  uint64_t RunAll() { return RunUntil(TimePoint::Max()); }
+
+  // Runs events for a span of virtual time from Now().
+  uint64_t RunFor(Duration span) { return RunUntil(now_ + span); }
+
+  // Executes at most one event; returns false if the queue was empty.
+  bool Step();
+
+  bool Empty() const { return live_events_ == 0; }
+  uint64_t pending_events() const { return live_events_; }
+  uint64_t executed_events() const { return executed_events_; }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    uint64_t sequence;  // FIFO tiebreak among same-timestamp events.
+    uint64_t id;
+    Callback cb;
+    bool cancelled = false;
+  };
+  struct EntryOrder {
+    bool operator()(const Entry* a, const Entry* b) const {
+      if (a->when != b->when) {
+        return a->when > b->when;  // min-heap on time
+      }
+      return a->sequence > b->sequence;
+    }
+  };
+
+  TimePoint now_;
+  uint64_t next_sequence_ = 1;
+  uint64_t next_id_ = 1;
+  uint64_t live_events_ = 0;
+  uint64_t executed_events_ = 0;
+  std::priority_queue<Entry*, std::vector<Entry*>, EntryOrder> queue_;
+  std::unordered_map<uint64_t, Entry*> index_;
+};
+
+}  // namespace potemkin
+
+#endif  // SRC_BASE_EVENT_LOOP_H_

@@ -1,0 +1,83 @@
+#include "src/base/flags.h"
+
+#include "src/base/strings.h"
+
+namespace potemkin {
+
+Flags Flags::Parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    if (StartsWith(arg, "no-")) {
+      flags.values_[arg.substr(3)] = "false";
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag; else boolean true.
+    if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      flags.values_[arg] = argv[i + 1];
+      ++i;
+    } else {
+      flags.values_[arg] = "true";
+    }
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  return ParseInt64(it->second).value_or(default_value);
+}
+
+uint64_t Flags::GetUint(const std::string& name, uint64_t default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  return ParseUint64(it->second).value_or(default_value);
+}
+
+double Flags::GetDouble(const std::string& name, double default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  return ParseDouble(it->second).value_or(default_value);
+}
+
+bool Flags::GetBool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no" || v == "off") {
+    return false;
+  }
+  return default_value;
+}
+
+}  // namespace potemkin

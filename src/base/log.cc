@@ -1,0 +1,55 @@
+#include "src/base/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace potemkin {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kNone:
+      return "?";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file), line,
+               message.c_str());
+}
+
+FatalStream::FatalStream(const char* file, int line, const char* condition)
+    : file_(file), line_(line), condition_(condition) {}
+
+FatalStream::~FatalStream() {
+  std::fprintf(stderr, "[FATAL %s:%d] check failed: %s %s\n", Basename(file_), line_,
+               condition_, stream_.str().c_str());
+  std::abort();
+}
+
+}  // namespace potemkin

@@ -1,0 +1,45 @@
+#include "src/base/token_bucket.h"
+
+#include <algorithm>
+
+namespace potemkin {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : rate_per_sec_(rate_per_sec), burst_(burst), tokens_(burst) {}
+
+void TokenBucket::Refill(TimePoint now) {
+  if (now <= last_refill_) {
+    return;
+  }
+  const double elapsed = (now - last_refill_).seconds();
+  tokens_ = std::min(burst_, tokens_ + elapsed * rate_per_sec_);
+  last_refill_ = now;
+}
+
+bool TokenBucket::TryConsume(TimePoint now, double tokens) {
+  Refill(now);
+  if (tokens_ + 1e-12 >= tokens) {
+    tokens_ -= tokens;
+    return true;
+  }
+  return false;
+}
+
+TimePoint TokenBucket::AvailableAt(TimePoint now, double tokens) {
+  Refill(now);
+  if (tokens_ >= tokens) {
+    return now;
+  }
+  if (rate_per_sec_ <= 0.0) {
+    return TimePoint::Max();
+  }
+  const double deficit = tokens - tokens_;
+  return now + Duration::Seconds(deficit / rate_per_sec_);
+}
+
+double TokenBucket::available(TimePoint now) {
+  Refill(now);
+  return tokens_;
+}
+
+}  // namespace potemkin

@@ -1,0 +1,147 @@
+#include "src/core/clone_server.h"
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+#include "src/hv/snapshot.h"
+
+namespace potemkin {
+
+CloneServer::CloneServer(EventLoop* loop, const CloneServerConfig& config,
+                         uint64_t seed)
+    : loop_(loop),
+      config_(config),
+      host_(config.host),
+      engine_(loop, &host_, config.engine),
+      rng_(seed),
+      cpu_(config.cpu) {
+  images_.push_back(host_.RegisterImage(config_.image, config_.disk_blocks));
+  guest_configs_.push_back(config_.guest);
+  for (const auto& profile : config_.extra_profiles) {
+    images_.push_back(host_.RegisterImage(profile.image, profile.disk_blocks));
+    guest_configs_.push_back(profile.guest);
+  }
+}
+
+size_t CloneServer::SelectProfile(Ipv4Address ip) const {
+  if (config_.image_selection == ImageSelection::kPrimaryOnly || images_.size() == 1) {
+    return 0;
+  }
+  // Deterministic spread: the same address always boots the same personality,
+  // which keeps repeat visitors' view of "that host's OS" stable. Full
+  // murmur3-style finalizer so consecutive addresses still spread evenly.
+  uint64_t h = ip.value();
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return static_cast<size_t>(h % images_.size());
+}
+
+void CloneServer::SpawnVm(Ipv4Address ip, std::function<void(VmId)> done) {
+  const size_t profile = SelectProfile(ip);
+  const std::string name =
+      StrFormat("%s/vm-%s", host_.name().c_str(), ip.ToString().c_str());
+  const MacAddress mac =
+      MacAddress::FromId((static_cast<uint64_t>(config_.host.id) << 40) | ip.value());
+  engine_.RequestClone(images_[profile], name, ip, mac,
+                       [this, ip, profile, done = std::move(done)](
+                           VirtualMachine* vm, const CloneTiming&) {
+                         OnCloneComplete(ip, profile, vm, done);
+                       });
+}
+
+void CloneServer::OnCloneComplete(Ipv4Address ip, size_t profile, VirtualMachine* vm,
+                                  std::function<void(VmId)> done) {
+  if (vm == nullptr) {
+    if (done) {
+      done(kInvalidVm);
+    }
+    return;
+  }
+  (void)ip;
+  auto guest =
+      std::make_unique<GuestOs>(vm, guest_configs_[profile], rng_.Fork(vm->id()));
+  GuestOs* guest_ptr = guest.get();
+  guest_ptr->set_infection_observer(
+      [this](GuestOs& infected, const PacketView& exploit) {
+        if (infection_) {
+          infection_(infected, exploit);
+        }
+      });
+  vm->set_tx_handler([this](VirtualMachine& sender, Packet packet) {
+    if (outbound_) {
+      outbound_(config_.host.id, sender.id(), std::move(packet));
+    }
+  });
+  guests_.emplace(vm->id(), std::move(guest));
+  cpu_.ChargeClone();
+  if (done) {
+    done(vm->id());
+  }
+}
+
+void CloneServer::MaybeArchiveForensics(VirtualMachine& vm) {
+  if (config_.forensics_dir.empty() || !vm.infected()) {
+    return;
+  }
+  const VmSnapshot snapshot = VmSnapshot::Capture(vm, loop_->Now());
+  const std::string path = StrFormat("%s/vm-%llu-%s.snap",
+                                     config_.forensics_dir.c_str(),
+                                     static_cast<unsigned long long>(vm.id()),
+                                     vm.ip().ToString().c_str());
+  if (snapshot.WriteToFile(path)) {
+    ++snapshots_written_;
+    PK_INFO << "forensic snapshot of infected VM " << vm.name() << " -> " << path
+            << " (" << snapshot.delta_pages() << " delta pages)";
+  }
+}
+
+void CloneServer::RetireVm(VmId vm) {
+  VirtualMachine* machine = host_.FindVm(vm);
+  if (machine == nullptr) {
+    return;
+  }
+  MaybeArchiveForensics(*machine);
+  // Quiesce immediately: no more packet handling or worm scanning from this VM.
+  machine->set_state(VmState::kPaused);
+  if (retired_) {
+    retired_(vm);
+  }
+  guests_.erase(vm);
+  cpu_.ChargeDestroy();
+  engine_.RequestDestroy(vm);
+}
+
+void CloneServer::DeliverToVm(VmId vm, Packet packet) {
+  loop_->ScheduleAfter(config_.delivery_latency,
+                       [this, vm, packet = std::move(packet)]() mutable {
+                         auto it = guests_.find(vm);
+                         if (it == guests_.end()) {
+                           return;  // retired while in flight
+                         }
+                         cpu_.ChargePacket();
+                         it->second->HandleFrame(packet, loop_->Now());
+                       });
+}
+
+GuestOs* CloneServer::FindGuest(VmId vm) {
+  auto it = guests_.find(vm);
+  return it == guests_.end() ? nullptr : it->second.get();
+}
+
+GuestStats CloneServer::AggregateGuestStats() const {
+  GuestStats total;
+  for (const auto& [id, guest] : guests_) {
+    const GuestStats& s = guest->stats();
+    total.packets_handled += s.packets_handled;
+    total.requests_served += s.requests_served;
+    total.responses_sent += s.responses_sent;
+    total.rst_sent += s.rst_sent;
+    total.exploits_received += s.exploits_received;
+    total.oom_events += s.oom_events;
+  }
+  return total;
+}
+
+}  // namespace potemkin

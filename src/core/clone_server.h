@@ -1,0 +1,123 @@
+// Per-host clone server daemon.
+//
+// One runs on every physical host of the farm: it owns the host's hypervisor
+// state, serves the gateway's spawn/retire/deliver requests, instantiates the
+// guest OS model on each new clone, and wires every VM's vNIC back toward the
+// gateway. It is the glue between the control plane (gateway decisions) and the
+// hypervisor substrate.
+#ifndef SRC_CORE_CLONE_SERVER_H_
+#define SRC_CORE_CLONE_SERVER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/event_loop.h"
+#include "src/base/rng.h"
+#include "src/guest/guest_os.h"
+#include "src/hv/clone_engine.h"
+#include "src/hv/cpu_model.h"
+#include "src/hv/physical_host.h"
+
+namespace potemkin {
+
+// A bootable personality: reference image plus the guest behaviour that runs on
+// it. Hosts can carry several (e.g. a Windows and a Linux profile) and bind them
+// to addresses deterministically, so the emulated network presents OS diversity.
+struct ImageProfile {
+  ReferenceImageConfig image;
+  GuestOsConfig guest;
+  uint64_t disk_blocks = 1024;
+};
+
+// How a host picks the profile for a newly bound address.
+enum class ImageSelection {
+  kPrimaryOnly,    // every clone uses profile 0
+  kByAddressHash,  // deterministic per-IP choice across all profiles
+};
+
+struct CloneServerConfig {
+  PhysicalHostConfig host;
+  CloneEngineConfig engine;
+  // Primary profile (kept flat for the common single-image case).
+  ReferenceImageConfig image;
+  uint64_t disk_blocks = 1024;
+  GuestOsConfig guest;
+  // Additional personalities beyond the primary one.
+  std::vector<ImageProfile> extra_profiles;
+  ImageSelection image_selection = ImageSelection::kPrimaryOnly;
+  // Fabric hop from the gateway to a VM on this host.
+  Duration delivery_latency = Duration::Micros(50);
+  // When set, infected VMs are snapshotted into this directory at retire time.
+  std::string forensics_dir;
+  // CPU accounting (telemetry only; does not throttle).
+  CpuCostModel cpu;
+};
+
+class CloneServer {
+ public:
+  // Outbound hook: every packet any VM on this host transmits.
+  using OutboundHandler = std::function<void(HostId, VmId, Packet)>;
+  using InfectionHandler = std::function<void(GuestOs&, const PacketView&)>;
+  using RetireHandler = std::function<void(VmId)>;
+
+  CloneServer(EventLoop* loop, const CloneServerConfig& config, uint64_t seed);
+
+  HostId host_id() const { return config_.host.id; }
+  PhysicalHost& host() { return host_; }
+  const PhysicalHost& host() const { return host_; }
+  CloneEngine& engine() { return engine_; }
+
+  void set_outbound_handler(OutboundHandler handler) { outbound_ = std::move(handler); }
+  void set_infection_handler(InfectionHandler handler) {
+    infection_ = std::move(handler);
+  }
+  void set_retire_handler(RetireHandler handler) { retired_ = std::move(handler); }
+
+  // ---- Gateway-facing operations ----
+  bool CanAdmit() const { return host_.CanAdmit(images_[0], engine_.config().kind); }
+  size_t LiveVms() const { return host_.live_vm_count(); }
+  // Flash-clones a VM bound to `ip`; `done` receives kInvalidVm on failure.
+  void SpawnVm(Ipv4Address ip, std::function<void(VmId)> done);
+  // Marks the VM dead immediately and schedules teardown through the engine.
+  void RetireVm(VmId vm);
+  // Delivers a packet to a VM's vNIC after the fabric latency.
+  void DeliverToVm(VmId vm, Packet packet);
+
+  GuestOs* FindGuest(VmId vm);
+  size_t guest_count() const { return guests_.size(); }
+  size_t profile_count() const { return images_.size(); }
+  // Which profile a given address would get under the selection policy.
+  size_t SelectProfile(Ipv4Address ip) const;
+  uint64_t snapshots_written() const { return snapshots_written_; }
+
+  // Aggregate guest statistics across live VMs.
+  GuestStats AggregateGuestStats() const;
+
+  const CpuAccountant& cpu() const { return cpu_; }
+
+ private:
+  void OnCloneComplete(Ipv4Address ip, size_t profile, VirtualMachine* vm,
+                       std::function<void(VmId)> done);
+  void MaybeArchiveForensics(VirtualMachine& vm);
+
+  EventLoop* loop_;
+  CloneServerConfig config_;
+  PhysicalHost host_;
+  CloneEngine engine_;
+  std::vector<ImageId> images_;             // one per profile
+  std::vector<GuestOsConfig> guest_configs_;  // parallel to images_
+  Rng rng_;
+  std::unordered_map<VmId, std::unique_ptr<GuestOs>> guests_;
+  OutboundHandler outbound_;
+  InfectionHandler infection_;
+  RetireHandler retired_;
+  uint64_t snapshots_written_ = 0;
+  CpuAccountant cpu_;
+};
+
+}  // namespace potemkin
+
+#endif  // SRC_CORE_CLONE_SERVER_H_

@@ -1,0 +1,269 @@
+#include "src/core/honeyfarm.h"
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+
+namespace potemkin {
+
+namespace {
+
+GatewayConfig WithPrefix(GatewayConfig config, Ipv4Prefix prefix) {
+  config.farm_prefix = prefix;
+  return config;
+}
+
+}  // namespace
+
+Honeyfarm::Honeyfarm(const HoneyfarmConfig& config)
+    : config_(config),
+      gateway_(&loop_, WithPrefix(config.gateway, config.prefix), this) {
+  servers_.reserve(config_.num_hosts);
+  for (uint32_t i = 0; i < config_.num_hosts; ++i) {
+    CloneServerConfig server_config = config_.server_template;
+    server_config.host.id = i;
+    server_config.host.name = StrFormat("host%u", i);
+    auto server =
+        std::make_unique<CloneServer>(&loop_, server_config, config_.seed + 1000 + i);
+    server->set_outbound_handler([this](HostId host, VmId vm, Packet packet) {
+      gateway_.HandleOutbound(host, vm, std::move(packet));
+    });
+    server->set_infection_handler([this](GuestOs& guest, const PacketView& exploit) {
+      OnInfection(guest, exploit);
+    });
+    server->set_retire_handler([this](VmId vm) {
+      for (WormRuntime* worm : worms_) {
+        worm->Deactivate(vm);
+      }
+    });
+    servers_.push_back(std::move(server));
+  }
+  gateway_.set_egress_sink([this](Packet packet) {
+    ++egress_packets_;
+    if (MaybeCompleteSeedHandshake(packet)) {
+      return;  // consumed by the synthetic external attacker
+    }
+    if (egress_monitor_) {
+      egress_monitor_(packet);
+    }
+  });
+}
+
+void Honeyfarm::OnInfection(GuestOs& guest, const PacketView& exploit) {
+  const Ipv4Address victim = guest.vm()->ip();
+  epidemic_.RecordInfection(loop_.Now(), guest.vm()->id(), victim, exploit.ip().src);
+  gateway_.NotifyInfected(victim);
+  // Activate the strain whose exploit vector delivered this infection; fall back
+  // to the sole attached strain when the vector is ambiguous.
+  WormRuntime* matched = nullptr;
+  for (WormRuntime* worm : worms_) {
+    if (worm->config().proto == exploit.ip().proto &&
+        worm->config().port == exploit.dst_port()) {
+      matched = worm;
+      break;
+    }
+  }
+  if (matched == nullptr && worms_.size() == 1) {
+    matched = worms_.front();
+  }
+  if (matched != nullptr) {
+    matched->ActivateOn(&guest);
+  }
+}
+
+void Honeyfarm::AttachWorm(WormRuntime* worm) { worms_.push_back(worm); }
+
+void Honeyfarm::EnableGreTermination(Ipv4Address gateway_ip, Ipv4Address router_ip,
+                                     std::optional<uint32_t> key) {
+  gre_ = std::make_unique<GreTunnel>(gateway_ip, router_ip, key);
+}
+
+void Honeyfarm::InjectTunneled(const Packet& outer) {
+  if (gre_ == nullptr) {
+    PK_WARN << "GRE frame received but no tunnel configured";
+    return;
+  }
+  auto inner = gre_->Receive(outer);
+  if (inner.has_value()) {
+    InjectInbound(std::move(*inner));
+  }
+}
+
+void Honeyfarm::ScheduleRecord(const TraceRecord& record) {
+  loop_.ScheduleAt(record.time, [this, record]() {
+    InjectInbound(PacketFromRecord(record, MacAddress::FromId(record.src.value()),
+                                   MacAddress::FromId(1)));
+  });
+}
+
+void Honeyfarm::ScheduleTrace(const std::vector<TraceRecord>& records) {
+  for (const auto& record : records) {
+    ScheduleRecord(record);
+  }
+}
+
+void Honeyfarm::SeedWorm(WormRuntime& worm, Ipv4Address attacker, Ipv4Address victim) {
+  InjectInbound(
+      worm.MakeScanPacket(attacker, MacAddress::FromId(attacker.value()), victim));
+}
+
+void Honeyfarm::SeedWormViaHandshake(WormRuntime& worm, Ipv4Address attacker,
+                                     Ipv4Address victim) {
+  PendingSeed seed;
+  seed.worm = &worm;
+  seed.attacker = attacker;
+  seed.victim = victim;
+  seed.attacker_port = static_cast<uint16_t>(45000 + pending_seeds_.size());
+  seed.attacker_seq = 0x5eed0000 + static_cast<uint32_t>(pending_seeds_.size());
+  pending_seeds_.push_back(seed);
+
+  PacketSpec syn;
+  syn.src_mac = MacAddress::FromId(attacker.value());
+  syn.dst_mac = MacAddress::FromId(1);
+  syn.src_ip = attacker;
+  syn.dst_ip = victim;
+  syn.proto = worm.config().proto;
+  syn.src_port = seed.attacker_port;
+  syn.dst_port = worm.config().port;
+  syn.tcp_flags = TcpFlags::kSyn;
+  syn.seq = seed.attacker_seq;
+  InjectInbound(BuildPacket(syn));
+}
+
+bool Honeyfarm::MaybeCompleteSeedHandshake(const Packet& packet) {
+  if (pending_seeds_.empty()) {
+    return false;
+  }
+  const auto view = PacketView::Parse(packet);
+  if (!view || !view->is_tcp() ||
+      view->tcp().flags != (TcpFlags::kSyn | TcpFlags::kAck)) {
+    return false;
+  }
+  for (auto it = pending_seeds_.begin(); it != pending_seeds_.end(); ++it) {
+    if (view->ip().dst == it->attacker && view->ip().src == it->victim &&
+        view->tcp().dst_port == it->attacker_port) {
+      const PendingSeed seed = *it;
+      pending_seeds_.erase(it);
+      PacketSpec exploit;
+      exploit.src_mac = MacAddress::FromId(seed.attacker.value());
+      exploit.dst_mac = MacAddress::FromId(1);
+      exploit.src_ip = seed.attacker;
+      exploit.dst_ip = seed.victim;
+      exploit.proto = IpProto::kTcp;
+      exploit.src_port = seed.attacker_port;
+      exploit.dst_port = seed.worm->config().port;
+      exploit.tcp_flags = TcpFlags::kAck | TcpFlags::kPsh;
+      exploit.seq = seed.attacker_seq + 1;
+      exploit.ack = view->tcp().seq + 1;
+      exploit.payload = seed.worm->config().payload;
+      // Deliver after a short think time, as a real attacker's stack would.
+      loop_.ScheduleAfter(Duration::Millis(1),
+                          [this, p = BuildPacket(exploit)]() mutable {
+                            InjectInbound(std::move(p));
+                          });
+      return true;
+    }
+  }
+  return false;
+}
+
+void Honeyfarm::Start(Duration sample_interval) {
+  gateway_.StartRecycling();
+  if (!sample_interval.IsZero()) {
+    ScheduleSampling(sample_interval);
+  }
+}
+
+void Honeyfarm::ScheduleSampling(Duration interval) {
+  loop_.ScheduleAfter(interval, [this, interval]() {
+    samples_.push_back(SampleNow());
+    ScheduleSampling(interval);
+  });
+}
+
+FarmSample Honeyfarm::SampleNow() {
+  FarmSample sample;
+  sample.time = loop_.Now();
+  sample.live_bindings = gateway_.bindings().size();
+  sample.live_vms = TotalLiveVms();
+  sample.used_frames = TotalUsedFrames();
+  sample.private_pages = TotalPrivatePages();
+  sample.infections = epidemic_.total_infections();
+  double cpu_sum = 0.0;
+  for (const auto& server : servers_) {
+    cpu_sum += server->cpu().Utilization(loop_.Now());
+  }
+  sample.mean_cpu_utilization =
+      servers_.empty() ? 0.0 : cpu_sum / static_cast<double>(servers_.size());
+  return sample;
+}
+
+uint64_t Honeyfarm::TotalLiveVms() const {
+  uint64_t total = 0;
+  for (const auto& server : servers_) {
+    total += server->host().live_vm_count();
+  }
+  return total;
+}
+
+uint64_t Honeyfarm::TotalUsedFrames() const {
+  uint64_t total = 0;
+  for (const auto& server : servers_) {
+    total += server->host().allocator().used_frames();
+  }
+  return total;
+}
+
+uint64_t Honeyfarm::TotalPrivatePages() const {
+  uint64_t total = 0;
+  for (const auto& server : servers_) {
+    total += server->host().TotalPrivatePages();
+  }
+  return total;
+}
+
+uint64_t Honeyfarm::total_clones_completed() const {
+  uint64_t total = 0;
+  for (const auto& server : servers_) {
+    total += server->engine().clones_completed();
+  }
+  return total;
+}
+
+bool Honeyfarm::HostCanAdmit(HostId host) const {
+  return host < servers_.size() && servers_[host]->CanAdmit();
+}
+
+size_t Honeyfarm::HostLiveVms(HostId host) const {
+  return host < servers_.size() ? servers_[host]->LiveVms() : 0;
+}
+
+void Honeyfarm::SpawnVm(HostId host, Ipv4Address ip, std::function<void(VmId)> done) {
+  PK_CHECK(host < servers_.size());
+  servers_[host]->SpawnVm(ip, std::move(done));
+}
+
+void Honeyfarm::RetireVm(HostId host, VmId vm) {
+  PK_CHECK(host < servers_.size());
+  servers_[host]->RetireVm(vm);
+}
+
+void Honeyfarm::DeliverToVm(HostId host, VmId vm, Packet packet) {
+  PK_CHECK(host < servers_.size());
+  servers_[host]->DeliverToVm(vm, std::move(packet));
+}
+
+HoneyfarmConfig MakeDefaultFarmConfig(Ipv4Prefix prefix, uint32_t num_hosts,
+                                      uint64_t host_memory_mb,
+                                      ContentMode content_mode) {
+  HoneyfarmConfig config;
+  config.prefix = prefix;
+  config.num_hosts = num_hosts;
+  config.server_template.host.memory_mb = host_memory_mb;
+  config.server_template.host.content_mode = content_mode;
+  config.server_template.image.num_pages = 8192;  // 32 MiB guest image
+  config.server_template.guest.services = DefaultWindowsServices();
+  config.gateway.farm_prefix = prefix;
+  return config;
+}
+
+}  // namespace potemkin

@@ -1,0 +1,155 @@
+// The Potemkin honeyfarm: top-level orchestrator and public entry point.
+//
+// Wires a gateway to a cluster of clone servers over one event loop, attaches worm
+// runtimes and epidemic tracking, replays traffic (live injection or recorded
+// traces), and samples farm-wide telemetry. Examples and benchmarks talk to this
+// class; everything underneath is reachable for inspection.
+#ifndef SRC_CORE_HONEYFARM_H_
+#define SRC_CORE_HONEYFARM_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/base/event_loop.h"
+#include "src/base/stats.h"
+#include "src/core/clone_server.h"
+#include "src/gateway/gateway.h"
+#include "src/malware/epidemic.h"
+#include "src/malware/worm.h"
+#include "src/net/gre.h"
+#include "src/net/trace.h"
+
+namespace potemkin {
+
+struct HoneyfarmConfig {
+  // The emulated address space; every address in it is a potential honeypot.
+  Ipv4Prefix prefix = Ipv4Prefix(Ipv4Address(10, 1, 0, 0), 16);
+  uint32_t num_hosts = 4;
+  // Per-host template; host ids/names/seeds are filled in per instance.
+  CloneServerConfig server_template;
+  GatewayConfig gateway;
+  uint64_t seed = 42;
+};
+
+// A farm-wide telemetry snapshot.
+struct FarmSample {
+  TimePoint time;
+  uint64_t live_bindings = 0;
+  uint64_t live_vms = 0;
+  uint64_t used_frames = 0;      // machine frames across all hosts
+  uint64_t private_pages = 0;    // sum of per-VM deltas
+  uint64_t infections = 0;
+  double mean_cpu_utilization = 0.0;  // across hosts, since t=0
+};
+
+class Honeyfarm : public GatewayBackend {
+ public:
+  explicit Honeyfarm(const HoneyfarmConfig& config);
+  ~Honeyfarm() override = default;
+  Honeyfarm(const Honeyfarm&) = delete;
+  Honeyfarm& operator=(const Honeyfarm&) = delete;
+
+  EventLoop& loop() { return loop_; }
+  Gateway& gateway() { return gateway_; }
+  CloneServer& server(size_t i) { return *servers_[i]; }
+  size_t server_count() const { return servers_.size(); }
+  EpidemicTracker& epidemic() { return epidemic_; }
+  const HoneyfarmConfig& config() const { return config_; }
+
+  // ---- Traffic injection ----
+  void InjectInbound(Packet packet) { gateway_.HandleInbound(std::move(packet)); }
+
+  // GRE termination, as in the paper's deployment (border routers tunnel the
+  // telescope prefix to the gateway). After enabling, `InjectTunneled` accepts
+  // outer GRE frames from the configured router; inner packets flow to the
+  // gateway and mismatched tunnels are rejected.
+  void EnableGreTermination(Ipv4Address gateway_ip, Ipv4Address router_ip,
+                            std::optional<uint32_t> key);
+  void InjectTunneled(const Packet& outer);
+  const GreTunnel* gre_tunnel() const { return gre_ ? gre_.get() : nullptr; }
+  // Schedules a trace record's packet for its timestamp.
+  void ScheduleRecord(const TraceRecord& record);
+  // Schedules an entire trace (records must be time-ordered).
+  void ScheduleTrace(const std::vector<TraceRecord>& records);
+  // Seeds a worm infection: injects the worm's exploit packet from an external
+  // attacker address toward `victim` at the current virtual time. Sufficient for
+  // permissive guests (payload-bearing segments are accepted directly).
+  void SeedWorm(WormRuntime& worm, Ipv4Address attacker, Ipv4Address victim);
+
+  // Handshaking variant for strict-TCP guests: plays the external attacker —
+  // SYN, wait for the victim's SYN|ACK at egress, then deliver the exploit on
+  // the established connection.
+  void SeedWormViaHandshake(WormRuntime& worm, Ipv4Address attacker,
+                            Ipv4Address victim);
+
+  // Attaches a worm runtime: guests infected through the runtime's (proto, port)
+  // exploit start scanning through it, and retired VMs are deactivated. Multiple
+  // strains may be attached concurrently; an infection activates the strain whose
+  // exploit vector matches the infecting packet.
+  void AttachWorm(WormRuntime* worm);
+
+  // ---- Execution ----
+  void RunFor(Duration span) { loop_.RunFor(span); }
+  void RunUntil(TimePoint t) { loop_.RunUntil(t); }
+  // Starts the recycler and (optionally) periodic telemetry sampling.
+  void Start(Duration sample_interval = Duration::Zero());
+
+  // ---- Telemetry ----
+  FarmSample SampleNow();
+  const std::vector<FarmSample>& samples() const { return samples_; }
+  uint64_t TotalLiveVms() const;
+  uint64_t TotalUsedFrames() const;
+  uint64_t TotalPrivatePages() const;
+  uint64_t total_clones_completed() const;
+
+  // Packets the gateway released to the real Internet (escape monitoring).
+  void set_egress_monitor(std::function<void(const Packet&)> monitor) {
+    egress_monitor_ = std::move(monitor);
+  }
+  uint64_t egress_packet_count() const { return egress_packets_; }
+
+  // ---- GatewayBackend ----
+  size_t NumHosts() const override { return servers_.size(); }
+  bool HostCanAdmit(HostId host) const override;
+  size_t HostLiveVms(HostId host) const override;
+  void SpawnVm(HostId host, Ipv4Address ip, std::function<void(VmId)> done) override;
+  void RetireVm(HostId host, VmId vm) override;
+  void DeliverToVm(HostId host, VmId vm, Packet packet) override;
+
+ private:
+  void OnInfection(GuestOs& guest, const PacketView& exploit);
+  void ScheduleSampling(Duration interval);
+
+  HoneyfarmConfig config_;
+  EventLoop loop_;
+  Gateway gateway_;
+  std::vector<std::unique_ptr<CloneServer>> servers_;
+  // In-flight handshake seeds, matched against egress SYN|ACKs.
+  struct PendingSeed {
+    WormRuntime* worm = nullptr;
+    Ipv4Address attacker;
+    Ipv4Address victim;
+    uint16_t attacker_port = 0;
+    uint32_t attacker_seq = 0;
+  };
+  // Returns true if the egress packet completed a pending seed handshake.
+  bool MaybeCompleteSeedHandshake(const Packet& packet);
+
+  std::vector<WormRuntime*> worms_;
+  std::vector<PendingSeed> pending_seeds_;
+  std::unique_ptr<GreTunnel> gre_;
+  EpidemicTracker epidemic_;
+  std::vector<FarmSample> samples_;
+  std::function<void(const Packet&)> egress_monitor_;
+  uint64_t egress_packets_ = 0;
+};
+
+// Convenience constructors for common experiment setups.
+HoneyfarmConfig MakeDefaultFarmConfig(Ipv4Prefix prefix, uint32_t num_hosts,
+                                      uint64_t host_memory_mb,
+                                      ContentMode content_mode);
+
+}  // namespace potemkin
+
+#endif  // SRC_CORE_HONEYFARM_H_

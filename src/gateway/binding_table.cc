@@ -1,0 +1,72 @@
+#include "src/gateway/binding_table.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+
+namespace potemkin {
+
+BindingTable::BindingTable(size_t pending_queue_cap)
+    : pending_queue_cap_(pending_queue_cap) {}
+
+Binding& BindingTable::CreatePending(Ipv4Address ip, HostId host, TimePoint now) {
+  PK_CHECK(bindings_.find(ip) == bindings_.end())
+      << "duplicate binding for " << ip.ToString();
+  Binding binding;
+  binding.ip = ip;
+  binding.host = host;
+  binding.state = BindingState::kCloning;
+  binding.created = now;
+  binding.last_activity = now;
+  auto [it, inserted] = bindings_.emplace(ip, std::move(binding));
+  ++stats_.bindings_created;
+  stats_.peak_live = std::max<uint64_t>(stats_.peak_live, bindings_.size());
+  return it->second;
+}
+
+Binding* BindingTable::Activate(Ipv4Address ip, VmId vm, TimePoint now) {
+  auto it = bindings_.find(ip);
+  if (it == bindings_.end()) {
+    return nullptr;
+  }
+  it->second.vm = vm;
+  it->second.state = BindingState::kActive;
+  it->second.last_activity = now;
+  return &it->second;
+}
+
+bool BindingTable::Remove(Ipv4Address ip) {
+  const bool erased = bindings_.erase(ip) > 0;
+  if (erased) {
+    ++stats_.bindings_removed;
+  }
+  return erased;
+}
+
+Binding* BindingTable::Find(Ipv4Address ip) {
+  auto it = bindings_.find(ip);
+  return it == bindings_.end() ? nullptr : &it->second;
+}
+
+const Binding* BindingTable::Find(Ipv4Address ip) const {
+  auto it = bindings_.find(ip);
+  return it == bindings_.end() ? nullptr : &it->second;
+}
+
+bool BindingTable::QueuePending(Binding& binding, Packet packet) {
+  if (binding.pending.size() >= pending_queue_cap_) {
+    ++stats_.pending_dropped;
+    return false;
+  }
+  binding.pending.push_back(std::move(packet));
+  ++stats_.pending_queued;
+  return true;
+}
+
+std::vector<Packet> BindingTable::TakePending(Binding& binding) {
+  std::vector<Packet> out;
+  out.swap(binding.pending);
+  return out;
+}
+
+}  // namespace potemkin

@@ -1,0 +1,96 @@
+// Late-binding table: IP address -> VM.
+//
+// No VM exists for an address until traffic arrives; the table tracks each bound
+// address through its lifecycle (cloning with queued packets -> active -> removed
+// at recycle). Its size over time *is* the paper's headline scalability curve.
+#ifndef SRC_GATEWAY_BINDING_TABLE_H_
+#define SRC_GATEWAY_BINDING_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/time_types.h"
+#include "src/hv/types.h"
+#include "src/net/ipv4.h"
+#include "src/net/packet.h"
+
+namespace potemkin {
+
+enum class BindingState {
+  kCloning,  // clone requested; packets queue here until it completes
+  kActive,   // VM live; packets forward directly
+};
+
+struct Binding {
+  Ipv4Address ip;
+  HostId host = 0;
+  VmId vm = kInvalidVm;
+  BindingState state = BindingState::kCloning;
+  TimePoint created;
+  TimePoint last_activity;
+  bool infected = false;
+  bool reflected_origin = false;  // first packet arrived via reflection
+  uint64_t inbound_packets = 0;
+  std::vector<Packet> pending;  // queued while cloning
+};
+
+struct BindingTableStats {
+  uint64_t bindings_created = 0;
+  uint64_t bindings_removed = 0;
+  uint64_t peak_live = 0;
+  uint64_t pending_queued = 0;
+  uint64_t pending_dropped = 0;
+};
+
+class BindingTable {
+ public:
+  explicit BindingTable(size_t pending_queue_cap = 64);
+
+  // Creates a kCloning binding. Must not already exist.
+  Binding& CreatePending(Ipv4Address ip, HostId host, TimePoint now);
+  // Transitions to kActive with the clone's VM id; returns nullptr if gone.
+  Binding* Activate(Ipv4Address ip, VmId vm, TimePoint now);
+  bool Remove(Ipv4Address ip);
+
+  Binding* Find(Ipv4Address ip);
+  const Binding* Find(Ipv4Address ip) const;
+
+  // Queues a packet on a cloning binding, enforcing the queue cap.
+  // Returns false (and counts a drop) when full.
+  bool QueuePending(Binding& binding, Packet packet);
+  // Removes and returns all queued packets.
+  std::vector<Packet> TakePending(Binding& binding);
+
+  size_t size() const { return bindings_.size(); }
+  const BindingTableStats& stats() const { return stats_; }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (auto& [ip, binding] : bindings_) {
+      fn(binding);
+    }
+  }
+
+  // Collects addresses matching a predicate (used by the recycler to avoid
+  // mutating while iterating).
+  template <typename Pred>
+  std::vector<Ipv4Address> CollectIf(Pred&& pred) const {
+    std::vector<Ipv4Address> out;
+    for (const auto& [ip, binding] : bindings_) {
+      if (pred(binding)) {
+        out.push_back(ip);
+      }
+    }
+    return out;
+  }
+
+ private:
+  size_t pending_queue_cap_;
+  std::unordered_map<Ipv4Address, Binding> bindings_;
+  BindingTableStats stats_;
+};
+
+}  // namespace potemkin
+
+#endif  // SRC_GATEWAY_BINDING_TABLE_H_

@@ -1,0 +1,369 @@
+#include "src/gateway/gateway.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/base/log.h"
+
+namespace potemkin {
+
+Gateway::Gateway(EventLoop* loop, const GatewayConfig& config, GatewayBackend* backend)
+    : loop_(loop),
+      config_(config),
+      backend_(backend),
+      bindings_(config.pending_queue_cap),
+      containment_(config.containment, config.farm_prefix, config.seed),
+      dns_proxy_(config.farm_prefix, config.seed),
+      scan_detector_(config.scan_detector),
+      flows_(config.flow_idle_timeout) {}
+
+bool Gateway::ChooseHost(HostId* out) {
+  const size_t n = backend_->NumHosts();
+  if (n == 0) {
+    return false;
+  }
+  switch (config_.placement) {
+    case PlacementKind::kRoundRobin: {
+      for (size_t tried = 0; tried < n; ++tried) {
+        const HostId host = next_host_;
+        next_host_ = (next_host_ + 1) % static_cast<HostId>(n);
+        if (backend_->HostCanAdmit(host)) {
+          *out = host;
+          return true;
+        }
+      }
+      return false;
+    }
+    case PlacementKind::kLeastLoaded: {
+      size_t best_load = std::numeric_limits<size_t>::max();
+      HostId best = 0;
+      bool found = false;
+      for (HostId host = 0; host < n; ++host) {
+        if (backend_->HostCanAdmit(host) && backend_->HostLiveVms(host) < best_load) {
+          best_load = backend_->HostLiveVms(host);
+          best = host;
+          found = true;
+        }
+      }
+      if (found) {
+        *out = best;
+      }
+      return found;
+    }
+    case PlacementKind::kFirstFit: {
+      for (HostId host = 0; host < n; ++host) {
+        if (backend_->HostCanAdmit(host)) {
+          *out = host;
+          return true;
+        }
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+void Gateway::DeliverToBinding(Binding& binding, Packet packet) {
+  // The gateway is a router hop: TTL decrements on the way into the farm.
+  if (!DecrementTtl(packet)) {
+    ++stats_.ttl_expired_drops;
+    return;
+  }
+  binding.last_activity = loop_->Now();
+  ++binding.inbound_packets;
+  ++stats_.inbound_delivered;
+  backend_->DeliverToVm(binding.host, binding.vm, std::move(packet));
+}
+
+void Gateway::RouteToFarm(Packet packet, const PacketView& view, bool via_reflection) {
+  const Ipv4Address dst = view.ip().dst;
+  Binding* binding = bindings_.Find(dst);
+  if (binding != nullptr) {
+    if (binding->state == BindingState::kActive) {
+      DeliverToBinding(*binding, std::move(packet));
+      return;
+    }
+    // Still cloning.
+    if (config_.queue_while_cloning) {
+      if (bindings_.QueuePending(*binding, std::move(packet))) {
+        ++stats_.inbound_queued;
+      }
+    } else {
+      ++stats_.inbound_dropped_cloning;
+    }
+    binding->last_activity = loop_->Now();
+    return;
+  }
+
+  // First contact: late-bind a VM to this address.
+  HostId host = 0;
+  if (!ChooseHost(&host)) {
+    ++stats_.no_capacity_drops;
+    if (config_.recycle.emergency_reclaim_batch > 0) {
+      EmergencyReclaim();
+    }
+    return;
+  }
+  Binding& fresh = bindings_.CreatePending(dst, host, loop_->Now());
+  fresh.reflected_origin = via_reflection;
+  if (config_.queue_while_cloning) {
+    if (bindings_.QueuePending(fresh, std::move(packet))) {
+      ++stats_.inbound_queued;
+    }
+  } else {
+    ++stats_.inbound_dropped_cloning;
+  }
+  ++stats_.clones_triggered;
+  backend_->SpawnVm(host, dst, [this, dst](VmId vm) { OnCloneDone(dst, vm); });
+}
+
+void Gateway::OnCloneDone(Ipv4Address ip, VmId vm) {
+  Binding* binding = bindings_.Find(ip);
+  if (binding == nullptr) {
+    // Recycled while cloning; drop the VM again if it exists.
+    if (vm != kInvalidVm) {
+      // We do not know the host anymore; nothing to do — CreatePending/Remove
+      // ordering guarantees this only happens after an explicit Remove, which
+      // already retired the VM.
+    }
+    return;
+  }
+  if (vm == kInvalidVm) {
+    ++stats_.clone_failures;
+    bindings_.Remove(ip);
+    return;
+  }
+  bindings_.Activate(ip, vm, loop_->Now());
+  auto pending = bindings_.TakePending(*binding);
+  for (auto& queued : pending) {
+    DeliverToBinding(*binding, std::move(queued));
+  }
+}
+
+void Gateway::HandleInbound(Packet packet) {
+  const auto view = PacketView::Parse(packet);
+  if (!view) {
+    return;
+  }
+  ++stats_.inbound_packets;
+  if (!config_.farm_prefix.Contains(view->ip().dst)) {
+    ++stats_.inbound_nonfarm;
+    return;
+  }
+  const bool is_scanner =
+      scan_detector_.Record(view->ip().src, view->ip().dst, loop_->Now());
+  if (config_.filter_known_scanners && is_scanner &&
+      bindings_.Find(view->ip().dst) == nullptr) {
+    ++stats_.inbound_filtered_scanners;
+    return;
+  }
+  flows_.Record(*view, loop_->Now());
+  RouteToFarm(std::move(packet), *view, /*via_reflection=*/false);
+}
+
+void Gateway::HandleDnsQuery(const PacketView& view, Binding* source_binding) {
+  const auto payload = view.l4_payload();
+  const auto query = ParseDnsQuery(payload.data(), payload.size());
+  if (!query || source_binding == nullptr ||
+      source_binding->state != BindingState::kActive) {
+    return;
+  }
+  const DnsResponse answer = dns_proxy_.Resolve(*query);
+  PacketSpec spec;
+  spec.src_mac = MacAddress::FromId(0xd75);  // the gateway's own MAC
+  spec.dst_mac = view.eth().src;
+  spec.src_ip = view.ip().dst;  // impersonate the queried resolver
+  spec.dst_ip = view.ip().src;
+  spec.proto = IpProto::kUdp;
+  spec.src_port = kDnsPort;
+  spec.dst_port = view.udp().src_port;
+  spec.payload = EncodeDnsResponse(answer);
+  ++stats_.dns_responses;
+  backend_->DeliverToVm(source_binding->host, source_binding->vm, BuildPacket(spec));
+}
+
+void Gateway::HandleOutbound(HostId host, VmId vm, Packet packet) {
+  (void)host;
+  auto view = PacketView::Parse(packet);
+  if (!view) {
+    return;
+  }
+  ++stats_.outbound_packets;
+  Binding* source_binding = bindings_.Find(view->ip().src);
+
+  // Farm-internal destination: forward inside, applying reflection reverse-NAT so
+  // reflected conversations look like they involve the original external address.
+  if (config_.farm_prefix.Contains(view->ip().dst)) {
+    ++stats_.internal_forwards;
+    const auto nat_key = std::make_pair(view->ip().src.value(), view->ip().dst.value());
+    auto nat = reflect_nat_.find(nat_key);
+    if (nat != reflect_nat_.end()) {
+      RewriteIpv4Src(packet, nat->second);
+      const auto rewritten = PacketView::Parse(packet);
+      if (rewritten) {
+        // Deliberately NOT recorded in the flow table: a NAT-rewritten packet
+        // impersonates an external source, and recording it would later make a
+        // VM-initiated packet toward that external address look like a
+        // "response", opening a containment escape. The flow table only ever
+        // holds genuinely external traffic.
+        RouteToFarm(std::move(packet), *rewritten, /*via_reflection=*/true);
+      }
+      return;
+    }
+    flows_.Record(*view, loop_->Now());
+    RouteToFarm(std::move(packet), *view, /*via_reflection=*/false);
+    return;
+  }
+
+  // ICMP errors about inbound traffic (port unreachable backscatter, TTL
+  // exceeded) may return to the offending external sender: the quoted packet
+  // must have come from that sender into the farm.
+  if (IsIcmpError(*view)) {
+    const auto embedded = IcmpEmbeddedAddresses(*view);
+    if (embedded && embedded->first == view->ip().dst &&
+        config_.farm_prefix.Contains(embedded->second)) {
+      ++stats_.icmp_errors_allowed_out;
+      ++stats_.egress_packets;
+      if (egress_) {
+        egress_(std::move(packet));
+      }
+      return;
+    }
+    return;  // malformed or not about inbound traffic: contain it
+  }
+
+  // Response traffic: if the external peer initiated this flow, honeypots may
+  // answer it — that is the farm's whole purpose.
+  const FlowKey key = FlowKey::FromView(*view);
+  const FlowRecord* flow = flows_.Find(key);
+  if (flow != nullptr && flow->key.src == view->ip().dst) {
+    flows_.Record(*view, loop_->Now());
+    ++stats_.responses_allowed_out;
+    ++stats_.egress_packets;
+    if (egress_) {
+      egress_(std::move(packet));
+    }
+    return;
+  }
+
+  // VM-initiated traffic: containment policy decides.
+  const bool infected = source_binding != nullptr && source_binding->infected;
+  const OutboundAction action =
+      containment_.Classify(*view, vm, infected, loop_->Now());
+  switch (action) {
+    case OutboundAction::kAllow:
+      flows_.Record(*view, loop_->Now());
+      ++stats_.egress_packets;
+      if (egress_) {
+        egress_(std::move(packet));
+      }
+      return;
+    case OutboundAction::kDrop:
+    case OutboundAction::kRateLimit:
+      return;
+    case OutboundAction::kDnsProxy:
+      HandleDnsQuery(*view, source_binding);
+      return;
+    case OutboundAction::kReflect: {
+      const Ipv4Address external = view->ip().dst;
+      const Ipv4Address victim =
+          containment_.ReflectTarget(external, view->ip().src);
+      RewriteIpv4Dst(packet, victim);
+      // Remember that `victim`'s replies to this scanner must impersonate
+      // `external`.
+      reflect_nat_[std::make_pair(victim.value(), view->ip().src.value())] = external;
+      ++stats_.reflections_injected;
+      const auto rewritten = PacketView::Parse(packet);
+      if (rewritten) {
+        // Not recorded in the flow table either (see the NAT branch above).
+        RouteToFarm(std::move(packet), *rewritten, /*via_reflection=*/true);
+      }
+      return;
+    }
+    case OutboundAction::kInternal:
+      return;  // unreachable: handled above
+  }
+}
+
+void Gateway::NotifyInfected(Ipv4Address vm_ip) {
+  Binding* binding = bindings_.Find(vm_ip);
+  if (binding != nullptr) {
+    binding->infected = true;
+  }
+}
+
+size_t Gateway::SweepOnce() {
+  const TimePoint now = loop_->Now();
+  const auto victims = bindings_.CollectIf([&](const Binding& binding) {
+    return ShouldRetire(binding, config_.recycle, now);
+  });
+  for (const auto& ip : victims) {
+    Binding* binding = bindings_.Find(ip);
+    if (binding == nullptr) {
+      continue;
+    }
+    backend_->RetireVm(binding->host, binding->vm);
+    bindings_.Remove(ip);
+    ++stats_.vms_retired;
+  }
+  flows_.ExpireIdle(now);
+  scan_detector_.ExpireIdle(now);
+  // GC reflection-NAT entries whose victim binding is gone; a future reflection to
+  // the same external address deterministically recreates them (keyed mode).
+  for (auto it = reflect_nat_.begin(); it != reflect_nat_.end();) {
+    if (bindings_.Find(Ipv4Address(it->first.first)) == nullptr) {
+      it = reflect_nat_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return victims.size();
+}
+
+void Gateway::EmergencyReclaim() {
+  // Collect active bindings ordered by idleness (oldest activity first).
+  std::vector<const Binding*> candidates;
+  bindings_.ForEach([&](Binding& binding) {
+    if (binding.state == BindingState::kActive) {
+      candidates.push_back(&binding);
+    }
+  });
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Binding* a, const Binding* b) {
+              return a->last_activity < b->last_activity;
+            });
+  const size_t batch =
+      std::min<size_t>(config_.recycle.emergency_reclaim_batch, candidates.size());
+  std::vector<Ipv4Address> victims;
+  victims.reserve(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    victims.push_back(candidates[i]->ip);
+  }
+  for (const auto& ip : victims) {
+    Binding* binding = bindings_.Find(ip);
+    if (binding == nullptr) {
+      continue;
+    }
+    backend_->RetireVm(binding->host, binding->vm);
+    bindings_.Remove(ip);
+    ++stats_.vms_retired;
+    ++stats_.emergency_reclaims;
+  }
+}
+
+void Gateway::ScheduleSweep() {
+  loop_->ScheduleAfter(config_.recycle.scan_interval, [this]() {
+    SweepOnce();
+    ScheduleSweep();
+  });
+}
+
+void Gateway::StartRecycling() {
+  if (recycling_started_) {
+    return;
+  }
+  recycling_started_ = true;
+  ScheduleSweep();
+}
+
+}  // namespace potemkin

@@ -1,0 +1,162 @@
+// The Potemkin gateway.
+//
+// All honeyfarm traffic crosses this component. Inbound: route packets for the
+// emulated prefix to the VM bound to the destination address, flash-cloning one on
+// first contact (late binding) and queueing packets while the clone completes.
+// Outbound: let honeypots *respond* to the external peers that contacted them,
+// proxy DNS internally, and subject everything a VM initiates to the containment
+// policy — forwarding, dropping, rate-limiting or reflecting it back into the farm
+// with full NAT bookkeeping so reflected conversations stay coherent.
+#ifndef SRC_GATEWAY_GATEWAY_H_
+#define SRC_GATEWAY_GATEWAY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "src/base/event_loop.h"
+#include "src/base/rng.h"
+#include "src/gateway/binding_table.h"
+#include "src/gateway/containment.h"
+#include "src/gateway/dns_proxy.h"
+#include "src/gateway/recycler.h"
+#include "src/gateway/scan_detector.h"
+#include "src/net/flow.h"
+
+namespace potemkin {
+
+// How the gateway spreads new bindings across physical hosts.
+enum class PlacementKind {
+  kRoundRobin,
+  kLeastLoaded,
+  kFirstFit,
+};
+
+// The clone-server cluster as the gateway sees it (implemented by src/core).
+class GatewayBackend {
+ public:
+  virtual ~GatewayBackend() = default;
+  virtual size_t NumHosts() const = 0;
+  virtual bool HostCanAdmit(HostId host) const = 0;
+  virtual size_t HostLiveVms(HostId host) const = 0;
+  // Flash-clones a VM bound to `ip` on `host`; calls `done` with the VM id, or
+  // kInvalidVm on failure. Completion happens in virtual time.
+  virtual void SpawnVm(HostId host, Ipv4Address ip,
+                       std::function<void(VmId)> done) = 0;
+  virtual void RetireVm(HostId host, VmId vm) = 0;
+  // MUST deliver asynchronously (via the event loop): the gateway assumes no
+  // re-entrant HandleOutbound call happens inside DeliverToVm.
+  virtual void DeliverToVm(HostId host, VmId vm, Packet packet) = 0;
+};
+
+struct GatewayConfig {
+  Ipv4Prefix farm_prefix = Ipv4Prefix(Ipv4Address(10, 1, 0, 0), 16);
+  ContainmentConfig containment;
+  RecyclePolicy recycle;
+  ScanDetectorConfig scan_detector;
+  PlacementKind placement = PlacementKind::kRoundRobin;
+  // Queue packets while the destination VM is cloning (vs dropping them).
+  bool queue_while_cloning = true;
+  // Inbound load-shedding ablation: once a source is flagged as a scanner, its
+  // first-contact packets no longer spawn VMs (packets to already-live VMs still
+  // flow). Trades coverage of aggressive scanners for clone-engine headroom.
+  bool filter_known_scanners = false;
+  size_t pending_queue_cap = 64;
+  Duration flow_idle_timeout = Duration::Minutes(2);
+  uint64_t seed = 42;
+};
+
+struct GatewayStats {
+  uint64_t inbound_packets = 0;
+  uint64_t inbound_nonfarm = 0;
+  uint64_t inbound_delivered = 0;
+  uint64_t inbound_queued = 0;
+  uint64_t inbound_dropped_cloning = 0;
+  uint64_t inbound_filtered_scanners = 0;
+  uint64_t clones_triggered = 0;
+  uint64_t clone_failures = 0;
+  uint64_t no_capacity_drops = 0;
+  uint64_t outbound_packets = 0;
+  uint64_t responses_allowed_out = 0;
+  uint64_t icmp_errors_allowed_out = 0;
+  uint64_t ttl_expired_drops = 0;
+  uint64_t emergency_reclaims = 0;
+  uint64_t internal_forwards = 0;
+  uint64_t reflections_injected = 0;
+  uint64_t dns_responses = 0;
+  uint64_t egress_packets = 0;
+  uint64_t vms_retired = 0;
+};
+
+class Gateway {
+ public:
+  // Sink for packets the gateway releases to the real Internet.
+  using EgressSink = std::function<void(Packet)>;
+
+  Gateway(EventLoop* loop, const GatewayConfig& config, GatewayBackend* backend);
+
+  // ---- External (Internet) side ----
+  void HandleInbound(Packet packet);
+  void set_egress_sink(EgressSink sink) { egress_ = std::move(sink); }
+
+  // ---- Farm side ----
+  // Called by the clone servers for every packet a VM transmits.
+  void HandleOutbound(HostId host, VmId vm, Packet packet);
+
+  // Infection notifications (from the guest layer, via the honeyfarm) so the
+  // recycler can apply the infected-hold policy and stats can attribute escapes.
+  void NotifyInfected(Ipv4Address vm_ip);
+
+  // Begins periodic recycling sweeps; runs until the loop stops.
+  void StartRecycling();
+  // One sweep, immediately. Returns how many VMs were retired.
+  size_t SweepOnce();
+
+  BindingTable& bindings() { return bindings_; }
+  const GatewayStats& stats() const { return stats_; }
+  const ContainmentEngine& containment() const { return containment_; }
+  const DnsProxy& dns_proxy() const { return dns_proxy_; }
+  const ScanDetector& scan_detector() const { return scan_detector_; }
+  const FlowTable& flows() const { return flows_; }
+  const GatewayConfig& config() const { return config_; }
+
+ private:
+  // Routes a packet destined to a farm address to its (possibly new) VM.
+  // `via_reflection` marks bindings created by reflected traffic.
+  void RouteToFarm(Packet packet, const PacketView& view, bool via_reflection);
+  // Picks a host for a new binding; returns false if no host can admit.
+  bool ChooseHost(HostId* out);
+  void OnCloneDone(Ipv4Address ip, VmId vm);
+  void DeliverToBinding(Binding& binding, Packet packet);
+  void HandleDnsQuery(const PacketView& view, Binding* source_binding);
+  void ScheduleSweep();
+  // Retires the most-idle active VMs to relieve memory pressure.
+  void EmergencyReclaim();
+
+  EventLoop* loop_;
+  GatewayConfig config_;
+  GatewayBackend* backend_;
+  BindingTable bindings_;
+  ContainmentEngine containment_;
+  DnsProxy dns_proxy_;
+  ScanDetector scan_detector_;
+  FlowTable flows_;
+  EgressSink egress_;
+  GatewayStats stats_;
+  HostId next_host_ = 0;
+  bool recycling_started_ = false;
+  // Reflection NAT: internal victim address -> external address it impersonates,
+  // keyed per (victim, scanner) pair.
+  struct PairHash {
+    size_t operator()(const std::pair<uint32_t, uint32_t>& p) const noexcept {
+      return std::hash<uint64_t>()((static_cast<uint64_t>(p.first) << 32) | p.second);
+    }
+  };
+  std::unordered_map<std::pair<uint32_t, uint32_t>, Ipv4Address, PairHash>
+      reflect_nat_;
+};
+
+}  // namespace potemkin
+
+#endif  // SRC_GATEWAY_GATEWAY_H_

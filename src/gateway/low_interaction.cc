@@ -1,0 +1,106 @@
+#include "src/gateway/low_interaction.h"
+
+namespace potemkin {
+
+LowInteractionResponder::LowInteractionResponder(Ipv4Prefix prefix,
+                                                 std::vector<ServiceConfig> services,
+                                                 uint64_t seed)
+    : prefix_(prefix), services_(std::move(services)), rng_(seed) {}
+
+const ServiceConfig* LowInteractionResponder::FindService(IpProto proto,
+                                                          uint16_t port) const {
+  for (const auto& service : services_) {
+    if (service.proto == proto && service.port == port) {
+      return &service;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<Packet> LowInteractionResponder::Respond(const PacketView& view) {
+  if (!prefix_.Contains(view.ip().dst)) {
+    return std::nullopt;
+  }
+  ++stats_.packets_seen;
+
+  PacketSpec reply;
+  reply.src_mac = MacAddress::FromId(0x10f);  // the responder's single MAC
+  reply.dst_mac = view.eth().src;
+  reply.src_ip = view.ip().dst;  // impersonate whichever address was probed
+  reply.dst_ip = view.ip().src;
+
+  if (view.is_icmp()) {
+    if (view.icmp().type != 8) {
+      return std::nullopt;
+    }
+    ++stats_.icmp_replies;
+    reply.proto = IpProto::kIcmp;
+    reply.icmp_type = 0;
+    reply.icmp_id = view.icmp().id;
+    reply.icmp_seq = view.icmp().seq;
+    reply.payload.assign(view.l4_payload().begin(), view.l4_payload().end());
+    return BuildPacket(reply);
+  }
+
+  if (view.is_tcp()) {
+    const ServiceConfig* service = FindService(IpProto::kTcp, view.tcp().dst_port);
+    reply.proto = IpProto::kTcp;
+    reply.src_port = view.tcp().dst_port;
+    reply.dst_port = view.tcp().src_port;
+    reply.seq = static_cast<uint32_t>(rng_.NextU64());
+    const uint32_t seg = static_cast<uint32_t>(view.l4_payload().size());
+    const bool syn_or_fin =
+        (view.tcp().flags & (TcpFlags::kSyn | TcpFlags::kFin)) != 0;
+    reply.ack = view.tcp().seq + (seg > 0 ? seg : (syn_or_fin ? 1 : 0));
+    if ((view.tcp().flags & TcpFlags::kSyn) && !(view.tcp().flags & TcpFlags::kAck)) {
+      if (service != nullptr) {
+        ++stats_.synacks_sent;
+        reply.tcp_flags = TcpFlags::kSyn | TcpFlags::kAck;
+      } else {
+        ++stats_.rsts_sent;
+        reply.tcp_flags = TcpFlags::kRst | TcpFlags::kAck;
+      }
+      return BuildPacket(reply);
+    }
+    if (!view.l4_payload().empty() && service != nullptr) {
+      // Exploit payloads hit a facade: there is nothing to compromise. This
+      // counter IS the fidelity gap versus the real farm.
+      if (service->vulnerability &&
+          service->vulnerability->Matches(IpProto::kTcp, view.tcp().dst_port,
+                                          view.l4_payload())) {
+        ++stats_.exploit_payloads_ignored;
+      }
+      if (!service->banner.empty()) {
+        ++stats_.banners_sent;
+        reply.tcp_flags = TcpFlags::kPsh | TcpFlags::kAck;
+        reply.payload = service->banner;
+        return BuildPacket(reply);
+      }
+    }
+    return std::nullopt;
+  }
+
+  if (view.is_udp()) {
+    const ServiceConfig* service = FindService(IpProto::kUdp, view.udp().dst_port);
+    if (service == nullptr) {
+      return std::nullopt;
+    }
+    if (service->vulnerability &&
+        service->vulnerability->Matches(IpProto::kUdp, view.udp().dst_port,
+                                        view.l4_payload())) {
+      ++stats_.exploit_payloads_ignored;
+    }
+    if (service->banner.empty()) {
+      return std::nullopt;
+    }
+    ++stats_.banners_sent;
+    reply.proto = IpProto::kUdp;
+    reply.src_port = view.udp().dst_port;
+    reply.dst_port = view.udp().src_port;
+    reply.payload = service->banner;
+    return BuildPacket(reply);
+  }
+  return std::nullopt;
+}
+
+}  // namespace potemkin

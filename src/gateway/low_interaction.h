@@ -1,0 +1,56 @@
+// Low-interaction responder baseline (honeyd-style).
+//
+// The paper motivates Potemkin by contrast with low-interaction honeypots:
+// stateless responders that fake protocol front-ends for thousands of addresses
+// at negligible cost, but cannot actually *be compromised*, so they miss the
+// behaviour that matters (infection, propagation, payloads). This class is that
+// baseline: it answers handshakes and serves canned banners for an entire prefix
+// without any VM, which the fidelity-comparison experiment (E2) measures against
+// the real farm.
+#ifndef SRC_GATEWAY_LOW_INTERACTION_H_
+#define SRC_GATEWAY_LOW_INTERACTION_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/guest/service.h"
+#include "src/net/ipv4.h"
+#include "src/net/packet.h"
+
+namespace potemkin {
+
+struct LowInteractionStats {
+  uint64_t packets_seen = 0;
+  uint64_t synacks_sent = 0;
+  uint64_t rsts_sent = 0;
+  uint64_t banners_sent = 0;
+  uint64_t icmp_replies = 0;
+  uint64_t exploit_payloads_ignored = 0;  // the fidelity gap, made visible
+};
+
+class LowInteractionResponder {
+ public:
+  // Emulates `services` on every address of `prefix`.
+  LowInteractionResponder(Ipv4Prefix prefix, std::vector<ServiceConfig> services,
+                          uint64_t seed);
+
+  // Produces the canned response for an inbound packet, or nullopt (ignored).
+  // Never creates state: every packet is handled from the packet alone.
+  std::optional<Packet> Respond(const PacketView& view);
+
+  const LowInteractionStats& stats() const { return stats_; }
+
+ private:
+  const ServiceConfig* FindService(IpProto proto, uint16_t port) const;
+
+  Ipv4Prefix prefix_;
+  std::vector<ServiceConfig> services_;
+  Rng rng_;
+  LowInteractionStats stats_;
+};
+
+}  // namespace potemkin
+
+#endif  // SRC_GATEWAY_LOW_INTERACTION_H_

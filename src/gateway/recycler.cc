@@ -1,0 +1,18 @@
+#include "src/gateway/recycler.h"
+
+namespace potemkin {
+
+bool ShouldRetire(const Binding& binding, const RecyclePolicy& policy, TimePoint now) {
+  if (binding.state != BindingState::kActive) {
+    return false;
+  }
+  if (!policy.max_lifetime.IsZero() && now - binding.created >= policy.max_lifetime) {
+    return true;
+  }
+  const Duration idle_limit =
+      binding.infected && !policy.infected_hold.IsZero() ? policy.infected_hold
+                                                         : policy.idle_timeout;
+  return now - binding.last_activity >= idle_limit;
+}
+
+}  // namespace potemkin

@@ -1,0 +1,47 @@
+#include "src/gateway/scan_detector.h"
+
+#include <vector>
+
+namespace potemkin {
+
+ScanDetector::ScanDetector(const ScanDetectorConfig& config) : config_(config) {}
+
+bool ScanDetector::Record(Ipv4Address source, Ipv4Address destination, TimePoint now) {
+  SourceState& state = sources_[source];
+  if (state.distinct.empty()) {
+    state.window_start = now;
+  }
+  // Restart the window when it lapses; keep the flag sticky for the source's
+  // lifetime in the table (a scanner stays a scanner until expired).
+  if (now - state.window_start > config_.window) {
+    state.window_start = now;
+    state.distinct.clear();
+  }
+  state.last_seen = now;
+  state.distinct.insert(destination);
+  if (!state.flagged && state.distinct.size() >= config_.distinct_threshold) {
+    state.flagged = true;
+    ++scanners_flagged_;
+  }
+  return state.flagged;
+}
+
+bool ScanDetector::IsScanner(Ipv4Address source) const {
+  auto it = sources_.find(source);
+  return it != sources_.end() && it->second.flagged;
+}
+
+size_t ScanDetector::ExpireIdle(TimePoint now) {
+  std::vector<Ipv4Address> dead;
+  for (const auto& [source, state] : sources_) {
+    if (now - state.last_seen > config_.window) {
+      dead.push_back(source);
+    }
+  }
+  for (const auto& source : dead) {
+    sources_.erase(source);
+  }
+  return dead.size();
+}
+
+}  // namespace potemkin

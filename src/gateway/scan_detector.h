@@ -1,0 +1,56 @@
+// Per-source scan detection at the gateway.
+//
+// The gateway observes every inbound source; a source contacting many distinct farm
+// addresses within a window is a scanner (worm or survey). The farm does not block
+// scanners — they are the point — but the signal feeds analysis (how much of the
+// telescope traffic is scanning) and the optional inbound filtering ablation.
+#ifndef SRC_GATEWAY_SCAN_DETECTOR_H_
+#define SRC_GATEWAY_SCAN_DETECTOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/base/time_types.h"
+#include "src/net/ipv4.h"
+
+namespace potemkin {
+
+struct ScanDetectorConfig {
+  // A source becomes a scanner after touching this many distinct destinations...
+  uint32_t distinct_threshold = 8;
+  // ...within this window.
+  Duration window = Duration::Seconds(60);
+};
+
+class ScanDetector {
+ public:
+  explicit ScanDetector(const ScanDetectorConfig& config);
+
+  // Records an inbound (source, destination) contact; returns true if the source
+  // is currently classified as a scanner.
+  bool Record(Ipv4Address source, Ipv4Address destination, TimePoint now);
+
+  bool IsScanner(Ipv4Address source) const;
+  size_t tracked_sources() const { return sources_.size(); }
+  uint64_t scanners_flagged() const { return scanners_flagged_; }
+
+  // Drops per-source state idle past the window (bounds memory).
+  size_t ExpireIdle(TimePoint now);
+
+ private:
+  struct SourceState {
+    TimePoint window_start;
+    TimePoint last_seen;
+    std::unordered_set<Ipv4Address> distinct;
+    bool flagged = false;
+  };
+
+  ScanDetectorConfig config_;
+  std::unordered_map<Ipv4Address, SourceState> sources_;
+  uint64_t scanners_flagged_ = 0;
+};
+
+}  // namespace potemkin
+
+#endif  // SRC_GATEWAY_SCAN_DETECTOR_H_

@@ -1,0 +1,246 @@
+#include "src/guest/guest_os.h"
+
+#include "src/base/log.h"
+
+namespace potemkin {
+
+GuestOs::GuestOs(VirtualMachine* vm, const GuestOsConfig& config, Rng rng)
+    : vm_(vm), config_(config), rng_(rng), tcp_stack_(rng.Fork(0x7c9)) {}
+
+const ServiceConfig* GuestOs::FindService(IpProto proto, uint16_t port) const {
+  for (const auto& service : config_.services) {
+    if (service.proto == proto && service.port == port) {
+      return &service;
+    }
+  }
+  return nullptr;
+}
+
+void GuestOs::TouchKernelPages() {
+  for (uint32_t i = 0; i < config_.kernel_pages_per_packet; ++i) {
+    const Gpfn gpfn =
+        config_.kernel_base_gpfn + (kernel_cursor_ % config_.kernel_pages);
+    ++kernel_cursor_;
+    if (vm_->memory().TouchPages(gpfn, 1) == MemAccessResult::kOutOfMemory) {
+      ++stats_.oom_events;
+      return;
+    }
+  }
+}
+
+void GuestOs::TouchHeapPages(uint32_t count) {
+  for (uint32_t i = 0; i < count; ++i) {
+    const Gpfn gpfn = config_.heap_base_gpfn + (heap_cursor_ % config_.heap_pages);
+    ++heap_cursor_;
+    if (vm_->memory().TouchPages(gpfn, 1) == MemAccessResult::kOutOfMemory) {
+      ++stats_.oom_events;
+      return;
+    }
+  }
+}
+
+void GuestOs::SendTcpSegment(const PacketView& request, uint8_t flags, uint32_t seq,
+                             uint32_t ack, std::vector<uint8_t> payload) {
+  PacketSpec spec;
+  spec.src_mac = vm_->mac();
+  spec.dst_mac = request.eth().src;
+  spec.src_ip = request.ip().dst;
+  spec.dst_ip = request.ip().src;
+  spec.proto = IpProto::kTcp;
+  spec.src_port = request.tcp().dst_port;
+  spec.dst_port = request.tcp().src_port;
+  spec.tcp_flags = flags;
+  spec.seq = seq;
+  spec.ack = ack;
+  spec.payload = std::move(payload);
+  ++stats_.responses_sent;
+  vm_->Transmit(BuildPacket(spec));
+}
+
+void GuestOs::SendTcpReply(const PacketView& request, uint8_t flags,
+                           std::vector<uint8_t> payload) {
+  // Simplified sequencing: ack everything we saw.
+  const uint32_t seg_len = static_cast<uint32_t>(request.l4_payload().size());
+  const bool syn_or_fin =
+      (request.tcp().flags & (TcpFlags::kSyn | TcpFlags::kFin)) != 0;
+  const uint32_t ack =
+      request.tcp().seq + (seg_len > 0 ? seg_len : (syn_or_fin ? 1 : 0));
+  SendTcpSegment(request, flags, static_cast<uint32_t>(rng_.NextU64()), ack,
+                 std::move(payload));
+}
+
+void GuestOs::SendUdpReply(const PacketView& request, std::vector<uint8_t> payload) {
+  PacketSpec spec;
+  spec.src_mac = vm_->mac();
+  spec.dst_mac = request.eth().src;
+  spec.src_ip = request.ip().dst;
+  spec.dst_ip = request.ip().src;
+  spec.proto = IpProto::kUdp;
+  spec.src_port = request.udp().dst_port;
+  spec.dst_port = request.udp().src_port;
+  spec.payload = std::move(payload);
+  ++stats_.responses_sent;
+  vm_->Transmit(BuildPacket(spec));
+}
+
+void GuestOs::SendIcmpEchoReply(const PacketView& request) {
+  PacketSpec spec;
+  spec.src_mac = vm_->mac();
+  spec.dst_mac = request.eth().src;
+  spec.src_ip = request.ip().dst;
+  spec.dst_ip = request.ip().src;
+  spec.proto = IpProto::kIcmp;
+  spec.icmp_type = 0;  // echo reply
+  spec.icmp_id = request.icmp().id;
+  spec.icmp_seq = request.icmp().seq;
+  spec.payload.assign(request.l4_payload().begin(), request.l4_payload().end());
+  ++stats_.responses_sent;
+  vm_->Transmit(BuildPacket(spec));
+}
+
+void GuestOs::ServeRequest(const ServiceConfig& service, const PacketView& view) {
+  ++stats_.requests_served;
+  TouchHeapPages(service.pages_touched_per_request);
+  if (service.vulnerability &&
+      service.vulnerability->Matches(view.ip().proto, view.dst_port(),
+                                     view.l4_payload())) {
+    ++stats_.exploits_received;
+    const bool newly_infected = !vm_->infected();
+    vm_->set_infected(true);
+    if (newly_infected && infection_observer_) {
+      infection_observer_(*this, view);
+    }
+    return;  // compromised service does not send its normal response
+  }
+  if (!service.banner.empty()) {
+    if (service.proto == IpProto::kTcp) {
+      SendTcpReply(view, TcpFlags::kPsh | TcpFlags::kAck, service.banner);
+    } else {
+      SendUdpReply(view, service.banner);
+    }
+  }
+}
+
+void GuestOs::HandleTcpStrict(const PacketView& view) {
+  const ServiceConfig* service = FindService(IpProto::kTcp, view.tcp().dst_port);
+  const uint8_t flags = view.tcp().flags;
+
+  // Replies to connections initiated from inside the guest bypass the server
+  // stack entirely (they are not addressed to a listener).
+  if (service == nullptr && (flags & TcpFlags::kAck) && client_handler_) {
+    client_handler_(*this, view);
+    return;
+  }
+  if (++packets_since_expiry_ >= 64) {
+    packets_since_expiry_ = 0;
+    tcp_stack_.ExpireIdle(vm_->last_activity(), config_.tcp_idle_timeout);
+  }
+  const SegmentDecision decision =
+      tcp_stack_.OnSegment(view, service != nullptr, vm_->last_activity());
+  switch (decision.action) {
+    case SegmentAction::kReplySynAck:
+      SendTcpSegment(view, TcpFlags::kSyn | TcpFlags::kAck, decision.reply_seq,
+                     decision.reply_ack, {});
+      return;
+    case SegmentAction::kReplyRst:
+      ++stats_.rst_sent;
+      SendTcpSegment(view, TcpFlags::kRst | TcpFlags::kAck, decision.reply_seq,
+                     decision.reply_ack, {});
+      return;
+    case SegmentAction::kReplyFinAck:
+      SendTcpSegment(view, TcpFlags::kFin | TcpFlags::kAck, decision.reply_seq,
+                     decision.reply_ack, {});
+      return;
+    case SegmentAction::kDeliverPayload:
+      if (service != nullptr) {
+        ServeRequest(*service, view);
+      }
+      return;
+    case SegmentAction::kIgnore:
+      return;
+  }
+}
+
+void GuestOs::HandleFrame(const Packet& frame, TimePoint now) {
+  if (vm_->state() != VmState::kRunning) {
+    return;
+  }
+  const auto view = PacketView::Parse(frame);
+  if (!view) {
+    return;
+  }
+  ++stats_.packets_handled;
+  vm_->CountReceived();
+  vm_->set_last_activity(now);
+  TouchKernelPages();
+
+  if (view->is_icmp()) {
+    if (view->icmp().type == 8) {
+      SendIcmpEchoReply(*view);
+    }
+    return;
+  }
+  if (view->is_tcp()) {
+    if (config_.strict_tcp) {
+      HandleTcpStrict(*view);
+      return;
+    }
+    const ServiceConfig* service = FindService(IpProto::kTcp, view->tcp().dst_port);
+    const uint8_t flags = view->tcp().flags;
+    if ((flags & TcpFlags::kSyn) && !(flags & TcpFlags::kAck)) {
+      if (service != nullptr) {
+        SendTcpReply(*view, TcpFlags::kSyn | TcpFlags::kAck, {});
+        // Data riding the SYN (the single-packet exploit model used by the worm
+        // runtime; cf. WormRuntime::MakeScanPacket) is delivered to the service.
+        if (!view->l4_payload().empty()) {
+          ServeRequest(*service, *view);
+        }
+      } else {
+        ++stats_.rst_sent;
+        SendTcpReply(*view, TcpFlags::kRst | TcpFlags::kAck, {});
+      }
+      return;
+    }
+    if (flags & TcpFlags::kRst) {
+      return;
+    }
+    // ACK-bearing traffic to a non-listening port is a reply to a connection a
+    // local process initiated; hand it to the registered client (worm).
+    if (service == nullptr && (flags & TcpFlags::kAck) && client_handler_) {
+      client_handler_(*this, *view);
+      return;
+    }
+    if (!view->l4_payload().empty() && service != nullptr) {
+      ServeRequest(*service, *view);
+    }
+    return;
+  }
+  if (view->is_udp()) {
+    const ServiceConfig* service = FindService(IpProto::kUdp, view->udp().dst_port);
+    if (service != nullptr) {
+      ServeRequest(*service, *view);
+    } else if (view->udp().dst_port >= 1024) {
+      // Ephemeral-range destination: treat as a reply to a client socket this
+      // guest opened (DNS answers, etc.). A real stack would match the socket
+      // table; the port-range heuristic keeps the model state-free.
+      return;
+    } else {
+      // Closed UDP port: real stacks answer with ICMP port unreachable, quoting
+      // the offending datagram (this backscatter is part of what telescopes see).
+      PacketSpec unreachable;
+      unreachable.src_mac = vm_->mac();
+      unreachable.dst_mac = view->eth().src;
+      unreachable.src_ip = view->ip().dst;
+      unreachable.dst_ip = view->ip().src;
+      unreachable.proto = IpProto::kIcmp;
+      unreachable.icmp_type = kIcmpDestUnreachable;
+      unreachable.icmp_code = kIcmpCodePortUnreachable;
+      unreachable.payload = IcmpQuoteOf(frame);
+      ++stats_.responses_sent;
+      vm_->Transmit(BuildPacket(unreachable));
+    }
+    return;
+  }
+}
+
+}  // namespace potemkin

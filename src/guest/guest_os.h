@@ -1,0 +1,115 @@
+// The guest OS model: packet handling, service dispatch, working-set dirtying and
+// the infection state machine.
+//
+// One GuestOs instance rides on each VirtualMachine. Inbound frames dirty kernel
+// pages (network stack work), get demultiplexed to services, produce real response
+// packets out of the vNIC, and — when an exploit payload matches a vulnerable
+// service — flip the VM to infected and notify the registered observer (the worm
+// runtime), which then drives outbound scanning through this same vNIC.
+#ifndef SRC_GUEST_GUEST_OS_H_
+#define SRC_GUEST_GUEST_OS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/time_types.h"
+#include "src/guest/service.h"
+#include "src/guest/tcp_stack.h"
+#include "src/hv/vm.h"
+#include "src/net/packet.h"
+
+namespace potemkin {
+
+struct GuestOsConfig {
+  std::vector<ServiceConfig> services;
+  // Pages dirtied in the kernel on every received packet (skbuffs, softirq state).
+  uint32_t kernel_pages_per_packet = 1;
+  // First guest page of the heap region that request handling dirties.
+  Gpfn heap_base_gpfn = 1024;
+  // Heap pages wrap after this many so long-lived VMs' deltas plateau (the paper
+  // observed per-VM deltas stabilizing, not growing unboundedly).
+  uint32_t heap_pages = 2048;
+  // Kernel pages live in a small region near the bottom of memory.
+  Gpfn kernel_base_gpfn = 16;
+  uint32_t kernel_pages = 64;
+  // When true, TCP segments run through a real server-side state machine
+  // (src/guest/tcp_stack.h): payload reaches services only on ESTABLISHED
+  // connections and out-of-state segments draw RSTs. Default off: the permissive
+  // model accepts payload-bearing segments directly, which is cheaper at farm
+  // scale and matches the single-packet exploit studies.
+  bool strict_tcp = false;
+  Duration tcp_idle_timeout = Duration::Seconds(60);
+};
+
+struct GuestStats {
+  uint64_t packets_handled = 0;
+  uint64_t requests_served = 0;
+  uint64_t responses_sent = 0;
+  uint64_t rst_sent = 0;
+  uint64_t exploits_received = 0;
+  uint64_t oom_events = 0;  // guest writes failed: host out of frames
+};
+
+class GuestOs {
+ public:
+  // Invoked when an exploit successfully infects this guest.
+  using InfectionObserver =
+      std::function<void(GuestOs& guest, const PacketView& exploit)>;
+  // Invoked for TCP packets addressed to a port with no listening service that
+  // carry an ACK — i.e. replies to connections a process inside this guest
+  // initiated (the worm runtime registers itself here to complete handshakes).
+  using ClientPacketHandler =
+      std::function<void(GuestOs& guest, const PacketView& reply)>;
+
+  GuestOs(VirtualMachine* vm, const GuestOsConfig& config, Rng rng);
+
+  VirtualMachine* vm() { return vm_; }
+  const GuestStats& stats() const { return stats_; }
+  bool infected() const { return vm_->infected(); }
+
+  void set_infection_observer(InfectionObserver observer) {
+    infection_observer_ = std::move(observer);
+  }
+  void set_client_packet_handler(ClientPacketHandler handler) {
+    client_handler_ = std::move(handler);
+  }
+
+  // Processes an inbound frame delivered to this VM's vNIC at virtual time `now`.
+  void HandleFrame(const Packet& frame, TimePoint now);
+
+  // The service listening on (proto, port), or nullptr.
+  const ServiceConfig* FindService(IpProto proto, uint16_t port) const;
+
+  // Strict-mode TCP state (meaningful only when config.strict_tcp).
+  const GuestTcpStack& tcp_stack() const { return tcp_stack_; }
+
+ private:
+  void TouchKernelPages();
+  void TouchHeapPages(uint32_t count);
+  void ServeRequest(const ServiceConfig& service, const PacketView& view);
+  void HandleTcpStrict(const PacketView& view);
+  void SendTcpReply(const PacketView& request, uint8_t flags,
+                    std::vector<uint8_t> payload);
+  // Fully specified segment (strict mode uses the stack's sequence numbers).
+  void SendTcpSegment(const PacketView& request, uint8_t flags, uint32_t seq,
+                      uint32_t ack, std::vector<uint8_t> payload);
+  void SendUdpReply(const PacketView& request, std::vector<uint8_t> payload);
+  void SendIcmpEchoReply(const PacketView& request);
+
+  VirtualMachine* vm_;
+  GuestOsConfig config_;
+  Rng rng_;
+  GuestStats stats_;
+  uint32_t heap_cursor_ = 0;
+  uint32_t kernel_cursor_ = 0;
+  InfectionObserver infection_observer_;
+  ClientPacketHandler client_handler_;
+  GuestTcpStack tcp_stack_;
+  uint32_t packets_since_expiry_ = 0;
+};
+
+}  // namespace potemkin
+
+#endif  // SRC_GUEST_GUEST_OS_H_

@@ -1,0 +1,106 @@
+#include "src/guest/service.h"
+
+#include <algorithm>
+
+namespace potemkin {
+
+bool ExploitSignature::Matches(IpProto p, uint16_t dst_port,
+                               std::span<const uint8_t> payload) const {
+  if (p != proto || dst_port != port || pattern.empty() ||
+      payload.size() < pattern.size()) {
+    return false;
+  }
+  return std::search(payload.begin(), payload.end(), pattern.begin(), pattern.end()) !=
+         payload.end();
+}
+
+namespace {
+
+std::vector<uint8_t> Bytes(const char* text) {
+  std::vector<uint8_t> out;
+  for (const char* p = text; *p != 0; ++p) {
+    out.push_back(static_cast<uint8_t>(*p));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ServiceConfig> DefaultWindowsServices() {
+  std::vector<ServiceConfig> services;
+  {
+    ServiceConfig smb;
+    smb.name = "smb";
+    smb.proto = IpProto::kTcp;
+    smb.port = 445;
+    smb.banner = Bytes("SMB");
+    smb.pages_touched_per_request = 6;
+    smb.vulnerability = ExploitSignature{IpProto::kTcp, 445, Bytes("EXPLOIT-LSASS")};
+    services.push_back(std::move(smb));
+  }
+  {
+    ServiceConfig rpc;
+    rpc.name = "msrpc";
+    rpc.proto = IpProto::kTcp;
+    rpc.port = 135;
+    rpc.banner = Bytes("RPC");
+    rpc.pages_touched_per_request = 5;
+    rpc.vulnerability = ExploitSignature{IpProto::kTcp, 135, Bytes("EXPLOIT-DCOM")};
+    services.push_back(std::move(rpc));
+  }
+  {
+    ServiceConfig mssql;
+    mssql.name = "mssql-udp";
+    mssql.proto = IpProto::kUdp;
+    mssql.port = 1434;
+    mssql.banner = Bytes("SQL");
+    mssql.pages_touched_per_request = 3;
+    mssql.vulnerability = ExploitSignature{IpProto::kUdp, 1434, Bytes("EXPLOIT-SLAMMER")};
+    services.push_back(std::move(mssql));
+  }
+  {
+    ServiceConfig web;
+    web.name = "iis";
+    web.proto = IpProto::kTcp;
+    web.port = 80;
+    web.banner = Bytes("HTTP/1.1 200 OK\r\nServer: IIS\r\n\r\n");
+    web.pages_touched_per_request = 4;
+    services.push_back(std::move(web));
+  }
+  return services;
+}
+
+std::vector<ServiceConfig> DefaultLinuxServices() {
+  std::vector<ServiceConfig> services;
+  {
+    ServiceConfig ssh;
+    ssh.name = "ssh";
+    ssh.proto = IpProto::kTcp;
+    ssh.port = 22;
+    ssh.banner = Bytes("SSH-2.0-OpenSSH_3.9\r\n");
+    ssh.pages_touched_per_request = 4;
+    services.push_back(std::move(ssh));
+  }
+  {
+    ServiceConfig web;
+    web.name = "apache";
+    web.proto = IpProto::kTcp;
+    web.port = 80;
+    web.banner = Bytes("HTTP/1.1 200 OK\r\nServer: Apache/2.0\r\n\r\n");
+    web.pages_touched_per_request = 4;
+    web.vulnerability = ExploitSignature{IpProto::kTcp, 80, Bytes("EXPLOIT-CGI")};
+    services.push_back(std::move(web));
+  }
+  {
+    ServiceConfig smtp;
+    smtp.name = "smtp";
+    smtp.proto = IpProto::kTcp;
+    smtp.port = 25;
+    smtp.banner = Bytes("220 mail ESMTP\r\n");
+    smtp.pages_touched_per_request = 3;
+    services.push_back(std::move(smtp));
+  }
+  return services;
+}
+
+}  // namespace potemkin

@@ -1,0 +1,139 @@
+#include "src/guest/tcp_stack.h"
+
+namespace potemkin {
+
+GuestTcpStack::GuestTcpStack(Rng rng, size_t max_connections)
+    : rng_(rng), max_connections_(max_connections) {}
+
+void GuestTcpStack::EvictOldest() {
+  auto oldest = connections_.begin();
+  for (auto it = connections_.begin(); it != connections_.end(); ++it) {
+    if (it->second.last_activity < oldest->second.last_activity) {
+      oldest = it;
+    }
+  }
+  if (oldest != connections_.end()) {
+    connections_.erase(oldest);
+    ++stats_.evictions;
+  }
+}
+
+SegmentDecision GuestTcpStack::OnSegment(const PacketView& view, bool has_listener,
+                                         TimePoint now) {
+  SegmentDecision decision;
+  if (!view.is_tcp()) {
+    return decision;
+  }
+  const uint8_t flags = view.tcp().flags;
+  const ConnectionKey key{view.ip().src.value(), view.tcp().src_port,
+                          view.tcp().dst_port};
+  auto it = connections_.find(key);
+
+  if (flags & TcpFlags::kRst) {
+    if (it != connections_.end()) {
+      connections_.erase(it);
+      ++stats_.connections_closed;
+    }
+    return decision;  // RSTs are never answered
+  }
+
+  // New connection attempt.
+  if ((flags & TcpFlags::kSyn) && !(flags & TcpFlags::kAck)) {
+    if (!has_listener) {
+      ++stats_.resets_sent;
+      decision.action = SegmentAction::kReplyRst;
+      decision.reply_seq = 0;
+      decision.reply_ack = view.tcp().seq + 1;
+      return decision;
+    }
+    if (it == connections_.end() && connections_.size() >= max_connections_) {
+      EvictOldest();
+    }
+    Connection connection;
+    connection.state = TcpServerState::kSynReceived;
+    connection.local_seq = static_cast<uint32_t>(rng_.NextU64());
+    connection.peer_next = view.tcp().seq + 1;
+    connection.last_activity = now;
+    ++stats_.connections_accepted;
+    decision.action = SegmentAction::kReplySynAck;
+    decision.reply_seq = connection.local_seq;
+    decision.reply_ack = connection.peer_next;
+    connection.local_seq += 1;  // our SYN consumes one sequence number
+    connections_[key] = connection;  // retransmitted SYN resets the attempt
+    return decision;
+  }
+
+  // Anything else without state draws a RST (no listener or never connected).
+  if (it == connections_.end()) {
+    ++stats_.out_of_state_segments;
+    ++stats_.resets_sent;
+    decision.action = SegmentAction::kReplyRst;
+    decision.reply_seq = view.tcp().ack;
+    decision.reply_ack = view.tcp().seq + static_cast<uint32_t>(
+                                               view.l4_payload().size());
+    return decision;
+  }
+
+  Connection& connection = it->second;
+  connection.last_activity = now;
+
+  switch (connection.state) {
+    case TcpServerState::kSynReceived:
+      if (flags & TcpFlags::kAck) {
+        connection.state = TcpServerState::kEstablished;
+        ++stats_.connections_established;
+        // Data can ride the final handshake ACK.
+        if (!view.l4_payload().empty()) {
+          connection.peer_next =
+              view.tcp().seq + static_cast<uint32_t>(view.l4_payload().size());
+          ++stats_.payload_segments_delivered;
+          decision.action = SegmentAction::kDeliverPayload;
+          decision.reply_seq = connection.local_seq;
+          decision.reply_ack = connection.peer_next;
+          return decision;
+        }
+      }
+      return decision;  // kIgnore
+
+    case TcpServerState::kEstablished:
+      if (flags & TcpFlags::kFin) {
+        connection.state = TcpServerState::kCloseWait;
+        connection.peer_next = view.tcp().seq + 1;
+        ++stats_.connections_closed;
+        decision.action = SegmentAction::kReplyFinAck;
+        decision.reply_seq = connection.local_seq;
+        decision.reply_ack = connection.peer_next;
+        connections_.erase(it);  // model both FIN directions at once
+        return decision;
+      }
+      if (!view.l4_payload().empty()) {
+        connection.peer_next =
+            view.tcp().seq + static_cast<uint32_t>(view.l4_payload().size());
+        ++stats_.payload_segments_delivered;
+        decision.action = SegmentAction::kDeliverPayload;
+        decision.reply_seq = connection.local_seq;
+        decision.reply_ack = connection.peer_next;
+        return decision;
+      }
+      return decision;  // bare ACK keepalive
+
+    case TcpServerState::kCloseWait:
+      return decision;
+  }
+  return decision;
+}
+
+size_t GuestTcpStack::ExpireIdle(TimePoint now, Duration timeout) {
+  size_t removed = 0;
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (now - it->second.last_activity > timeout) {
+      it = connections_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace potemkin

@@ -1,0 +1,168 @@
+#include "src/hv/address_space.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+
+namespace potemkin {
+
+AddressSpace::AddressSpace(FrameAllocator* allocator, uint32_t num_pages)
+    : allocator_(allocator), ptes_(num_pages) {}
+
+AddressSpace::~AddressSpace() { ReleaseAll(); }
+
+void AddressSpace::MapSharedCow(Gpfn gpfn, FrameId frame) {
+  PK_CHECK(gpfn < ptes_.size()) << "map outside address space";
+  Unmap(gpfn);
+  allocator_->Ref(frame);
+  ptes_[gpfn] = Pte{frame, true, true};
+  ++shared_pages_;
+}
+
+void AddressSpace::MapPrivateOwned(Gpfn gpfn, FrameId frame) {
+  PK_CHECK(gpfn < ptes_.size()) << "map outside address space";
+  Unmap(gpfn);
+  ptes_[gpfn] = Pte{frame, true, false};
+  ++private_pages_;
+}
+
+void AddressSpace::Unmap(Gpfn gpfn) {
+  PK_CHECK(gpfn < ptes_.size()) << "unmap outside address space";
+  Pte& pte = ptes_[gpfn];
+  if (!pte.present) {
+    return;
+  }
+  if (pte.cow) {
+    PK_CHECK(shared_pages_ > 0);
+    --shared_pages_;
+  } else {
+    PK_CHECK(private_pages_ > 0);
+    --private_pages_;
+  }
+  allocator_->Unref(pte.frame);
+  pte = Pte{};
+}
+
+bool AddressSpace::MakeWritable(Gpfn gpfn, MemAccessResult* result) {
+  Pte& pte = ptes_[gpfn];
+  if (pte.present && !pte.cow) {
+    return true;
+  }
+  if (!pte.present) {
+    // Zero-fill-on-demand private page.
+    const FrameId frame = allocator_->AllocateZeroed();
+    if (frame == kInvalidFrame) {
+      ++stats_.failed_cow_breaks;
+      *result = MemAccessResult::kOutOfMemory;
+      return false;
+    }
+    pte = Pte{frame, true, false};
+    ++private_pages_;
+    ++stats_.zero_fills;
+    return true;
+  }
+  // CoW break: copy the shared frame into a private one.
+  const FrameId copy = allocator_->CloneFrame(pte.frame);
+  if (copy == kInvalidFrame) {
+    ++stats_.failed_cow_breaks;
+    *result = MemAccessResult::kOutOfMemory;
+    return false;
+  }
+  allocator_->Unref(pte.frame);
+  PK_CHECK(shared_pages_ > 0);
+  --shared_pages_;
+  pte = Pte{copy, true, false};
+  ++private_pages_;
+  ++stats_.cow_faults;
+  *result = MemAccessResult::kCowBreak;
+  return true;
+}
+
+MemAccessResult AddressSpace::WriteGuest(uint64_t gpaddr,
+                                         std::span<const uint8_t> bytes) {
+  if (gpaddr + bytes.size() > size_bytes()) {
+    return MemAccessResult::kBadAddress;
+  }
+  ++stats_.writes;
+  MemAccessResult result = MemAccessResult::kOk;
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const uint64_t addr = gpaddr + written;
+    const Gpfn gpfn = static_cast<Gpfn>(addr / kPageSize);
+    const size_t offset = addr % kPageSize;
+    const size_t chunk = std::min(bytes.size() - written, kPageSize - offset);
+    if (!MakeWritable(gpfn, &result)) {
+      return result;  // kOutOfMemory
+    }
+    allocator_->Write(ptes_[gpfn].frame, offset, bytes.subspan(written, chunk));
+    written += chunk;
+  }
+  return result;
+}
+
+MemAccessResult AddressSpace::ReadGuest(uint64_t gpaddr, std::span<uint8_t> out) const {
+  if (gpaddr + out.size() > size_bytes()) {
+    return MemAccessResult::kBadAddress;
+  }
+  ++stats_.reads;
+  size_t done = 0;
+  while (done < out.size()) {
+    const uint64_t addr = gpaddr + done;
+    const Gpfn gpfn = static_cast<Gpfn>(addr / kPageSize);
+    const size_t offset = addr % kPageSize;
+    const size_t chunk = std::min(out.size() - done, kPageSize - offset);
+    const Pte& pte = ptes_[gpfn];
+    if (!pte.present) {
+      std::fill_n(out.data() + done, chunk, 0);
+    } else {
+      allocator_->Read(pte.frame, offset, out.subspan(done, chunk));
+    }
+    done += chunk;
+  }
+  return MemAccessResult::kOk;
+}
+
+MemAccessResult AddressSpace::TouchPages(Gpfn first_gpfn, uint32_t count) {
+  for (uint32_t i = 0; i < count; ++i) {
+    const Gpfn gpfn = first_gpfn + i;
+    if (gpfn >= ptes_.size()) {
+      return MemAccessResult::kBadAddress;
+    }
+    const uint8_t marker = static_cast<uint8_t>(0xd1 + i);
+    const auto result =
+        WriteGuest(static_cast<uint64_t>(gpfn) * kPageSize, std::span(&marker, 1));
+    if (result == MemAccessResult::kOutOfMemory) {
+      return result;
+    }
+  }
+  return MemAccessResult::kOk;
+}
+
+bool AddressSpace::IsMapped(Gpfn gpfn) const {
+  return gpfn < ptes_.size() && ptes_[gpfn].present;
+}
+
+bool AddressSpace::IsCowShared(Gpfn gpfn) const {
+  return gpfn < ptes_.size() && ptes_[gpfn].present && ptes_[gpfn].cow;
+}
+
+FrameId AddressSpace::FrameAt(Gpfn gpfn) const {
+  PK_CHECK(gpfn < ptes_.size()) << "FrameAt outside address space";
+  return ptes_[gpfn].present ? ptes_[gpfn].frame : kInvalidFrame;
+}
+
+void AddressSpace::ConvertPrivateToSharedCow(Gpfn gpfn, FrameId frame) {
+  PK_CHECK(gpfn < ptes_.size() && ptes_[gpfn].present && !ptes_[gpfn].cow)
+      << "convert of non-private page";
+  MapSharedCow(gpfn, frame);  // Unmaps (releasing the private frame) then shares.
+}
+
+void AddressSpace::ReleaseAll() {
+  for (Gpfn gpfn = 0; gpfn < ptes_.size(); ++gpfn) {
+    if (ptes_[gpfn].present) {
+      Unmap(gpfn);
+    }
+  }
+}
+
+}  // namespace potemkin

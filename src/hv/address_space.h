@@ -1,0 +1,113 @@
+// Guest pseudo-physical address spaces with copy-on-write mappings.
+//
+// This implements the paper's *delta virtualization*: a flash-cloned VM starts with
+// every guest page mapped read-only to the frozen reference image's machine frames.
+// The first guest write to such a page takes a CoW fault: a private frame is
+// allocated, the contents copied, and the mapping flipped to writable. The set of
+// private frames is the VM's "delta" — the only per-VM memory cost.
+#ifndef SRC_HV_ADDRESS_SPACE_H_
+#define SRC_HV_ADDRESS_SPACE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/hv/frame_allocator.h"
+#include "src/hv/types.h"
+
+namespace potemkin {
+
+enum class MemAccessResult {
+  kOk,
+  kCowBreak,        // write succeeded after breaking a CoW share
+  kOutOfMemory,     // CoW break failed: host has no free frames
+  kBadAddress,      // access outside the guest address space
+};
+
+struct AddressSpaceStats {
+  uint64_t cow_faults = 0;         // writes that broke a share
+  uint64_t zero_fills = 0;         // writes that materialized an unbacked page
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t failed_cow_breaks = 0;  // out-of-memory CoW faults
+};
+
+class AddressSpace {
+ public:
+  // An address space with `num_pages` guest pages, all initially unmapped (reads
+  // see zeros; first write allocates a private zero frame).
+  AddressSpace(FrameAllocator* allocator, uint32_t num_pages);
+  ~AddressSpace();
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  uint32_t num_pages() const { return static_cast<uint32_t>(ptes_.size()); }
+  uint64_t size_bytes() const { return static_cast<uint64_t>(num_pages()) * kPageSize; }
+
+  // Maps `frame` at `gpfn` as a read-only CoW share; takes a reference.
+  void MapSharedCow(Gpfn gpfn, FrameId frame);
+  // Maps `frame` at `gpfn` as private/writable; takes ownership of one reference.
+  void MapPrivateOwned(Gpfn gpfn, FrameId frame);
+  void Unmap(Gpfn gpfn);
+
+  // Guest memory access by byte address; may span pages.
+  MemAccessResult WriteGuest(uint64_t gpaddr, std::span<const uint8_t> bytes);
+  MemAccessResult ReadGuest(uint64_t gpaddr, std::span<uint8_t> out) const;
+
+  // Touches (dirties) one word in each page of [first_gpfn, first_gpfn+count),
+  // modelling a guest working set; stops early on OOM.
+  MemAccessResult TouchPages(Gpfn first_gpfn, uint32_t count);
+
+  bool IsMapped(Gpfn gpfn) const;
+  bool IsCowShared(Gpfn gpfn) const;
+  FrameId FrameAt(Gpfn gpfn) const;
+
+  // Number of pages whose frame is private to this address space (the delta).
+  uint32_t private_pages() const { return private_pages_; }
+  // Number of pages still sharing the reference image's frames.
+  uint32_t shared_pages() const { return shared_pages_; }
+  uint64_t private_bytes() const {
+    return static_cast<uint64_t>(private_pages_) * kPageSize;
+  }
+
+  const AddressSpaceStats& stats() const { return stats_; }
+
+  // Iterates every private (non-CoW) mapping: fn(gpfn, frame). Used by snapshot
+  // capture and the page deduplicator.
+  template <typename Fn>
+  void ForEachPrivatePage(Fn&& fn) const {
+    for (Gpfn gpfn = 0; gpfn < ptes_.size(); ++gpfn) {
+      if (ptes_[gpfn].present && !ptes_[gpfn].cow) {
+        fn(gpfn, ptes_[gpfn].frame);
+      }
+    }
+  }
+
+  // Replaces the private mapping at `gpfn` with a CoW share of `frame` (used by
+  // the deduplicator after proving contents identical). The old private frame is
+  // released; `frame` gains a reference.
+  void ConvertPrivateToSharedCow(Gpfn gpfn, FrameId frame);
+
+  // Releases every mapping (refcounts drop; private frames free immediately).
+  void ReleaseAll();
+
+ private:
+  struct Pte {
+    FrameId frame = kInvalidFrame;
+    bool present = false;
+    bool cow = false;  // present but read-only shared; write must break the share
+  };
+
+  // Ensures the page at `gpfn` is privately writable; returns false on OOM.
+  bool MakeWritable(Gpfn gpfn, MemAccessResult* result);
+
+  FrameAllocator* allocator_;
+  std::vector<Pte> ptes_;
+  uint32_t private_pages_ = 0;
+  uint32_t shared_pages_ = 0;
+  mutable AddressSpaceStats stats_;  // mutable: reads are logically const
+};
+
+}  // namespace potemkin
+
+#endif  // SRC_HV_ADDRESS_SPACE_H_

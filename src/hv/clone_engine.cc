@@ -1,0 +1,119 @@
+#include "src/hv/clone_engine.h"
+
+#include "src/base/log.h"
+
+namespace potemkin {
+
+CloneEngine::CloneEngine(EventLoop* loop, PhysicalHost* host,
+                         const CloneEngineConfig& config)
+    : loop_(loop), host_(host), config_(config) {
+  PK_CHECK(config_.control_plane_workers >= 1);
+}
+
+void CloneEngine::RequestClone(ImageId image, const std::string& vm_name,
+                               Ipv4Address ip, MacAddress mac, CloneCallback callback) {
+  Job job;
+  job.image = image;
+  job.vm_name = vm_name;
+  job.ip = ip;
+  job.mac = mac;
+  job.callback = std::move(callback);
+  job.requested = loop_->Now();
+  queue_.push_back(std::move(job));
+  MaybeStartWork();
+}
+
+void CloneEngine::RequestDestroy(VmId vm, std::function<void()> callback) {
+  Job job;
+  job.is_destroy = true;
+  job.victim = vm;
+  job.destroy_callback = std::move(callback);
+  job.requested = loop_->Now();
+  queue_.push_back(std::move(job));
+  MaybeStartWork();
+}
+
+void CloneEngine::MaybeStartWork() {
+  while (busy_workers_ < config_.control_plane_workers && !queue_.empty()) {
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    ++busy_workers_;
+    if (job.is_destroy) {
+      ExecuteDestroy(std::move(job));
+    } else {
+      ExecuteClone(std::move(job));
+    }
+  }
+}
+
+void CloneEngine::ExecuteClone(Job job) {
+  CloneTiming timing;
+  timing.requested = job.requested;
+  timing.started = loop_->Now();
+
+  const ReferenceImage* image = host_->image(job.image);
+  if (image == nullptr) {
+    timing.finished = loop_->Now();
+    if (job.callback) {
+      job.callback(nullptr, timing);
+    }
+    ++clones_failed_;
+    FinishWorker();
+    return;
+  }
+  const uint32_t pages = image->num_pages();
+
+  // Charge the control-plane phases.
+  Duration elapsed = Duration::Zero();
+  for (int p = 0; p < static_cast<int>(ClonePhase::kNumPhases); ++p) {
+    const Duration cost = config_.latency.PhaseCost(static_cast<ClonePhase>(p), pages);
+    timing.phase[static_cast<size_t>(p)] = cost;
+    elapsed += cost;
+  }
+  if (config_.kind == CloneKind::kFullCopy || config_.kind == CloneKind::kColdBoot) {
+    timing.memory_copy = config_.latency.full_copy_per_page * static_cast<double>(pages);
+    elapsed += timing.memory_copy;
+  }
+  if (config_.kind == CloneKind::kColdBoot) {
+    timing.boot = config_.latency.cold_boot;
+    elapsed += timing.boot;
+  }
+
+  loop_->ScheduleAfter(elapsed, [this, job = std::move(job), timing]() mutable {
+    timing.finished = loop_->Now();
+    VirtualMachine* vm = host_->CreateClone(job.image, config_.kind, job.vm_name);
+    if (vm != nullptr) {
+      vm->BindAddress(job.ip, job.mac);
+      vm->set_state(VmState::kRunning);
+      vm->set_created_at(timing.finished);
+      vm->set_last_activity(timing.finished);
+      ++clones_completed_;
+      latency_hist_.Record(timing.Total().millis_f());
+      queue_wait_hist_.Record(timing.QueueWait().millis_f());
+    } else {
+      ++clones_failed_;
+    }
+    if (job.callback) {
+      job.callback(vm, timing);
+    }
+    FinishWorker();
+  });
+}
+
+void CloneEngine::ExecuteDestroy(Job job) {
+  loop_->ScheduleAfter(config_.latency.domain_destroy, [this, job = std::move(job)]() {
+    host_->DestroyVm(job.victim);
+    if (job.destroy_callback) {
+      job.destroy_callback();
+    }
+    FinishWorker();
+  });
+}
+
+void CloneEngine::FinishWorker() {
+  PK_CHECK(busy_workers_ > 0);
+  --busy_workers_;
+  MaybeStartWork();
+}
+
+}  // namespace potemkin

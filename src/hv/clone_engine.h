@@ -1,0 +1,98 @@
+// The flash-clone engine: schedules VM creation/destruction through a host's
+// control plane over virtual time, charging the calibrated per-phase latencies.
+//
+// The paper's prototype funneled all clone operations through one `xend` control
+// plane per host, serializing them; the engine models that with a configurable
+// number of control-plane workers (1 = the paper's prototype, >1 = the projected
+// parallel control plane), which is what the clone-concurrency experiment (F6)
+// sweeps.
+#ifndef SRC_HV_CLONE_ENGINE_H_
+#define SRC_HV_CLONE_ENGINE_H_
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "src/base/event_loop.h"
+#include "src/base/stats.h"
+#include "src/hv/physical_host.h"
+
+namespace potemkin {
+
+struct CloneTiming {
+  TimePoint requested;
+  TimePoint started;
+  TimePoint finished;
+  std::array<Duration, static_cast<size_t>(ClonePhase::kNumPhases)> phase;
+  Duration memory_copy;  // nonzero only for full-copy / cold-boot kinds
+  Duration boot;         // nonzero only for cold boot
+  Duration QueueWait() const { return started - requested; }
+  Duration Total() const { return finished - started; }
+};
+
+// Completion callback: vm is nullptr if the clone failed admission or ran out of
+// memory mid-copy.
+using CloneCallback = std::function<void(VirtualMachine* vm, const CloneTiming&)>;
+
+struct CloneEngineConfig {
+  CloneLatencyModel latency;
+  CloneKind kind = CloneKind::kFlash;
+  int control_plane_workers = 1;
+};
+
+class CloneEngine {
+ public:
+  CloneEngine(EventLoop* loop, PhysicalHost* host, const CloneEngineConfig& config);
+
+  // Enqueues a clone. The callback fires (in virtual time) when the clone engine
+  // finishes; on success the VM is in kRunning state with `ip`/`mac` bound.
+  void RequestClone(ImageId image, const std::string& vm_name, Ipv4Address ip,
+                    MacAddress mac, CloneCallback callback);
+
+  // Enqueues a teardown through the control plane.
+  void RequestDestroy(VmId vm, std::function<void()> callback = nullptr);
+
+  PhysicalHost* host() { return host_; }
+  const CloneEngineConfig& config() const { return config_; }
+
+  size_t queue_depth() const { return queue_.size(); }
+  uint64_t clones_completed() const { return clones_completed_; }
+  uint64_t clones_failed() const { return clones_failed_; }
+  const Histogram& latency_histogram() const { return latency_hist_; }
+  const Histogram& queue_wait_histogram() const { return queue_wait_hist_; }
+
+ private:
+  struct Job {
+    bool is_destroy = false;
+    // Clone fields:
+    ImageId image = 0;
+    std::string vm_name;
+    Ipv4Address ip;
+    MacAddress mac;
+    CloneCallback callback;
+    // Destroy fields:
+    VmId victim = kInvalidVm;
+    std::function<void()> destroy_callback;
+    TimePoint requested;
+  };
+
+  void MaybeStartWork();
+  void ExecuteClone(Job job);
+  void ExecuteDestroy(Job job);
+  void FinishWorker();
+
+  EventLoop* loop_;
+  PhysicalHost* host_;
+  CloneEngineConfig config_;
+  std::deque<Job> queue_;
+  int busy_workers_ = 0;
+  uint64_t clones_completed_ = 0;
+  uint64_t clones_failed_ = 0;
+  Histogram latency_hist_;     // clone start->finish, milliseconds
+  Histogram queue_wait_hist_;  // request->start, milliseconds
+};
+
+}  // namespace potemkin
+
+#endif  // SRC_HV_CLONE_ENGINE_H_

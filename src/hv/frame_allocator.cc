@@ -1,0 +1,99 @@
+#include "src/hv/frame_allocator.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/log.h"
+
+namespace potemkin {
+
+FrameAllocator::FrameAllocator(uint64_t capacity_frames, ContentMode mode)
+    : mode_(mode), capacity_frames_(capacity_frames) {}
+
+FrameId FrameAllocator::AllocateZeroed() {
+  if (used_frames_ >= capacity_frames_) {
+    return kInvalidFrame;
+  }
+  FrameId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    id = static_cast<FrameId>(frames_.size());
+    frames_.emplace_back();
+  }
+  Frame& frame = frames_[id];
+  frame.refcount = 1;
+  frame.data.reset();  // zero-fill-on-demand
+  ++used_frames_;
+  ++total_allocations_;
+  peak_used_frames_ = std::max(peak_used_frames_, used_frames_);
+  return id;
+}
+
+FrameId FrameAllocator::CloneFrame(FrameId src) {
+  PK_CHECK(src < frames_.size() && frames_[src].refcount > 0) << "clone of dead frame";
+  const FrameId id = AllocateZeroed();
+  if (id == kInvalidFrame) {
+    return kInvalidFrame;
+  }
+  ++total_copies_;
+  if (mode_ == ContentMode::kStoreBytes && frames_[src].data != nullptr) {
+    Frame& dst = frames_[id];
+    dst.data = std::make_unique<uint8_t[]>(kPageSize);
+    std::memcpy(dst.data.get(), frames_[src].data.get(), kPageSize);
+  }
+  return id;
+}
+
+void FrameAllocator::Ref(FrameId frame) {
+  PK_CHECK(frame < frames_.size() && frames_[frame].refcount > 0) << "ref dead frame";
+  ++frames_[frame].refcount;
+}
+
+void FrameAllocator::Unref(FrameId frame) {
+  PK_CHECK(frame < frames_.size() && frames_[frame].refcount > 0) << "unref dead frame";
+  if (--frames_[frame].refcount == 0) {
+    frames_[frame].data.reset();
+    free_list_.push_back(frame);
+    PK_CHECK(used_frames_ > 0);
+    --used_frames_;
+  }
+}
+
+uint32_t FrameAllocator::RefCount(FrameId frame) const {
+  PK_CHECK(frame < frames_.size()) << "refcount of unknown frame";
+  return frames_[frame].refcount;
+}
+
+uint8_t* FrameAllocator::MaterializeData(Frame& frame) {
+  if (frame.data == nullptr) {
+    frame.data = std::make_unique<uint8_t[]>(kPageSize);
+    std::memset(frame.data.get(), 0, kPageSize);
+  }
+  return frame.data.get();
+}
+
+void FrameAllocator::Write(FrameId frame, size_t offset,
+                           std::span<const uint8_t> bytes) {
+  PK_CHECK(frame < frames_.size() && frames_[frame].refcount > 0) << "write dead frame";
+  PK_CHECK(offset + bytes.size() <= kPageSize) << "write past page end";
+  if (mode_ == ContentMode::kMetadataOnly) {
+    return;
+  }
+  uint8_t* data = MaterializeData(frames_[frame]);
+  std::memcpy(data + offset, bytes.data(), bytes.size());
+}
+
+void FrameAllocator::Read(FrameId frame, size_t offset, std::span<uint8_t> out) const {
+  PK_CHECK(frame < frames_.size() && frames_[frame].refcount > 0) << "read dead frame";
+  PK_CHECK(offset + out.size() <= kPageSize) << "read past page end";
+  const Frame& f = frames_[frame];
+  if (mode_ == ContentMode::kMetadataOnly || f.data == nullptr) {
+    std::memset(out.data(), 0, out.size());
+    return;
+  }
+  std::memcpy(out.data(), f.data.get() + offset, out.size());
+}
+
+}  // namespace potemkin

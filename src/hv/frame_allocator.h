@@ -1,0 +1,82 @@
+// Machine-frame allocator with reference counting.
+//
+// This is the substrate for delta virtualization: a frame mapped copy-on-write into
+// many VMs has a refcount equal to the number of mappings, and the host's *used
+// frame count* — the quantity delta virtualization minimizes — is exactly the number
+// of live frames here. Frame contents can be stored for real (tests, fidelity
+// checks) or tracked as metadata only (large-scale benchmarks), selected per host;
+// all byte access goes through this class so callers are oblivious to the mode.
+#ifndef SRC_HV_FRAME_ALLOCATOR_H_
+#define SRC_HV_FRAME_ALLOCATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/hv/types.h"
+
+namespace potemkin {
+
+enum class ContentMode {
+  kStoreBytes,    // frames carry real 4 KiB buffers; reads/writes touch real memory
+  kMetadataOnly,  // frames are accounting entries only (for very large farms)
+};
+
+class FrameAllocator {
+ public:
+  // `capacity_frames` models the host's physical memory size.
+  FrameAllocator(uint64_t capacity_frames, ContentMode mode);
+
+  ContentMode mode() const { return mode_; }
+
+  // Allocates a zero-filled frame with refcount 1. Returns kInvalidFrame when the
+  // host is out of memory (admission control surfaces this to the clone engine).
+  FrameId AllocateZeroed();
+
+  // Allocates a new frame whose contents are copied from `src` (the copy-on-write
+  // break path). Returns kInvalidFrame when out of memory.
+  FrameId CloneFrame(FrameId src);
+
+  void Ref(FrameId frame);
+  // Drops a reference; frees the frame when the count reaches zero.
+  void Unref(FrameId frame);
+  uint32_t RefCount(FrameId frame) const;
+
+  // Byte access. In kMetadataOnly mode writes are accounted but discarded and reads
+  // produce zeros.
+  void Write(FrameId frame, size_t offset, std::span<const uint8_t> bytes);
+  void Read(FrameId frame, size_t offset, std::span<uint8_t> out) const;
+
+  uint64_t capacity_frames() const { return capacity_frames_; }
+  uint64_t used_frames() const { return used_frames_; }
+  uint64_t free_frames() const { return capacity_frames_ - used_frames_; }
+  uint64_t peak_used_frames() const { return peak_used_frames_; }
+  uint64_t total_allocations() const { return total_allocations_; }
+  uint64_t total_copies() const { return total_copies_; }
+  uint64_t used_bytes() const { return used_frames_ * kPageSize; }
+
+  // True if at least `frames` more frames can be allocated.
+  bool CanAllocate(uint64_t frames) const { return free_frames() >= frames; }
+
+ private:
+  struct Frame {
+    uint32_t refcount = 0;
+    std::unique_ptr<uint8_t[]> data;  // null until first write in kStoreBytes mode
+  };
+
+  uint8_t* MaterializeData(Frame& frame);
+
+  ContentMode mode_;
+  uint64_t capacity_frames_;
+  uint64_t used_frames_ = 0;
+  uint64_t peak_used_frames_ = 0;
+  uint64_t total_allocations_ = 0;
+  uint64_t total_copies_ = 0;
+  std::vector<Frame> frames_;
+  std::vector<FrameId> free_list_;
+};
+
+}  // namespace potemkin
+
+#endif  // SRC_HV_FRAME_ALLOCATOR_H_

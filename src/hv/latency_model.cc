@@ -1,0 +1,71 @@
+#include "src/hv/latency_model.h"
+
+namespace potemkin {
+
+const char* ClonePhaseName(ClonePhase phase) {
+  switch (phase) {
+    case ClonePhase::kControlPlaneRpc:
+      return "control-plane RPC";
+    case ClonePhase::kDomainCreate:
+      return "domain create";
+    case ClonePhase::kMemoryMapSetup:
+      return "CoW memory map";
+    case ClonePhase::kDeviceAttach:
+      return "device attach";
+    case ClonePhase::kNetworkConfig:
+      return "network config";
+    case ClonePhase::kGuestResume:
+      return "guest resume";
+    case ClonePhase::kNumPhases:
+      break;
+  }
+  return "?";
+}
+
+Duration CloneLatencyModel::PhaseCost(ClonePhase phase, uint32_t image_pages) const {
+  switch (phase) {
+    case ClonePhase::kControlPlaneRpc:
+      return control_plane_rpc;
+    case ClonePhase::kDomainCreate:
+      return domain_create;
+    case ClonePhase::kMemoryMapSetup:
+      return memory_map_fixed + memory_map_per_page * static_cast<double>(image_pages);
+    case ClonePhase::kDeviceAttach:
+      return device_attach;
+    case ClonePhase::kNetworkConfig:
+      return network_config;
+    case ClonePhase::kGuestResume:
+      return guest_resume;
+    case ClonePhase::kNumPhases:
+      break;
+  }
+  return Duration::Zero();
+}
+
+Duration CloneLatencyModel::FlashCloneTotal(uint32_t image_pages) const {
+  Duration total;
+  for (int p = 0; p < static_cast<int>(ClonePhase::kNumPhases); ++p) {
+    total += PhaseCost(static_cast<ClonePhase>(p), image_pages);
+  }
+  return total;
+}
+
+Duration CloneLatencyModel::FullCopyTotal(uint32_t image_pages) const {
+  return FlashCloneTotal(image_pages) +
+         full_copy_per_page * static_cast<double>(image_pages);
+}
+
+CloneLatencyModel CloneLatencyModel::Optimized() {
+  CloneLatencyModel m;
+  m.control_plane_rpc = Duration::Millis(1);
+  m.domain_create = Duration::Millis(9);
+  m.memory_map_fixed = Duration::Millis(2);
+  m.memory_map_per_page = Duration::Nanos(900);
+  m.device_attach = Duration::Millis(12);
+  m.network_config = Duration::Millis(8);
+  m.guest_resume = Duration::Millis(3);
+  m.domain_destroy = Duration::Millis(5);
+  return m;
+}
+
+}  // namespace potemkin

@@ -1,0 +1,90 @@
+#include "src/hv/page_dedup.h"
+
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "src/hv/address_space.h"
+
+namespace potemkin {
+
+namespace {
+
+uint64_t HashPage(const uint8_t* data) {
+  // FNV-1a over 64-bit lanes; fast and adequate since equality is re-verified.
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i < kPageSize; i += 8) {
+    uint64_t lane;
+    std::memcpy(&lane, data + i, 8);
+    h = (h ^ lane) * 1099511628211ull;
+  }
+  return h;
+}
+
+struct PrivatePageRef {
+  VirtualMachine* vm = nullptr;
+  Gpfn gpfn = 0;
+  FrameId frame = kInvalidFrame;
+};
+
+}  // namespace
+
+DedupResult DeduplicatePages(PhysicalHost& host) {
+  DedupResult result;
+  FrameAllocator& allocator = host.allocator();
+  if (allocator.mode() != ContentMode::kStoreBytes) {
+    return result;  // nothing to compare on accounting-only hosts
+  }
+
+  // Pass 1: collect and hash every private page.
+  std::unordered_map<uint64_t, std::vector<PrivatePageRef>> by_hash;
+  std::vector<uint8_t> buffer(kPageSize);
+  host.ForEachVm([&](VirtualMachine& vm) {
+    vm.memory().ForEachPrivatePage([&](Gpfn gpfn, FrameId frame) {
+      allocator.Read(frame, 0, std::span(buffer.data(), buffer.size()));
+      by_hash[HashPage(buffer.data())].push_back(PrivatePageRef{&vm, gpfn, frame});
+      ++result.pages_scanned;
+    });
+  });
+
+  // Pass 2: within each hash bucket, merge byte-identical pages onto the first
+  // (canonical) frame.
+  std::vector<uint8_t> canonical_bytes(kPageSize);
+  std::vector<uint8_t> candidate_bytes(kPageSize);
+  for (auto& [hash, refs] : by_hash) {
+    if (refs.size() < 2) {
+      continue;
+    }
+    // The canonical frame must survive its owner's conversion to CoW, so pin it.
+    const PrivatePageRef canonical = refs[0];
+    allocator.Read(canonical.frame, 0,
+                   std::span(canonical_bytes.data(), canonical_bytes.size()));
+    bool canonical_converted = false;
+    allocator.Ref(canonical.frame);
+    for (size_t i = 1; i < refs.size(); ++i) {
+      const PrivatePageRef& candidate = refs[i];
+      allocator.Read(candidate.frame, 0,
+                     std::span(candidate_bytes.data(), candidate_bytes.size()));
+      if (candidate_bytes != canonical_bytes) {
+        ++result.hash_collisions;
+        continue;
+      }
+      if (!canonical_converted) {
+        // Flip the canonical owner's mapping to read-only CoW first, so its
+        // future writes cannot mutate pages now shared with others.
+        canonical.vm->memory().ConvertPrivateToSharedCow(canonical.gpfn,
+                                                         canonical.frame);
+        canonical_converted = true;
+      }
+      candidate.vm->memory().ConvertPrivateToSharedCow(candidate.gpfn,
+                                                       canonical.frame);
+      ++result.pages_merged;
+      ++result.frames_freed;
+    }
+    allocator.Unref(canonical.frame);
+  }
+  result.bytes_saved = result.frames_freed * kPageSize;
+  return result;
+}
+
+}  // namespace potemkin

@@ -1,0 +1,36 @@
+// Content-based page deduplication across a host's VMs.
+//
+// Delta virtualization shares pages that clones *never wrote*; the paper points
+// out (as future work) that clones frequently write identical content — zeroed
+// buffers, identical kernel structures — which content-based sharing can merge
+// back, further raising VM density. This pass scans every private page on a host,
+// groups by content hash, verifies byte equality, and rewrites duplicates as
+// copy-on-write shares of one canonical frame. Safe by construction: all merged
+// mappings become read-only CoW, so a later write simply re-privatizes the page.
+//
+// Requires a kStoreBytes host (real contents); on metadata-only hosts it is a
+// no-op, since there are no bytes to compare.
+#ifndef SRC_HV_PAGE_DEDUP_H_
+#define SRC_HV_PAGE_DEDUP_H_
+
+#include <cstdint>
+
+#include "src/hv/physical_host.h"
+
+namespace potemkin {
+
+struct DedupResult {
+  uint64_t pages_scanned = 0;
+  uint64_t pages_merged = 0;   // private mappings rewritten to CoW shares
+  uint64_t frames_freed = 0;   // machine frames released by merging
+  uint64_t bytes_saved = 0;
+  uint64_t hash_collisions = 0;  // equal hash, different bytes (kept separate)
+};
+
+// One full deduplication pass over `host`. Idempotent: a second immediate pass
+// merges nothing.
+DedupResult DeduplicatePages(PhysicalHost& host);
+
+}  // namespace potemkin
+
+#endif  // SRC_HV_PAGE_DEDUP_H_

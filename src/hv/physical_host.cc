@@ -1,0 +1,147 @@
+#include "src/hv/physical_host.h"
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+
+namespace potemkin {
+
+namespace {
+// VM ids are globally unique across hosts (the gateway, worm runtimes and
+// telemetry key state by VmId farm-wide).
+VmId g_next_vm_id = 1;
+}  // namespace
+
+const char* CloneKindName(CloneKind kind) {
+  switch (kind) {
+    case CloneKind::kFlash:
+      return "flash";
+    case CloneKind::kFullCopy:
+      return "full-copy";
+    case CloneKind::kColdBoot:
+      return "cold-boot";
+  }
+  return "?";
+}
+
+PhysicalHost::PhysicalHost(const PhysicalHostConfig& config)
+    : config_(config),
+      allocator_(config.memory_mb * (1 << 20) / kPageSize, config.content_mode) {}
+
+ImageId PhysicalHost::RegisterImage(const ReferenceImageConfig& config,
+                                    uint64_t disk_blocks) {
+  auto image = std::make_unique<ReferenceImage>(&allocator_, config);
+  PK_CHECK(image->ok()) << "host " << config_.name << " cannot boot reference image";
+  images_.push_back(std::move(image));
+  disks_.push_back(std::make_unique<ReferenceDisk>(disk_blocks, config.content_seed));
+  return static_cast<ImageId>(images_.size() - 1);
+}
+
+const ReferenceImage* PhysicalHost::image(ImageId id) const {
+  return id < images_.size() ? images_[id].get() : nullptr;
+}
+
+bool PhysicalHost::CanAdmit(ImageId image_id, CloneKind kind) const {
+  if (image_id >= images_.size()) {
+    return false;
+  }
+  uint64_t needed = config_.domain_overhead_frames + config_.admission_reserve_frames;
+  if (kind != CloneKind::kFlash) {
+    needed += images_[image_id]->num_pages();
+  }
+  return allocator_.CanAllocate(needed);
+}
+
+VirtualMachine* PhysicalHost::CreateClone(ImageId image_id, CloneKind kind,
+                                          const std::string& name) {
+  if (!CanAdmit(image_id, kind)) {
+    ++total_failures_;
+    return nullptr;
+  }
+  const ReferenceImage& img = *images_[image_id];
+  const ReferenceDisk* disk = disks_[image_id].get();
+
+  VmRecord record;
+  record.image = image_id;
+  const VmId id = g_next_vm_id++;
+  record.vm = std::make_unique<VirtualMachine>(id, name, &allocator_, img.num_pages(),
+                                               disk);
+
+  // Fixed domain overhead.
+  record.overhead_frames.reserve(config_.domain_overhead_frames);
+  for (uint64_t i = 0; i < config_.domain_overhead_frames; ++i) {
+    const FrameId frame = allocator_.AllocateZeroed();
+    if (frame == kInvalidFrame) {
+      for (FrameId f : record.overhead_frames) {
+        allocator_.Unref(f);
+      }
+      ++total_failures_;
+      return nullptr;
+    }
+    record.overhead_frames.push_back(frame);
+  }
+
+  AddressSpace& mem = record.vm->memory();
+  bool oom = false;
+  for (Gpfn gpfn = 0; gpfn < img.num_pages() && !oom; ++gpfn) {
+    const FrameId src = img.FrameForPage(gpfn);
+    switch (kind) {
+      case CloneKind::kFlash:
+        mem.MapSharedCow(gpfn, src);
+        break;
+      case CloneKind::kFullCopy:
+      case CloneKind::kColdBoot: {
+        const FrameId copy = allocator_.CloneFrame(src);
+        if (copy == kInvalidFrame) {
+          oom = true;
+          break;
+        }
+        mem.MapPrivateOwned(gpfn, copy);
+        break;
+      }
+    }
+  }
+  if (oom) {
+    mem.ReleaseAll();
+    for (FrameId f : record.overhead_frames) {
+      allocator_.Unref(f);
+    }
+    ++total_failures_;
+    return nullptr;
+  }
+
+  VirtualMachine* vm = record.vm.get();
+  vms_.emplace(id, std::move(record));
+  ++total_created_;
+  peak_live_vms_ = std::max<uint64_t>(peak_live_vms_, vms_.size());
+  return vm;
+}
+
+bool PhysicalHost::DestroyVm(VmId id) {
+  auto it = vms_.find(id);
+  if (it == vms_.end()) {
+    return false;
+  }
+  it->second.vm->set_state(VmState::kRetired);
+  it->second.vm->memory().ReleaseAll();
+  for (FrameId f : it->second.overhead_frames) {
+    allocator_.Unref(f);
+  }
+  vms_.erase(it);
+  ++total_destroyed_;
+  return true;
+}
+
+VirtualMachine* PhysicalHost::FindVm(VmId id) {
+  auto it = vms_.find(id);
+  return it == vms_.end() ? nullptr : it->second.vm.get();
+}
+
+uint64_t PhysicalHost::TotalPrivatePages() const {
+  uint64_t total = 0;
+  for (const auto& [id, record] : vms_) {
+    total += record.vm->memory().private_pages();
+  }
+  return total;
+}
+
+}  // namespace potemkin

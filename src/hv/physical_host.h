@@ -1,0 +1,106 @@
+// A physical honeyfarm server: machine memory, registered reference images, and
+// the mechanics of creating VMs from them (flash clone with CoW sharing, full-copy
+// clone, cold boot). Timing/scheduling of these operations lives in
+// src/hv/clone_engine.h; this class is the instantaneous state manipulation.
+#ifndef SRC_HV_PHYSICAL_HOST_H_
+#define SRC_HV_PHYSICAL_HOST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/hv/cow_disk.h"
+#include "src/hv/frame_allocator.h"
+#include "src/hv/latency_model.h"
+#include "src/hv/reference_image.h"
+#include "src/hv/types.h"
+#include "src/hv/vm.h"
+
+namespace potemkin {
+
+enum class CloneKind {
+  kFlash,     // delta virtualization: CoW-map the image (the paper's design)
+  kFullCopy,  // copy every image page (baseline)
+  kColdBoot,  // boot from scratch (baseline; costs full pages and boot time)
+};
+
+const char* CloneKindName(CloneKind kind);
+
+struct PhysicalHostConfig {
+  HostId id = 0;
+  std::string name = "host0";
+  uint64_t memory_mb = 2048;
+  ContentMode content_mode = ContentMode::kStoreBytes;
+  // Fixed per-domain overhead charged against host memory (descriptor, vcpu and
+  // shadow state), in frames. 256 frames = 1 MiB.
+  uint64_t domain_overhead_frames = 256;
+  // Admission control: refuse new clones when free memory would drop below this
+  // many frames (headroom for existing VMs' future CoW deltas).
+  uint64_t admission_reserve_frames = 1024;
+};
+
+class PhysicalHost {
+ public:
+  explicit PhysicalHost(const PhysicalHostConfig& config);
+
+  HostId id() const { return config_.id; }
+  const std::string& name() const { return config_.name; }
+  FrameAllocator& allocator() { return allocator_; }
+  const FrameAllocator& allocator() const { return allocator_; }
+
+  // Boots a reference image (and its reference disk) on this host.
+  ImageId RegisterImage(const ReferenceImageConfig& config, uint64_t disk_blocks = 1024);
+  const ReferenceImage* image(ImageId id) const;
+  size_t image_count() const { return images_.size(); }
+
+  // True if a clone of `image` with kind `kind` passes admission control.
+  bool CanAdmit(ImageId image, CloneKind kind) const;
+
+  // Creates a VM from the image. Returns nullptr on failure (admission/OOM), in
+  // which case all partial state is rolled back. The VM starts in kCloning.
+  VirtualMachine* CreateClone(ImageId image, CloneKind kind, const std::string& name);
+
+  // Tears a VM down and releases all of its frames.
+  bool DestroyVm(VmId id);
+
+  VirtualMachine* FindVm(VmId id);
+  size_t live_vm_count() const { return vms_.size(); }
+  uint64_t peak_live_vms() const { return peak_live_vms_; }
+  uint64_t total_clones_created() const { return total_created_; }
+  uint64_t total_clone_failures() const { return total_failures_; }
+  uint64_t total_destroyed() const { return total_destroyed_; }
+
+  // Aggregate private (delta) pages across live VMs.
+  uint64_t TotalPrivatePages() const;
+
+  // Iteration support for telemetry.
+  template <typename Fn>
+  void ForEachVm(Fn&& fn) {
+    for (auto& [id, record] : vms_) {
+      fn(*record.vm);
+    }
+  }
+
+ private:
+  struct VmRecord {
+    std::unique_ptr<VirtualMachine> vm;
+    std::vector<FrameId> overhead_frames;
+    ImageId image = 0;
+  };
+
+  PhysicalHostConfig config_;
+  FrameAllocator allocator_;
+  std::vector<std::unique_ptr<ReferenceImage>> images_;
+  std::vector<std::unique_ptr<ReferenceDisk>> disks_;
+  std::unordered_map<VmId, VmRecord> vms_;
+  uint64_t peak_live_vms_ = 0;
+  uint64_t total_created_ = 0;
+  uint64_t total_failures_ = 0;
+  uint64_t total_destroyed_ = 0;
+};
+
+}  // namespace potemkin
+
+#endif  // SRC_HV_PHYSICAL_HOST_H_

@@ -1,0 +1,78 @@
+#include "src/hv/reference_image.h"
+
+#include "src/base/log.h"
+#include "src/base/rng.h"
+
+namespace potemkin {
+
+namespace {
+
+// Deterministically decides whether a page is a zero page and, if not, generates
+// its contents from (seed, gpfn).
+bool IsZeroPage(const ReferenceImageConfig& config, Gpfn gpfn) {
+  Rng rng(config.content_seed ^ (static_cast<uint64_t>(gpfn) * 0x9e3779b97f4a7c15ull));
+  return rng.NextDouble() < config.zero_page_fraction;
+}
+
+}  // namespace
+
+std::vector<uint8_t> ReferenceImage::ExpectedPageContent(
+    const ReferenceImageConfig& config, Gpfn gpfn) {
+  std::vector<uint8_t> page(kPageSize, 0);
+  if (IsZeroPage(config, gpfn)) {
+    return page;
+  }
+  Rng rng(config.content_seed * 0xd1342543de82ef95ull + gpfn);
+  // Code-like pages (repetitive) vs data-like pages (high entropy), half and half.
+  if (gpfn % 2 == 0) {
+    const uint8_t pattern = static_cast<uint8_t>(rng.NextU64());
+    for (size_t i = 0; i < kPageSize; ++i) {
+      page[i] = static_cast<uint8_t>(pattern + (i % 64));
+    }
+  } else {
+    for (size_t i = 0; i < kPageSize; i += 8) {
+      const uint64_t word = rng.NextU64();
+      for (size_t j = 0; j < 8 && i + j < kPageSize; ++j) {
+        page[i + j] = static_cast<uint8_t>(word >> (8 * j));
+      }
+    }
+  }
+  return page;
+}
+
+ReferenceImage::ReferenceImage(FrameAllocator* allocator,
+                               const ReferenceImageConfig& config)
+    : allocator_(allocator), config_(config) {
+  frames_.reserve(config_.num_pages);
+  for (Gpfn gpfn = 0; gpfn < config_.num_pages; ++gpfn) {
+    const FrameId frame = allocator_->AllocateZeroed();
+    if (frame == kInvalidFrame) {
+      PK_ERROR << "host out of memory while booting reference image " << config_.name
+               << " at page " << gpfn << "/" << config_.num_pages;
+      for (FrameId f : frames_) {
+        allocator_->Unref(f);
+      }
+      frames_.clear();
+      return;
+    }
+    if (allocator_->mode() == ContentMode::kStoreBytes && !IsZeroPage(config_, gpfn)) {
+      const auto content = ExpectedPageContent(config_, gpfn);
+      allocator_->Write(frame, 0, std::span(content.data(), content.size()));
+    }
+    frames_.push_back(frame);
+  }
+  ok_ = true;
+}
+
+ReferenceImage::~ReferenceImage() {
+  for (FrameId frame : frames_) {
+    allocator_->Unref(frame);
+  }
+}
+
+FrameId ReferenceImage::FrameForPage(Gpfn gpfn) const {
+  PK_CHECK(gpfn < frames_.size()) << "image page out of range";
+  return frames_[gpfn];
+}
+
+}  // namespace potemkin

@@ -1,0 +1,32 @@
+// Common identifier types for the simulated hypervisor substrate.
+#ifndef SRC_HV_TYPES_H_
+#define SRC_HV_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace potemkin {
+
+// Machine page size. Matches x86 4 KiB pages, as in the paper's Xen substrate.
+inline constexpr size_t kPageSize = 4096;
+
+// Index of a machine frame within a host's frame allocator.
+using FrameId = uint32_t;
+inline constexpr FrameId kInvalidFrame = static_cast<FrameId>(-1);
+
+// Guest pseudo-physical frame number.
+using Gpfn = uint32_t;
+
+// Globally unique VM (domain) identifier.
+using VmId = uint64_t;
+inline constexpr VmId kInvalidVm = 0;
+
+// Identifier of a physical host in the farm.
+using HostId = uint32_t;
+
+// Identifier of a reference image registered on a host.
+using ImageId = uint32_t;
+
+}  // namespace potemkin
+
+#endif  // SRC_HV_TYPES_H_

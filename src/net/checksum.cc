@@ -1,0 +1,47 @@
+#include "src/net/checksum.h"
+
+namespace potemkin {
+
+void InternetChecksum::Add(const uint8_t* data, size_t length) {
+  size_t i = 0;
+  if (odd_ && length > 0) {
+    // Complete the pending odd byte: it occupied the high half of a 16-bit word.
+    sum_ += data[0];
+    odd_ = false;
+    i = 1;
+  }
+  for (; i + 1 < length; i += 2) {
+    sum_ += (static_cast<uint16_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < length) {
+    sum_ += static_cast<uint16_t>(data[i]) << 8;
+    odd_ = true;
+  }
+}
+
+void InternetChecksum::AddU16(uint16_t value_host_order) {
+  const uint8_t bytes[2] = {static_cast<uint8_t>(value_host_order >> 8),
+                            static_cast<uint8_t>(value_host_order)};
+  Add(bytes, 2);
+}
+
+void InternetChecksum::AddU32(uint32_t value_host_order) {
+  AddU16(static_cast<uint16_t>(value_host_order >> 16));
+  AddU16(static_cast<uint16_t>(value_host_order));
+}
+
+uint16_t InternetChecksum::Finish() const {
+  uint64_t folded = sum_;
+  while (folded >> 16) {
+    folded = (folded & 0xffff) + (folded >> 16);
+  }
+  return static_cast<uint16_t>(~folded & 0xffff);
+}
+
+uint16_t ComputeInternetChecksum(const uint8_t* data, size_t length) {
+  InternetChecksum sum;
+  sum.Add(data, length);
+  return sum.Finish();
+}
+
+}  // namespace potemkin

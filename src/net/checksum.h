@@ -1,0 +1,30 @@
+// RFC 1071 Internet checksum, used for IPv4 header, TCP, UDP and ICMP checksums.
+#ifndef SRC_NET_CHECKSUM_H_
+#define SRC_NET_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace potemkin {
+
+// Running ones-complement sum; finalize with `Fold` then complement.
+class InternetChecksum {
+ public:
+  void Add(const uint8_t* data, size_t length);
+  void AddU16(uint16_t value_host_order);
+  void AddU32(uint32_t value_host_order);
+
+  // Final checksum in host order (caller writes it big-endian into the packet).
+  uint16_t Finish() const;
+
+ private:
+  uint64_t sum_ = 0;
+  bool odd_ = false;  // true if an odd byte is pending in the high half.
+};
+
+// One-shot convenience over a contiguous buffer.
+uint16_t ComputeInternetChecksum(const uint8_t* data, size_t length);
+
+}  // namespace potemkin
+
+#endif  // SRC_NET_CHECKSUM_H_

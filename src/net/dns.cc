@@ -1,0 +1,202 @@
+#include "src/net/dns.h"
+
+#include "src/base/strings.h"
+
+namespace potemkin {
+
+namespace {
+
+void PutU16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  PutU16(out, static_cast<uint16_t>(v >> 16));
+  PutU16(out, static_cast<uint16_t>(v));
+}
+
+bool GetU16(const uint8_t* data, size_t length, size_t& pos, uint16_t* out) {
+  if (pos + 2 > length) {
+    return false;
+  }
+  *out = static_cast<uint16_t>((data[pos] << 8) | data[pos + 1]);
+  pos += 2;
+  return true;
+}
+
+void EncodeName(std::vector<uint8_t>& out, const std::string& name) {
+  for (const auto& label : StrSplit(name, '.')) {
+    if (label.empty() || label.size() > 63) {
+      continue;
+    }
+    out.push_back(static_cast<uint8_t>(label.size()));
+    out.insert(out.end(), label.begin(), label.end());
+  }
+  out.push_back(0);
+}
+
+// Decodes a (possibly compressed) name starting at `pos`; advances pos past the
+// name's encoding at its original location.
+bool DecodeName(const uint8_t* data, size_t length, size_t& pos, std::string* out) {
+  std::string name;
+  size_t cursor = pos;
+  bool jumped = false;
+  size_t jumps = 0;
+  while (true) {
+    if (cursor >= length || jumps > 16) {
+      return false;
+    }
+    const uint8_t len = data[cursor];
+    if ((len & 0xc0) == 0xc0) {
+      if (cursor + 2 > length) {
+        return false;
+      }
+      const size_t target = static_cast<size_t>((len & 0x3f) << 8) | data[cursor + 1];
+      if (!jumped) {
+        pos = cursor + 2;
+        jumped = true;
+      }
+      cursor = target;
+      ++jumps;
+      continue;
+    }
+    if (len == 0) {
+      if (!jumped) {
+        pos = cursor + 1;
+      }
+      break;
+    }
+    if (cursor + 1 + len > length) {
+      return false;
+    }
+    if (!name.empty()) {
+      name += '.';
+    }
+    name.append(reinterpret_cast<const char*>(data + cursor + 1), len);
+    cursor += 1 + len;
+  }
+  *out = std::move(name);
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeDnsQuery(const DnsQuery& query) {
+  std::vector<uint8_t> out;
+  PutU16(out, query.id);
+  PutU16(out, 0x0100);  // RD set
+  PutU16(out, 1);       // QDCOUNT
+  PutU16(out, 0);       // ANCOUNT
+  PutU16(out, 0);       // NSCOUNT
+  PutU16(out, 0);       // ARCOUNT
+  EncodeName(out, query.name);
+  PutU16(out, query.qtype);
+  PutU16(out, kDnsClassIn);
+  return out;
+}
+
+std::optional<DnsQuery> ParseDnsQuery(const uint8_t* data, size_t length) {
+  size_t pos = 0;
+  DnsQuery query;
+  uint16_t flags = 0;
+  uint16_t qdcount = 0;
+  uint16_t skip = 0;
+  if (!GetU16(data, length, pos, &query.id) || !GetU16(data, length, pos, &flags) ||
+      !GetU16(data, length, pos, &qdcount) || !GetU16(data, length, pos, &skip) ||
+      !GetU16(data, length, pos, &skip) || !GetU16(data, length, pos, &skip)) {
+    return std::nullopt;
+  }
+  if ((flags & 0x8000) != 0 || qdcount < 1) {
+    return std::nullopt;  // not a query
+  }
+  if (!DecodeName(data, length, pos, &query.name)) {
+    return std::nullopt;
+  }
+  uint16_t qclass = 0;
+  if (!GetU16(data, length, pos, &query.qtype) ||
+      !GetU16(data, length, pos, &qclass)) {
+    return std::nullopt;
+  }
+  return query;
+}
+
+std::vector<uint8_t> EncodeDnsResponse(const DnsResponse& response) {
+  std::vector<uint8_t> out;
+  PutU16(out, response.id);
+  PutU16(out, static_cast<uint16_t>(0x8180 | (response.rcode & 0x0f)));  // QR|RD|RA
+  PutU16(out, 1);  // QDCOUNT
+  PutU16(out, static_cast<uint16_t>(response.addresses.size()));
+  PutU16(out, 0);
+  PutU16(out, 0);
+  EncodeName(out, response.name);
+  PutU16(out, kDnsTypeA);
+  PutU16(out, kDnsClassIn);
+  for (const auto& addr : response.addresses) {
+    PutU16(out, 0xc00c);  // compression pointer to the question name
+    PutU16(out, kDnsTypeA);
+    PutU16(out, kDnsClassIn);
+    PutU32(out, 60);  // TTL
+    PutU16(out, 4);   // RDLENGTH
+    PutU32(out, addr.value());
+  }
+  return out;
+}
+
+std::optional<DnsResponse> ParseDnsResponse(const uint8_t* data, size_t length) {
+  size_t pos = 0;
+  DnsResponse response;
+  uint16_t flags = 0;
+  uint16_t qdcount = 0;
+  uint16_t ancount = 0;
+  uint16_t skip = 0;
+  if (!GetU16(data, length, pos, &response.id) || !GetU16(data, length, pos, &flags) ||
+      !GetU16(data, length, pos, &qdcount) || !GetU16(data, length, pos, &ancount) ||
+      !GetU16(data, length, pos, &skip) || !GetU16(data, length, pos, &skip)) {
+    return std::nullopt;
+  }
+  if ((flags & 0x8000) == 0) {
+    return std::nullopt;  // not a response
+  }
+  response.rcode = static_cast<uint8_t>(flags & 0x0f);
+  for (uint16_t q = 0; q < qdcount; ++q) {
+    std::string name;
+    if (!DecodeName(data, length, pos, &name)) {
+      return std::nullopt;
+    }
+    if (q == 0) {
+      response.name = name;
+    }
+    uint16_t qtype = 0;
+    uint16_t qclass = 0;
+    if (!GetU16(data, length, pos, &qtype) || !GetU16(data, length, pos, &qclass)) {
+      return std::nullopt;
+    }
+  }
+  for (uint16_t a = 0; a < ancount; ++a) {
+    std::string name;
+    if (!DecodeName(data, length, pos, &name)) {
+      return std::nullopt;
+    }
+    uint16_t rtype = 0;
+    uint16_t rclass = 0;
+    uint16_t rdlength = 0;
+    if (!GetU16(data, length, pos, &rtype) || !GetU16(data, length, pos, &rclass)) {
+      return std::nullopt;
+    }
+    pos += 4;  // TTL
+    if (!GetU16(data, length, pos, &rdlength) || pos + rdlength > length) {
+      return std::nullopt;
+    }
+    if (rtype == kDnsTypeA && rdlength == 4) {
+      const uint32_t v = (static_cast<uint32_t>(data[pos]) << 24) |
+                         (static_cast<uint32_t>(data[pos + 1]) << 16) |
+                         (static_cast<uint32_t>(data[pos + 2]) << 8) | data[pos + 3];
+      response.addresses.push_back(Ipv4Address(v));
+    }
+    pos += rdlength;
+  }
+  return response;
+}
+
+}  // namespace potemkin

@@ -1,0 +1,178 @@
+#include "src/net/flow.h"
+
+#include "src/base/strings.h"
+
+namespace potemkin {
+
+FlowKey FlowKey::FromView(const PacketView& view) {
+  return FlowKey{view.ip().src, view.ip().dst, view.ip().proto, view.src_port(),
+                 view.dst_port()};
+}
+
+FlowKey FlowKey::Reversed() const {
+  return FlowKey{dst, src, proto, dst_port, src_port};
+}
+
+std::string FlowKey::ToString() const {
+  return StrFormat("%s %s:%u>%s:%u", IpProtoName(proto), src.ToString().c_str(),
+                   src_port, dst.ToString().c_str(), dst_port);
+}
+
+size_t FlowKeyHash::operator()(const FlowKey& key) const noexcept {
+  uint64_t h = key.src.value();
+  h = h * 0x9e3779b97f4a7c15ull + key.dst.value();
+  h = h * 0x9e3779b97f4a7c15ull +
+      ((static_cast<uint64_t>(key.src_port) << 24) |
+       (static_cast<uint64_t>(key.dst_port) << 8) | static_cast<uint64_t>(key.proto));
+  h ^= h >> 29;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 32;
+  return static_cast<size_t>(h);
+}
+
+const char* TcpStateName(TcpState state) {
+  switch (state) {
+    case TcpState::kNone:
+      return "NONE";
+    case TcpState::kSynSent:
+      return "SYN_SENT";
+    case TcpState::kSynReceived:
+      return "SYN_RCVD";
+    case TcpState::kEstablished:
+      return "ESTABLISHED";
+    case TcpState::kClosing:
+      return "CLOSING";
+    case TcpState::kClosed:
+      return "CLOSED";
+  }
+  return "?";
+}
+
+FlowTable::FlowTable(Duration idle_timeout, size_t max_flows)
+    : idle_timeout_(idle_timeout), max_flows_(max_flows) {}
+
+void FlowTable::AdvanceTcpState(FlowRecord& record, const PacketView& view,
+                                bool is_forward) {
+  if (!view.is_tcp()) {
+    return;
+  }
+  const uint8_t flags = view.tcp().flags;
+  if (flags & TcpFlags::kRst) {
+    record.tcp_state = TcpState::kClosed;
+    return;
+  }
+  switch (record.tcp_state) {
+    case TcpState::kNone:
+      if ((flags & TcpFlags::kSyn) && !(flags & TcpFlags::kAck) && is_forward) {
+        record.tcp_state = TcpState::kSynSent;
+      }
+      break;
+    case TcpState::kSynSent:
+      if ((flags & TcpFlags::kSyn) && (flags & TcpFlags::kAck) && !is_forward) {
+        record.tcp_state = TcpState::kSynReceived;
+      }
+      break;
+    case TcpState::kSynReceived:
+      if ((flags & TcpFlags::kAck) && !(flags & TcpFlags::kSyn) && is_forward) {
+        record.tcp_state = TcpState::kEstablished;
+        ++handshakes_;
+      }
+      break;
+    case TcpState::kEstablished:
+      if (flags & TcpFlags::kFin) {
+        record.tcp_state = TcpState::kClosing;
+      }
+      break;
+    case TcpState::kClosing:
+      if (flags & TcpFlags::kFin) {
+        record.tcp_state = TcpState::kClosed;
+      }
+      break;
+    case TcpState::kClosed:
+      break;
+  }
+}
+
+const FlowRecord& FlowTable::Record(const PacketView& view, TimePoint now) {
+  const FlowKey forward = FlowKey::FromView(view);
+  bool is_forward = true;
+  auto it = flows_.find(forward);
+  if (it == flows_.end()) {
+    auto rit = flows_.find(forward.Reversed());
+    if (rit != flows_.end()) {
+      it = rit;
+      is_forward = false;
+    }
+  }
+  if (it == flows_.end()) {
+    if (flows_.size() >= max_flows_) {
+      EvictOldest();
+    }
+    FlowRecord record;
+    record.key = forward;
+    record.first_seen = now;
+    it = flows_.emplace(forward, record).first;
+    lru_.push_back(forward);
+    lru_pos_[forward] = std::prev(lru_.end());
+    ++total_created_;
+  }
+  FlowRecord& record = it->second;
+  record.last_seen = now;
+  const uint64_t bytes = view.ip().total_length;
+  if (is_forward) {
+    ++record.forward_packets;
+    record.forward_bytes += bytes;
+  } else {
+    ++record.reverse_packets;
+    record.reverse_bytes += bytes;
+  }
+  AdvanceTcpState(record, view, is_forward);
+  // Refresh LRU position.
+  auto pos = lru_pos_.find(record.key);
+  if (pos != lru_pos_.end()) {
+    lru_.erase(pos->second);
+    lru_.push_back(record.key);
+    pos->second = std::prev(lru_.end());
+  }
+  return record;
+}
+
+const FlowRecord* FlowTable::Find(const FlowKey& key) const {
+  auto it = flows_.find(key);
+  if (it != flows_.end()) {
+    return &it->second;
+  }
+  it = flows_.find(key.Reversed());
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+size_t FlowTable::ExpireIdle(TimePoint now) {
+  size_t removed = 0;
+  while (!lru_.empty()) {
+    const FlowKey& oldest = lru_.front();
+    auto it = flows_.find(oldest);
+    if (it != flows_.end() && now - it->second.last_seen <= idle_timeout_) {
+      break;  // everything behind it is younger
+    }
+    if (it != flows_.end()) {
+      flows_.erase(it);
+    }
+    lru_pos_.erase(oldest);
+    lru_.pop_front();
+    ++removed;
+  }
+  return removed;
+}
+
+void FlowTable::EvictOldest() {
+  if (lru_.empty()) {
+    return;
+  }
+  const FlowKey oldest = lru_.front();
+  lru_.pop_front();
+  lru_pos_.erase(oldest);
+  flows_.erase(oldest);
+  ++evictions_;
+}
+
+}  // namespace potemkin

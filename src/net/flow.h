@@ -1,0 +1,98 @@
+// Flow tracking: 5-tuple keys, per-flow records with a TCP state machine, and a
+// flow table with idle expiry. The gateway uses flow state to distinguish inbound
+// service traffic from scans and to account per-flow statistics.
+#ifndef SRC_NET_FLOW_H_
+#define SRC_NET_FLOW_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/base/time_types.h"
+#include "src/net/ipv4.h"
+#include "src/net/packet.h"
+
+namespace potemkin {
+
+struct FlowKey {
+  Ipv4Address src;
+  Ipv4Address dst;
+  IpProto proto = IpProto::kTcp;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+
+  static FlowKey FromView(const PacketView& view);
+  // The same flow seen from the opposite direction.
+  FlowKey Reversed() const;
+
+  bool operator==(const FlowKey&) const = default;
+  std::string ToString() const;
+};
+
+struct FlowKeyHash {
+  size_t operator()(const FlowKey& key) const noexcept;
+};
+
+enum class TcpState {
+  kNone,         // non-TCP flow
+  kSynSent,      // initiator SYN seen
+  kSynReceived,  // responder SYN|ACK seen
+  kEstablished,  // three-way handshake completed
+  kClosing,      // FIN seen from either side
+  kClosed,       // both FINs or a RST
+};
+
+const char* TcpStateName(TcpState state);
+
+struct FlowRecord {
+  FlowKey key;
+  TimePoint first_seen;
+  TimePoint last_seen;
+  uint64_t forward_packets = 0;
+  uint64_t reverse_packets = 0;
+  uint64_t forward_bytes = 0;
+  uint64_t reverse_bytes = 0;
+  TcpState tcp_state = TcpState::kNone;
+};
+
+// Bidirectional flow table keyed on the initiator-direction 5-tuple. Packets in
+// either direction update the same record. Flows idle past the configured timeout
+// are reclaimed lazily and by explicit sweeps.
+class FlowTable {
+ public:
+  explicit FlowTable(Duration idle_timeout, size_t max_flows = 1 << 20);
+
+  // Records a packet; creates the flow if new. Returns the updated record.
+  const FlowRecord& Record(const PacketView& view, TimePoint now);
+
+  const FlowRecord* Find(const FlowKey& key) const;
+
+  // Removes flows idle since before `now - idle_timeout`. Returns count removed.
+  size_t ExpireIdle(TimePoint now);
+
+  size_t size() const { return flows_.size(); }
+  uint64_t total_flows_created() const { return total_created_; }
+  uint64_t handshakes_completed() const { return handshakes_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  void AdvanceTcpState(FlowRecord& record, const PacketView& view, bool is_forward);
+  void EvictOldest();
+
+  Duration idle_timeout_;
+  size_t max_flows_;
+  uint64_t total_created_ = 0;
+  uint64_t handshakes_ = 0;
+  uint64_t evictions_ = 0;
+  std::unordered_map<FlowKey, FlowRecord, FlowKeyHash> flows_;
+  // LRU list of keys, most recent at back; parallel to flows_.
+  std::list<FlowKey> lru_;
+  std::unordered_map<FlowKey, std::list<FlowKey>::iterator, FlowKeyHash> lru_pos_;
+};
+
+}  // namespace potemkin
+
+#endif  // SRC_NET_FLOW_H_

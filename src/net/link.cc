@@ -1,0 +1,104 @@
+#include "src/net/link.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+
+namespace potemkin {
+
+Link::Link(EventLoop* loop, std::string name, Duration latency, double bandwidth_bps,
+           size_t queue_limit)
+    : loop_(loop),
+      name_(std::move(name)),
+      latency_(latency),
+      bandwidth_bps_(bandwidth_bps),
+      queue_limit_(queue_limit) {}
+
+void Link::Connect(NetworkNode* a, NetworkNode* b) {
+  endpoint_a_ = a;
+  endpoint_b_ = b;
+  a_to_b_.destination = b;
+  b_to_a_.destination = a;
+}
+
+bool Link::Send(NetworkNode* from, Packet packet) {
+  PK_CHECK(from == endpoint_a_ || from == endpoint_b_)
+      << "send on link " << name_ << " from unconnected node";
+  Direction& dir = (from == endpoint_a_) ? a_to_b_ : b_to_a_;
+  return SendDirection(dir, std::move(packet));
+}
+
+bool Link::SendDirection(Direction& dir, Packet packet) {
+  if (dir.queued >= queue_limit_) {
+    ++stats_.packets_dropped;
+    return false;
+  }
+  const TimePoint now = loop_->Now();
+  const TimePoint start = std::max(now, dir.busy_until);
+  const double bits = static_cast<double>(packet.size()) * 8.0;
+  const Duration tx_time =
+      bandwidth_bps_ > 0.0 ? Duration::Seconds(bits / bandwidth_bps_) : Duration::Zero();
+  dir.busy_until = start + tx_time;
+  const TimePoint arrival = dir.busy_until + latency_;
+  ++dir.queued;
+  NetworkNode* destination = dir.destination;
+  const size_t size = packet.size();
+  loop_->ScheduleAt(arrival,
+                    [this, &dir, destination, size, p = std::move(packet)]() mutable {
+                      --dir.queued;
+                      ++stats_.packets_delivered;
+                      stats_.bytes_delivered += size;
+                      destination->HandleFrame(std::move(p));
+                    });
+  return true;
+}
+
+Switch::Switch(EventLoop* loop, std::string name, Duration port_latency)
+    : loop_(loop), name_(std::move(name)), port_latency_(port_latency) {}
+
+void Switch::Attach(NetworkNode* node, MacAddress mac) {
+  ports_.push_back(node);
+  mac_table_[mac] = node;
+}
+
+void Switch::Deliver(NetworkNode* node, Packet packet) {
+  loop_->ScheduleAfter(port_latency_, [node, p = std::move(packet)]() mutable {
+    node->HandleFrame(std::move(p));
+  });
+}
+
+void Switch::Forward(NetworkNode* source_node, Packet packet) {
+  const auto& b = packet.bytes();
+  if (b.size() < kEthernetHeaderSize) {
+    return;
+  }
+  std::array<uint8_t, 6> dst_bytes;
+  std::array<uint8_t, 6> src_bytes;
+  std::copy_n(b.begin(), 6, dst_bytes.begin());
+  std::copy_n(b.begin() + 6, 6, src_bytes.begin());
+  const MacAddress dst(dst_bytes);
+  const MacAddress src(src_bytes);
+
+  // Learn the source.
+  mac_table_[src] = source_node;
+
+  if (!dst.IsBroadcast()) {
+    auto it = mac_table_.find(dst);
+    if (it != mac_table_.end()) {
+      if (it->second != source_node) {
+        ++frames_forwarded_;
+        Deliver(it->second, std::move(packet));
+      }
+      return;
+    }
+  }
+  // Flood to all other ports.
+  ++frames_flooded_;
+  for (NetworkNode* port : ports_) {
+    if (port != source_node) {
+      Deliver(port, packet);  // copy per port
+    }
+  }
+}
+
+}  // namespace potemkin

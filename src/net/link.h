@@ -1,0 +1,109 @@
+// Network fabric modelling: nodes, point-to-point links with latency/bandwidth/
+// queueing, and a learning switch. All delivery is mediated by the event loop, so
+// packet timing composes with the rest of the simulation.
+#ifndef SRC_NET_LINK_H_
+#define SRC_NET_LINK_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/event_loop.h"
+#include "src/net/ipv4.h"
+#include "src/net/packet.h"
+
+namespace potemkin {
+
+// Anything that can receive a frame from the fabric.
+class NetworkNode {
+ public:
+  virtual ~NetworkNode() = default;
+  virtual void HandleFrame(Packet packet) = 0;
+  virtual std::string node_name() const = 0;
+};
+
+struct LinkStats {
+  uint64_t packets_delivered = 0;
+  uint64_t packets_dropped = 0;
+  uint64_t bytes_delivered = 0;
+};
+
+// Full-duplex point-to-point link. Each direction models store-and-forward
+// serialization at `bandwidth_bps` plus fixed propagation `latency`, with a
+// drop-tail queue of `queue_limit` packets.
+class Link {
+ public:
+  Link(EventLoop* loop, std::string name, Duration latency, double bandwidth_bps,
+       size_t queue_limit = 1024);
+
+  void Connect(NetworkNode* a, NetworkNode* b);
+
+  // Sends from one endpoint to the other; `from` must be a connected endpoint.
+  // Returns false if the packet was dropped at the queue.
+  bool Send(NetworkNode* from, Packet packet);
+
+  const LinkStats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Direction {
+    NetworkNode* destination = nullptr;
+    TimePoint busy_until;
+    size_t queued = 0;
+  };
+
+  bool SendDirection(Direction& dir, Packet packet);
+
+  EventLoop* loop_;
+  std::string name_;
+  Duration latency_;
+  double bandwidth_bps_;
+  size_t queue_limit_;
+  NetworkNode* endpoint_a_ = nullptr;
+  NetworkNode* endpoint_b_ = nullptr;
+  Direction a_to_b_;
+  Direction b_to_a_;
+  LinkStats stats_;
+};
+
+// A learning Ethernet switch connecting many nodes. Unknown destinations flood.
+class Switch {
+ public:
+  Switch(EventLoop* loop, std::string name, Duration port_latency);
+
+  // Attaches a node. If `mac` is known in advance it is pre-learned.
+  void Attach(NetworkNode* node, MacAddress mac);
+
+  // Injects a frame arriving from `source_node`; forwards by destination MAC.
+  void Forward(NetworkNode* source_node, Packet packet);
+
+  uint64_t frames_forwarded() const { return frames_forwarded_; }
+  uint64_t frames_flooded() const { return frames_flooded_; }
+  size_t table_size() const { return mac_table_.size(); }
+
+ private:
+  struct MacHash {
+    size_t operator()(const MacAddress& mac) const noexcept {
+      size_t h = 1469598103934665603ull;
+      for (uint8_t b : mac.bytes()) {
+        h = (h ^ b) * 1099511628211ull;
+      }
+      return h;
+    }
+  };
+
+  void Deliver(NetworkNode* node, Packet packet);
+
+  EventLoop* loop_;
+  std::string name_;
+  Duration port_latency_;
+  std::vector<NetworkNode*> ports_;
+  std::unordered_map<MacAddress, NetworkNode*, MacHash> mac_table_;
+  uint64_t frames_forwarded_ = 0;
+  uint64_t frames_flooded_ = 0;
+};
+
+}  // namespace potemkin
+
+#endif  // SRC_NET_LINK_H_

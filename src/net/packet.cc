@@ -1,0 +1,410 @@
+#include "src/net/packet.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/strings.h"
+#include "src/net/checksum.h"
+
+namespace potemkin {
+
+namespace {
+
+uint16_t ReadU16(const uint8_t* p) {
+  return static_cast<uint16_t>((p[0] << 8) | p[1]);
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) | (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | p[3];
+}
+
+void WriteU16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v >> 8);
+  p[1] = static_cast<uint8_t>(v);
+}
+
+void WriteU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+
+// Offsets within the frame.
+constexpr size_t kIpOffset = kEthernetHeaderSize;
+
+size_t IpHeaderLength(const std::vector<uint8_t>& bytes) {
+  return static_cast<size_t>(bytes[kIpOffset] & 0x0f) * 4;
+}
+
+size_t L4Offset(const std::vector<uint8_t>& bytes) {
+  return kIpOffset + IpHeaderLength(bytes);
+}
+
+// Recomputes the IPv4 header checksum in place.
+void FixIpChecksum(std::vector<uint8_t>& bytes) {
+  const size_t ihl = IpHeaderLength(bytes);
+  WriteU16(&bytes[kIpOffset + 10], 0);
+  const uint16_t sum = ComputeInternetChecksum(&bytes[kIpOffset], ihl);
+  WriteU16(&bytes[kIpOffset + 10], sum);
+}
+
+// Recomputes the TCP/UDP/ICMP checksum in place (pseudo-header for TCP/UDP).
+void FixL4Checksum(std::vector<uint8_t>& bytes) {
+  const size_t l4 = L4Offset(bytes);
+  if (l4 >= bytes.size()) {
+    return;
+  }
+  const auto proto = static_cast<IpProto>(bytes[kIpOffset + 9]);
+  const size_t l4_len = bytes.size() - l4;
+  size_t checksum_offset;
+  switch (proto) {
+    case IpProto::kTcp:
+      checksum_offset = l4 + 16;
+      break;
+    case IpProto::kUdp:
+      checksum_offset = l4 + 6;
+      break;
+    case IpProto::kIcmp:
+      checksum_offset = l4 + 2;
+      break;
+    default:
+      return;
+  }
+  if (checksum_offset + 2 > bytes.size()) {
+    return;
+  }
+  WriteU16(&bytes[checksum_offset], 0);
+  InternetChecksum sum;
+  if (proto == IpProto::kTcp || proto == IpProto::kUdp) {
+    // Pseudo-header: src, dst, zero+proto, length.
+    sum.Add(&bytes[kIpOffset + 12], 8);
+    sum.AddU16(static_cast<uint16_t>(proto));
+    sum.AddU16(static_cast<uint16_t>(l4_len));
+  }
+  sum.Add(&bytes[l4], l4_len);
+  WriteU16(&bytes[checksum_offset], sum.Finish());
+}
+
+}  // namespace
+
+const char* IpProtoName(IpProto proto) {
+  switch (proto) {
+    case IpProto::kIcmp:
+      return "ICMP";
+    case IpProto::kTcp:
+      return "TCP";
+    case IpProto::kUdp:
+      return "UDP";
+  }
+  return "IP";
+}
+
+std::optional<PacketView> PacketView::Parse(const Packet& packet) {
+  const auto& b = packet.bytes();
+  if (b.size() < kEthernetHeaderSize + kIpv4MinHeaderSize) {
+    return std::nullopt;
+  }
+  PacketView view;
+  std::array<uint8_t, 6> mac;
+  std::memcpy(mac.data(), &b[0], 6);
+  view.eth_.dst = MacAddress(mac);
+  std::memcpy(mac.data(), &b[6], 6);
+  view.eth_.src = MacAddress(mac);
+  view.eth_.ethertype = ReadU16(&b[12]);
+  if (view.eth_.ethertype != kEthertypeIpv4) {
+    return std::nullopt;
+  }
+  const uint8_t version = b[kIpOffset] >> 4;
+  if (version != 4) {
+    return std::nullopt;
+  }
+  const size_t ihl = IpHeaderLength(b);
+  if (ihl < kIpv4MinHeaderSize || kIpOffset + ihl > b.size()) {
+    return std::nullopt;
+  }
+  view.ip_.header_length = static_cast<uint8_t>(ihl);
+  view.ip_.tos = b[kIpOffset + 1];
+  view.ip_.total_length = ReadU16(&b[kIpOffset + 2]);
+  view.ip_.id = ReadU16(&b[kIpOffset + 4]);
+  view.ip_.ttl = b[kIpOffset + 8];
+  view.ip_.proto = static_cast<IpProto>(b[kIpOffset + 9]);
+  view.ip_.checksum = ReadU16(&b[kIpOffset + 10]);
+  view.ip_.src = Ipv4Address(ReadU32(&b[kIpOffset + 12]));
+  view.ip_.dst = Ipv4Address(ReadU32(&b[kIpOffset + 16]));
+
+  const size_t l4 = kIpOffset + ihl;
+  const size_t remaining = b.size() - l4;
+  switch (view.ip_.proto) {
+    case IpProto::kTcp: {
+      if (remaining < kTcpMinHeaderSize) {
+        return view;
+      }
+      view.tcp_.src_port = ReadU16(&b[l4]);
+      view.tcp_.dst_port = ReadU16(&b[l4 + 2]);
+      view.tcp_.seq = ReadU32(&b[l4 + 4]);
+      view.tcp_.ack = ReadU32(&b[l4 + 8]);
+      view.tcp_.header_length = static_cast<uint8_t>((b[l4 + 12] >> 4) * 4);
+      view.tcp_.flags = b[l4 + 13];
+      view.tcp_.window = ReadU16(&b[l4 + 14]);
+      view.tcp_.checksum = ReadU16(&b[l4 + 16]);
+      if (view.tcp_.header_length < kTcpMinHeaderSize ||
+          l4 + view.tcp_.header_length > b.size()) {
+        return view;
+      }
+      view.has_l4_ = true;
+      view.payload_ = std::span<const uint8_t>(b).subspan(l4 + view.tcp_.header_length);
+      break;
+    }
+    case IpProto::kUdp: {
+      if (remaining < kUdpHeaderSize) {
+        return view;
+      }
+      view.udp_.src_port = ReadU16(&b[l4]);
+      view.udp_.dst_port = ReadU16(&b[l4 + 2]);
+      view.udp_.length = ReadU16(&b[l4 + 4]);
+      view.udp_.checksum = ReadU16(&b[l4 + 6]);
+      view.has_l4_ = true;
+      view.payload_ = std::span<const uint8_t>(b).subspan(l4 + kUdpHeaderSize);
+      break;
+    }
+    case IpProto::kIcmp: {
+      if (remaining < kIcmpHeaderSize) {
+        return view;
+      }
+      view.icmp_.type = b[l4];
+      view.icmp_.code = b[l4 + 1];
+      view.icmp_.checksum = ReadU16(&b[l4 + 2]);
+      view.icmp_.id = ReadU16(&b[l4 + 4]);
+      view.icmp_.seq = ReadU16(&b[l4 + 6]);
+      view.has_l4_ = true;
+      view.payload_ = std::span<const uint8_t>(b).subspan(l4 + kIcmpHeaderSize);
+      break;
+    }
+    default:
+      break;
+  }
+  return view;
+}
+
+uint16_t PacketView::src_port() const {
+  if (is_tcp()) {
+    return tcp_.src_port;
+  }
+  if (is_udp()) {
+    return udp_.src_port;
+  }
+  return 0;
+}
+
+uint16_t PacketView::dst_port() const {
+  if (is_tcp()) {
+    return tcp_.dst_port;
+  }
+  if (is_udp()) {
+    return udp_.dst_port;
+  }
+  return 0;
+}
+
+std::string PacketView::Describe() const {
+  std::string flags;
+  if (is_tcp()) {
+    if (tcp_.flags & TcpFlags::kSyn) {
+      flags += 'S';
+    }
+    if (tcp_.flags & TcpFlags::kAck) {
+      flags += 'A';
+    }
+    if (tcp_.flags & TcpFlags::kFin) {
+      flags += 'F';
+    }
+    if (tcp_.flags & TcpFlags::kRst) {
+      flags += 'R';
+    }
+    if (tcp_.flags & TcpFlags::kPsh) {
+      flags += 'P';
+    }
+  }
+  return StrFormat("%s %s:%u > %s:%u%s%s%s len=%zu", IpProtoName(ip_.proto),
+                   ip_.src.ToString().c_str(), src_port(), ip_.dst.ToString().c_str(),
+                   dst_port(), flags.empty() ? "" : " [", flags.c_str(),
+                   flags.empty() ? "" : "]", payload_.size());
+}
+
+Packet BuildPacket(const PacketSpec& spec) {
+  size_t l4_header;
+  switch (spec.proto) {
+    case IpProto::kTcp:
+      l4_header = kTcpMinHeaderSize;
+      break;
+    case IpProto::kUdp:
+      l4_header = kUdpHeaderSize;
+      break;
+    case IpProto::kIcmp:
+      l4_header = kIcmpHeaderSize;
+      break;
+    default:
+      l4_header = 0;
+      break;
+  }
+  const size_t ip_total = kIpv4MinHeaderSize + l4_header + spec.payload.size();
+  std::vector<uint8_t> b(kEthernetHeaderSize + ip_total, 0);
+
+  // Ethernet.
+  std::memcpy(&b[0], spec.dst_mac.bytes().data(), 6);
+  std::memcpy(&b[6], spec.src_mac.bytes().data(), 6);
+  WriteU16(&b[12], kEthertypeIpv4);
+
+  // IPv4.
+  b[kIpOffset] = 0x45;  // version 4, IHL 5
+  WriteU16(&b[kIpOffset + 2], static_cast<uint16_t>(ip_total));
+  WriteU16(&b[kIpOffset + 4], spec.ip_id);
+  b[kIpOffset + 8] = spec.ttl;
+  b[kIpOffset + 9] = static_cast<uint8_t>(spec.proto);
+  WriteU32(&b[kIpOffset + 12], spec.src_ip.value());
+  WriteU32(&b[kIpOffset + 16], spec.dst_ip.value());
+
+  // L4.
+  const size_t l4 = kIpOffset + kIpv4MinHeaderSize;
+  switch (spec.proto) {
+    case IpProto::kTcp:
+      WriteU16(&b[l4], spec.src_port);
+      WriteU16(&b[l4 + 2], spec.dst_port);
+      WriteU32(&b[l4 + 4], spec.seq);
+      WriteU32(&b[l4 + 8], spec.ack);
+      b[l4 + 12] = (kTcpMinHeaderSize / 4) << 4;
+      b[l4 + 13] = spec.tcp_flags;
+      WriteU16(&b[l4 + 14], spec.window);
+      break;
+    case IpProto::kUdp:
+      WriteU16(&b[l4], spec.src_port);
+      WriteU16(&b[l4 + 2], spec.dst_port);
+      WriteU16(&b[l4 + 4], static_cast<uint16_t>(kUdpHeaderSize + spec.payload.size()));
+      break;
+    case IpProto::kIcmp:
+      b[l4] = spec.icmp_type;
+      b[l4 + 1] = spec.icmp_code;
+      WriteU16(&b[l4 + 4], spec.icmp_id);
+      WriteU16(&b[l4 + 6], spec.icmp_seq);
+      break;
+    default:
+      break;
+  }
+  if (!spec.payload.empty()) {
+    std::memcpy(&b[l4 + l4_header], spec.payload.data(), spec.payload.size());
+  }
+
+  FixIpChecksum(b);
+  FixL4Checksum(b);
+  return Packet(std::move(b));
+}
+
+void RewriteIpv4Src(Packet& packet, Ipv4Address new_src) {
+  auto& b = packet.mutable_bytes();
+  if (b.size() < kIpOffset + kIpv4MinHeaderSize) {
+    return;
+  }
+  WriteU32(&b[kIpOffset + 12], new_src.value());
+  FixIpChecksum(b);
+  FixL4Checksum(b);
+}
+
+void RewriteIpv4Dst(Packet& packet, Ipv4Address new_dst) {
+  auto& b = packet.mutable_bytes();
+  if (b.size() < kIpOffset + kIpv4MinHeaderSize) {
+    return;
+  }
+  WriteU32(&b[kIpOffset + 16], new_dst.value());
+  FixIpChecksum(b);
+  FixL4Checksum(b);
+}
+
+void RewriteMacs(Packet& packet, MacAddress src, MacAddress dst) {
+  auto& b = packet.mutable_bytes();
+  if (b.size() < kEthernetHeaderSize) {
+    return;
+  }
+  std::memcpy(&b[0], dst.bytes().data(), 6);
+  std::memcpy(&b[6], src.bytes().data(), 6);
+}
+
+bool DecrementTtl(Packet& packet) {
+  auto& b = packet.mutable_bytes();
+  if (b.size() < kIpOffset + kIpv4MinHeaderSize) {
+    return false;
+  }
+  if (b[kIpOffset + 8] <= 1) {
+    b[kIpOffset + 8] = 0;
+    FixIpChecksum(b);
+    return false;
+  }
+  b[kIpOffset + 8] -= 1;
+  FixIpChecksum(b);
+  return true;
+}
+
+bool IsIcmpError(const PacketView& view) {
+  return view.is_icmp() && (view.icmp().type == kIcmpDestUnreachable ||
+                            view.icmp().type == kIcmpTimeExceeded);
+}
+
+std::optional<std::pair<Ipv4Address, Ipv4Address>> IcmpEmbeddedAddresses(
+    const PacketView& view) {
+  if (!IsIcmpError(view)) {
+    return std::nullopt;
+  }
+  const auto payload = view.l4_payload();
+  if (payload.size() < kIpv4MinHeaderSize) {
+    return std::nullopt;
+  }
+  if ((payload[0] >> 4) != 4) {
+    return std::nullopt;
+  }
+  return std::make_pair(Ipv4Address(ReadU32(&payload[12])),
+                        Ipv4Address(ReadU32(&payload[16])));
+}
+
+std::vector<uint8_t> IcmpQuoteOf(const Packet& offending) {
+  const auto& b = offending.bytes();
+  if (b.size() <= kIpOffset) {
+    return {};
+  }
+  const size_t ip_size = b.size() - kIpOffset;
+  const size_t ihl = IpHeaderLength(b);
+  const size_t quote = std::min(ip_size, ihl + 8);  // header + first 8 bytes
+  return std::vector<uint8_t>(b.begin() + static_cast<long>(kIpOffset),
+                              b.begin() + static_cast<long>(kIpOffset + quote));
+}
+
+bool ValidateChecksums(const Packet& packet) {
+  const auto& b = packet.bytes();
+  if (b.size() < kIpOffset + kIpv4MinHeaderSize) {
+    return false;
+  }
+  const size_t ihl = IpHeaderLength(b);
+  if (ihl < kIpv4MinHeaderSize || kIpOffset + ihl > b.size()) {
+    return false;
+  }
+  if (ComputeInternetChecksum(&b[kIpOffset], ihl) != 0) {
+    return false;
+  }
+  const auto proto = static_cast<IpProto>(b[kIpOffset + 9]);
+  const size_t l4 = kIpOffset + ihl;
+  const size_t l4_len = b.size() - l4;
+  if (proto == IpProto::kTcp || proto == IpProto::kUdp) {
+    InternetChecksum sum;
+    sum.Add(&b[kIpOffset + 12], 8);
+    sum.AddU16(static_cast<uint16_t>(proto));
+    sum.AddU16(static_cast<uint16_t>(l4_len));
+    sum.Add(&b[l4], l4_len);
+    return sum.Finish() == 0;
+  }
+  if (proto == IpProto::kIcmp) {
+    return ComputeInternetChecksum(&b[l4], l4_len) == 0;
+  }
+  return true;
+}
+
+}  // namespace potemkin

@@ -1,0 +1,197 @@
+// Wire-format packets.
+//
+// Packets in the simulation are real byte buffers containing real Ethernet, IPv4,
+// TCP/UDP/ICMP headers in network byte order with correct Internet checksums. This
+// keeps the gateway honest: address rewriting for reflection/containment must update
+// checksums exactly as a real middlebox would, and tests validate the invariants.
+#ifndef SRC_NET_PACKET_H_
+#define SRC_NET_PACKET_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/net/ipv4.h"
+
+namespace potemkin {
+
+inline constexpr uint16_t kEthertypeIpv4 = 0x0800;
+inline constexpr size_t kEthernetHeaderSize = 14;
+inline constexpr size_t kIpv4MinHeaderSize = 20;
+inline constexpr size_t kTcpMinHeaderSize = 20;
+inline constexpr size_t kUdpHeaderSize = 8;
+inline constexpr size_t kIcmpHeaderSize = 8;
+
+enum class IpProto : uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+const char* IpProtoName(IpProto proto);
+
+struct TcpFlags {
+  static constexpr uint8_t kFin = 0x01;
+  static constexpr uint8_t kSyn = 0x02;
+  static constexpr uint8_t kRst = 0x04;
+  static constexpr uint8_t kPsh = 0x08;
+  static constexpr uint8_t kAck = 0x10;
+};
+
+// An owned frame buffer (Ethernet header onward).
+class Packet {
+ public:
+  Packet() = default;
+  explicit Packet(std::vector<uint8_t> bytes) : bytes_(std::move(bytes)) {}
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t>& mutable_bytes() { return bytes_; }
+  size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+struct EthernetFields {
+  MacAddress dst;
+  MacAddress src;
+  uint16_t ethertype = 0;
+};
+
+struct Ipv4Fields {
+  uint8_t header_length = kIpv4MinHeaderSize;  // in bytes
+  uint8_t tos = 0;
+  uint16_t total_length = 0;
+  uint16_t id = 0;
+  uint8_t ttl = 0;
+  IpProto proto = IpProto::kTcp;
+  uint16_t checksum = 0;
+  Ipv4Address src;
+  Ipv4Address dst;
+};
+
+struct TcpFields {
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint32_t seq = 0;
+  uint32_t ack = 0;
+  uint8_t header_length = kTcpMinHeaderSize;  // in bytes
+  uint8_t flags = 0;
+  uint16_t window = 0;
+  uint16_t checksum = 0;
+};
+
+struct UdpFields {
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint16_t length = 0;
+  uint16_t checksum = 0;
+};
+
+struct IcmpFields {
+  uint8_t type = 0;
+  uint8_t code = 0;
+  uint16_t checksum = 0;
+  uint16_t id = 0;
+  uint16_t seq = 0;
+};
+
+// A parsed, validated view over a Packet. The view holds offsets into the packet's
+// buffer; it remains valid only while the packet is alive and unmodified.
+class PacketView {
+ public:
+  // Returns nullopt if the frame is truncated or not IPv4.
+  static std::optional<PacketView> Parse(const Packet& packet);
+
+  const EthernetFields& eth() const { return eth_; }
+  const Ipv4Fields& ip() const { return ip_; }
+  bool is_tcp() const { return ip_.proto == IpProto::kTcp && has_l4_; }
+  bool is_udp() const { return ip_.proto == IpProto::kUdp && has_l4_; }
+  bool is_icmp() const { return ip_.proto == IpProto::kIcmp && has_l4_; }
+  const TcpFields& tcp() const { return tcp_; }
+  const UdpFields& udp() const { return udp_; }
+  const IcmpFields& icmp() const { return icmp_; }
+
+  // L4 source/destination port (0 for ICMP).
+  uint16_t src_port() const;
+  uint16_t dst_port() const;
+
+  std::span<const uint8_t> l4_payload() const { return payload_; }
+
+  // Human-readable one-liner, e.g. "TCP 1.2.3.4:80 > 10.0.0.1:1234 [S] len=0".
+  std::string Describe() const;
+
+ private:
+  EthernetFields eth_;
+  Ipv4Fields ip_;
+  TcpFields tcp_;
+  UdpFields udp_;
+  IcmpFields icmp_;
+  bool has_l4_ = false;
+  std::span<const uint8_t> payload_;
+};
+
+// Declarative packet construction; checksums are computed during build.
+struct PacketSpec {
+  MacAddress src_mac;
+  MacAddress dst_mac;
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  IpProto proto = IpProto::kTcp;
+  uint8_t ttl = 64;
+  uint16_t ip_id = 0;
+
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  // TCP only:
+  uint32_t seq = 0;
+  uint32_t ack = 0;
+  uint8_t tcp_flags = TcpFlags::kSyn;
+  uint16_t window = 65535;
+  // ICMP only:
+  uint8_t icmp_type = 8;  // echo request
+  uint8_t icmp_code = 0;
+  uint16_t icmp_id = 0;
+  uint16_t icmp_seq = 0;
+
+  std::vector<uint8_t> payload;
+};
+
+Packet BuildPacket(const PacketSpec& spec);
+
+// In-place header mutation (used by the gateway for reflection / NAT); both update
+// the IPv4 header checksum and the TCP/UDP pseudo-header checksum.
+void RewriteIpv4Src(Packet& packet, Ipv4Address new_src);
+void RewriteIpv4Dst(Packet& packet, Ipv4Address new_dst);
+void RewriteMacs(Packet& packet, MacAddress src, MacAddress dst);
+// Decrements TTL with incremental checksum update; returns false if TTL hit zero.
+bool DecrementTtl(Packet& packet);
+
+// Verifies the IPv4 header checksum and (for TCP/UDP/ICMP) the transport checksum.
+bool ValidateChecksums(const Packet& packet);
+
+inline constexpr uint8_t kIcmpEchoRequest = 8;
+inline constexpr uint8_t kIcmpEchoReply = 0;
+inline constexpr uint8_t kIcmpDestUnreachable = 3;
+inline constexpr uint8_t kIcmpCodePortUnreachable = 3;
+inline constexpr uint8_t kIcmpTimeExceeded = 11;
+
+// True for ICMP error messages (which quote the offending packet).
+bool IsIcmpError(const PacketView& view);
+
+// For an ICMP error, extracts the (src, dst) of the quoted original packet from
+// the payload (the embedded IPv4 header). nullopt if not an error / truncated.
+std::optional<std::pair<Ipv4Address, Ipv4Address>> IcmpEmbeddedAddresses(
+    const PacketView& view);
+
+// Builds the standard quotation payload for an ICMP error about `offending`:
+// its IPv4 header plus the first 8 payload bytes (RFC 792).
+std::vector<uint8_t> IcmpQuoteOf(const Packet& offending);
+
+}  // namespace potemkin
+
+#endif  // SRC_NET_PACKET_H_

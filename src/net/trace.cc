@@ -1,0 +1,187 @@
+#include "src/net/trace.h"
+
+#include <cstring>
+
+#include "src/base/log.h"
+
+namespace potemkin {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'K', 'T', '1', 0, 0, 0, 0};
+constexpr size_t kRecordSize = 8 + 4 + 4 + 1 + 2 + 2 + 2 + 1;  // 24 bytes
+
+void PutU64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+void PutU32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+void PutU16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+void EncodeRecord(const TraceRecord& r, uint8_t* buf) {
+  PutU64(buf, static_cast<uint64_t>(r.time.nanos()));
+  PutU32(buf + 8, r.src.value());
+  PutU32(buf + 12, r.dst.value());
+  buf[16] = static_cast<uint8_t>(r.proto);
+  PutU16(buf + 17, r.src_port);
+  PutU16(buf + 19, r.dst_port);
+  PutU16(buf + 21, r.wire_size);
+  buf[23] = r.tcp_flags;
+}
+
+TraceRecord DecodeRecord(const uint8_t* buf) {
+  TraceRecord r;
+  r.time = TimePoint::FromNanos(static_cast<int64_t>(GetU64(buf)));
+  r.src = Ipv4Address(GetU32(buf + 8));
+  r.dst = Ipv4Address(GetU32(buf + 12));
+  r.proto = static_cast<IpProto>(buf[16]);
+  r.src_port = GetU16(buf + 17);
+  r.dst_port = GetU16(buf + 19);
+  r.wire_size = GetU16(buf + 21);
+  r.tcp_flags = buf[23];
+  return r;
+}
+
+}  // namespace
+
+Packet PacketFromRecord(const TraceRecord& record, MacAddress src_mac,
+                        MacAddress dst_mac) {
+  PacketSpec spec;
+  spec.src_mac = src_mac;
+  spec.dst_mac = dst_mac;
+  spec.src_ip = record.src;
+  spec.dst_ip = record.dst;
+  spec.proto = record.proto;
+  spec.src_port = record.src_port;
+  spec.dst_port = record.dst_port;
+  spec.tcp_flags = record.tcp_flags != 0 ? record.tcp_flags : TcpFlags::kSyn;
+  // Deterministic but distinct initial sequence number per flow.
+  spec.seq = record.src.value() * 2654435761u + record.src_port;
+  size_t header_size = kEthernetHeaderSize + kIpv4MinHeaderSize;
+  switch (record.proto) {
+    case IpProto::kTcp:
+      header_size += kTcpMinHeaderSize;
+      break;
+    case IpProto::kUdp:
+      header_size += kUdpHeaderSize;
+      break;
+    case IpProto::kIcmp:
+      header_size += kIcmpHeaderSize;
+      break;
+  }
+  if (record.wire_size > header_size) {
+    spec.payload.assign(record.wire_size - header_size, 0);
+  }
+  return BuildPacket(spec);
+}
+
+TraceWriter::TraceWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    PK_ERROR << "cannot open trace for writing: " << path;
+    return;
+  }
+  uint8_t header[16] = {0};
+  std::memcpy(header, kMagic, 8);
+  // Count is patched in Close(); leave zero for now.
+  std::fwrite(header, 1, sizeof(header), file_);
+}
+
+TraceWriter::~TraceWriter() { Close(); }
+
+void TraceWriter::Append(const TraceRecord& record) {
+  if (file_ == nullptr) {
+    return;
+  }
+  uint8_t buf[kRecordSize];
+  EncodeRecord(record, buf);
+  std::fwrite(buf, 1, sizeof(buf), file_);
+  ++count_;
+}
+
+void TraceWriter::Close() {
+  if (file_ == nullptr) {
+    return;
+  }
+  std::fseek(file_, 8, SEEK_SET);
+  uint8_t count_buf[8];
+  PutU64(count_buf, count_);
+  std::fwrite(count_buf, 1, sizeof(count_buf), file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+TraceReader::TraceReader(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    PK_ERROR << "cannot open trace for reading: " << path;
+    return;
+  }
+  uint8_t header[16];
+  if (std::fread(header, 1, sizeof(header), file_) != sizeof(header) ||
+      std::memcmp(header, kMagic, 8) != 0) {
+    PK_ERROR << "bad trace header in " << path;
+    std::fclose(file_);
+    file_ = nullptr;
+    return;
+  }
+  count_ = GetU64(header + 8);
+}
+
+TraceReader::~TraceReader() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+bool TraceReader::Next(TraceRecord* out) {
+  if (file_ == nullptr || read_ >= count_) {
+    return false;
+  }
+  uint8_t buf[kRecordSize];
+  if (std::fread(buf, 1, sizeof(buf), file_) != sizeof(buf)) {
+    return false;
+  }
+  *out = DecodeRecord(buf);
+  ++read_;
+  return true;
+}
+
+std::vector<TraceRecord> TraceReader::ReadAll(const std::string& path) {
+  std::vector<TraceRecord> records;
+  TraceReader reader(path);
+  TraceRecord record;
+  while (reader.Next(&record)) {
+    records.push_back(record);
+  }
+  return records;
+}
+
+}  // namespace potemkin

@@ -1,0 +1,139 @@
+#include "src/base/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace potemkin {
+namespace {
+
+TEST(EventLoopTest, StartsAtTimeZero) {
+  EventLoop loop;
+  EXPECT_EQ(loop.Now().nanos(), 0);
+  EXPECT_TRUE(loop.Empty());
+}
+
+TEST(EventLoopTest, RunsEventsInTimestampOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(TimePoint::FromNanos(300), [&] { order.push_back(3); });
+  loop.ScheduleAt(TimePoint::FromNanos(100), [&] { order.push_back(1); });
+  loop.ScheduleAt(TimePoint::FromNanos(200), [&] { order.push_back(2); });
+  loop.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.Now().nanos(), 300);
+}
+
+TEST(EventLoopTest, SameTimestampRunsFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.ScheduleAt(TimePoint::FromNanos(42), [&order, i] { order.push_back(i); });
+  }
+  loop.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventLoopTest, ScheduleAfterUsesCurrentTime) {
+  EventLoop loop;
+  TimePoint observed;
+  loop.ScheduleAt(TimePoint::FromNanos(1000), [&] {
+    loop.ScheduleAfter(Duration::Nanos(500), [&] { observed = loop.Now(); });
+  });
+  loop.RunAll();
+  EXPECT_EQ(observed.nanos(), 1500);
+}
+
+TEST(EventLoopTest, PastEventsClampToNow) {
+  EventLoop loop;
+  loop.ScheduleAt(TimePoint::FromNanos(1000), [] {});
+  loop.RunAll();
+  TimePoint observed;
+  loop.ScheduleAt(TimePoint::FromNanos(10), [&] { observed = loop.Now(); });
+  loop.RunAll();
+  EXPECT_EQ(observed.nanos(), 1000);  // not earlier than current time
+}
+
+TEST(EventLoopTest, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.ScheduleAt(TimePoint::FromNanos(100), [&] { ++fired; });
+  loop.ScheduleAt(TimePoint::FromNanos(200), [&] { ++fired; });
+  loop.ScheduleAt(TimePoint::FromNanos(300), [&] { ++fired; });
+  const uint64_t executed = loop.RunUntil(TimePoint::FromNanos(250));
+  EXPECT_EQ(executed, 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(loop.Now().nanos(), 250);  // clock advances to the deadline
+  loop.RunAll();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventLoopTest, RunForAdvancesRelativeSpans) {
+  EventLoop loop;
+  int fired = 0;
+  loop.ScheduleAfter(Duration::Seconds(1.0), [&] { ++fired; });
+  loop.RunFor(Duration::Millis(500));
+  EXPECT_EQ(fired, 0);
+  loop.RunFor(Duration::Millis(501));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoopTest, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  const EventHandle handle = loop.ScheduleAfter(Duration::Nanos(5), [&] { ran = true; });
+  EXPECT_TRUE(loop.Cancel(handle));
+  loop.RunAll();
+  EXPECT_FALSE(ran);
+  EXPECT_FALSE(loop.Cancel(handle));  // double-cancel reports failure
+}
+
+TEST(EventLoopTest, CancelAfterExecutionFails) {
+  EventLoop loop;
+  const EventHandle handle = loop.ScheduleAfter(Duration::Nanos(5), [] {});
+  loop.RunAll();
+  EXPECT_FALSE(loop.Cancel(handle));
+}
+
+TEST(EventLoopTest, EventsScheduledDuringRunExecute) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) {
+      loop.ScheduleAfter(Duration::Nanos(1), recurse);
+    }
+  };
+  loop.ScheduleAfter(Duration::Nanos(1), recurse);
+  loop.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(loop.Now().nanos(), 5);
+}
+
+TEST(EventLoopTest, StepExecutesExactlyOne) {
+  EventLoop loop;
+  int fired = 0;
+  loop.ScheduleAfter(Duration::Nanos(1), [&] { ++fired; });
+  loop.ScheduleAfter(Duration::Nanos(2), [&] { ++fired; });
+  EXPECT_TRUE(loop.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(loop.Step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(loop.Step());
+}
+
+TEST(EventLoopTest, PendingCountTracksLiveEvents) {
+  EventLoop loop;
+  const EventHandle a = loop.ScheduleAfter(Duration::Nanos(1), [] {});
+  loop.ScheduleAfter(Duration::Nanos(2), [] {});
+  EXPECT_EQ(loop.pending_events(), 2u);
+  loop.Cancel(a);
+  EXPECT_EQ(loop.pending_events(), 1u);
+  loop.RunAll();
+  EXPECT_EQ(loop.pending_events(), 0u);
+  EXPECT_EQ(loop.executed_events(), 1u);
+}
+
+}  // namespace
+}  // namespace potemkin

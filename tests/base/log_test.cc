@@ -1,0 +1,46 @@
+#include "src/base/log.h"
+
+#include <gtest/gtest.h>
+
+namespace potemkin {
+namespace {
+
+TEST(LogTest, LevelGateControlsEnabledMacro) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_FALSE(PK_LOG_ENABLED(LogLevel::kDebug));
+  EXPECT_FALSE(PK_LOG_ENABLED(LogLevel::kInfo));
+  EXPECT_TRUE(PK_LOG_ENABLED(LogLevel::kWarning));
+  EXPECT_TRUE(PK_LOG_ENABLED(LogLevel::kError));
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_TRUE(PK_LOG_ENABLED(LogLevel::kDebug));
+  SetLogLevel(LogLevel::kNone);
+  EXPECT_FALSE(PK_LOG_ENABLED(LogLevel::kError));
+  SetLogLevel(original);
+}
+
+TEST(LogTest, DisabledLevelsDoNotEvaluateArguments) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return "costly";
+  };
+  PK_DEBUG << expensive();
+  PK_INFO << expensive();
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(original);
+}
+
+TEST(LogDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ PK_CHECK(1 == 2) << "one is not two"; }, "check failed");
+}
+
+TEST(LogDeathTest, CheckSuccessContinues) {
+  PK_CHECK(2 + 2 == 4) << "arithmetic still works";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace potemkin

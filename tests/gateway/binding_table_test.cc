@@ -1,0 +1,94 @@
+#include "src/gateway/binding_table.h"
+
+#include <gtest/gtest.h>
+
+namespace potemkin {
+namespace {
+
+const Ipv4Address kIp(10, 1, 0, 5);
+
+Packet SomePacket() {
+  PacketSpec spec;
+  spec.src_ip = Ipv4Address(1, 2, 3, 4);
+  spec.dst_ip = kIp;
+  spec.proto = IpProto::kTcp;
+  spec.tcp_flags = TcpFlags::kSyn;
+  return BuildPacket(spec);
+}
+
+TEST(BindingTableTest, CreateFindRemoveLifecycle) {
+  BindingTable table;
+  EXPECT_EQ(table.Find(kIp), nullptr);
+  Binding& binding = table.CreatePending(kIp, /*host=*/3, TimePoint());
+  EXPECT_EQ(binding.state, BindingState::kCloning);
+  EXPECT_EQ(binding.host, 3u);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.Find(kIp), &binding);
+  EXPECT_TRUE(table.Remove(kIp));
+  EXPECT_FALSE(table.Remove(kIp));
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.stats().bindings_created, 1u);
+  EXPECT_EQ(table.stats().bindings_removed, 1u);
+}
+
+TEST(BindingTableTest, ActivateTransitionsState) {
+  BindingTable table;
+  table.CreatePending(kIp, 0, TimePoint());
+  Binding* binding = table.Activate(kIp, /*vm=*/99, TimePoint() + Duration::Millis(500));
+  ASSERT_NE(binding, nullptr);
+  EXPECT_EQ(binding->state, BindingState::kActive);
+  EXPECT_EQ(binding->vm, 99u);
+  EXPECT_EQ(binding->last_activity, TimePoint() + Duration::Millis(500));
+  EXPECT_EQ(table.Activate(Ipv4Address(9, 9, 9, 9), 1, TimePoint()), nullptr);
+}
+
+TEST(BindingTableTest, PendingQueueRespectsCap) {
+  BindingTable table(/*pending_queue_cap=*/2);
+  Binding& binding = table.CreatePending(kIp, 0, TimePoint());
+  EXPECT_TRUE(table.QueuePending(binding, SomePacket()));
+  EXPECT_TRUE(table.QueuePending(binding, SomePacket()));
+  EXPECT_FALSE(table.QueuePending(binding, SomePacket()));
+  EXPECT_EQ(table.stats().pending_queued, 2u);
+  EXPECT_EQ(table.stats().pending_dropped, 1u);
+  const auto drained = table.TakePending(binding);
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_TRUE(binding.pending.empty());
+  // Queue reusable after draining.
+  EXPECT_TRUE(table.QueuePending(binding, SomePacket()));
+}
+
+TEST(BindingTableTest, PeakTracksHighWater) {
+  BindingTable table;
+  for (uint32_t i = 0; i < 5; ++i) {
+    table.CreatePending(Ipv4Address(kIp.value() + i), 0, TimePoint());
+  }
+  for (uint32_t i = 0; i < 5; ++i) {
+    table.Remove(Ipv4Address(kIp.value() + i));
+  }
+  EXPECT_EQ(table.stats().peak_live, 5u);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(BindingTableTest, CollectIfSelectsMatching) {
+  BindingTable table;
+  for (uint32_t i = 0; i < 10; ++i) {
+    Binding& binding = table.CreatePending(Ipv4Address(kIp.value() + i), 0, TimePoint());
+    binding.infected = (i % 3 == 0);
+  }
+  const auto infected =
+      table.CollectIf([](const Binding& b) { return b.infected; });
+  EXPECT_EQ(infected.size(), 4u);  // i = 0,3,6,9
+}
+
+TEST(BindingTableTest, ForEachVisitsAll) {
+  BindingTable table;
+  for (uint32_t i = 0; i < 7; ++i) {
+    table.CreatePending(Ipv4Address(kIp.value() + i), 0, TimePoint());
+  }
+  size_t visited = 0;
+  table.ForEach([&](Binding&) { ++visited; });
+  EXPECT_EQ(visited, 7u);
+}
+
+}  // namespace
+}  // namespace potemkin

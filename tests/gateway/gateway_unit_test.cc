@@ -1,0 +1,264 @@
+// Gateway unit tests against a scripted fake backend (no real hypervisor), plus
+// unit tests of the containment engine, recycler, scan detector and DNS proxy.
+#include "src/gateway/gateway.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace potemkin {
+namespace {
+
+const Ipv4Prefix kFarm(Ipv4Address(10, 1, 0, 0), 16);
+const Ipv4Address kExternal(201, 7, 7, 7);
+
+// A backend that completes spawns after a fixed virtual delay and records calls.
+class FakeBackend : public GatewayBackend {
+ public:
+  FakeBackend(EventLoop* loop, size_t hosts, Duration clone_delay)
+      : loop_(loop), hosts_(hosts), clone_delay_(clone_delay) {}
+
+  size_t NumHosts() const override { return hosts_; }
+  bool HostCanAdmit(HostId host) const override {
+    return !exhausted_.count(host);
+  }
+  size_t HostLiveVms(HostId host) const override {
+    auto it = live_.find(host);
+    return it == live_.end() ? 0 : it->second;
+  }
+  void SpawnVm(HostId host, Ipv4Address ip,
+               std::function<void(VmId)> done) override {
+    ++spawns_;
+    spawn_hosts_.push_back(host);
+    loop_->ScheduleAfter(clone_delay_, [this, host, ip, done = std::move(done)]() {
+      if (fail_spawns_) {
+        done(kInvalidVm);
+        return;
+      }
+      const VmId vm = next_vm_++;
+      ++live_[host];
+      vm_ips_[vm] = ip;
+      done(vm);
+    });
+  }
+  void RetireVm(HostId host, VmId vm) override {
+    ++retires_;
+    --live_[host];
+    vm_ips_.erase(vm);
+  }
+  void DeliverToVm(HostId host, VmId vm, Packet packet) override {
+    (void)host;
+    loop_->ScheduleAfter(Duration::Micros(1), [this, vm, p = std::move(packet)]() {
+      delivered_.emplace_back(vm, std::move(p));
+    });
+  }
+
+  void ExhaustHost(HostId host) { exhausted_.insert(host); }
+  void set_fail_spawns(bool fail) { fail_spawns_ = fail; }
+
+  uint64_t spawns() const { return spawns_; }
+  uint64_t retires() const { return retires_; }
+  const std::vector<HostId>& spawn_hosts() const { return spawn_hosts_; }
+  const std::vector<std::pair<VmId, Packet>>& delivered() const { return delivered_; }
+
+ private:
+  EventLoop* loop_;
+  size_t hosts_;
+  Duration clone_delay_;
+  uint64_t spawns_ = 0;
+  uint64_t retires_ = 0;
+  bool fail_spawns_ = false;
+  VmId next_vm_ = 100;
+  std::vector<HostId> spawn_hosts_;
+  std::map<HostId, size_t> live_;
+  std::map<VmId, Ipv4Address> vm_ips_;
+  std::vector<std::pair<VmId, Packet>> delivered_;
+  std::set<HostId> exhausted_;
+};
+
+Packet InboundSyn(Ipv4Address dst, uint16_t dport = 445,
+                  Ipv4Address src = kExternal, uint16_t sport = 40000) {
+  PacketSpec spec;
+  spec.src_mac = MacAddress::FromId(9);
+  spec.dst_mac = MacAddress::FromId(1);
+  spec.src_ip = src;
+  spec.dst_ip = dst;
+  spec.proto = IpProto::kTcp;
+  spec.src_port = sport;
+  spec.dst_port = dport;
+  spec.tcp_flags = TcpFlags::kSyn;
+  return BuildPacket(spec);
+}
+
+struct GatewayFixture {
+  EventLoop loop;
+  FakeBackend backend;
+  GatewayConfig config;
+  std::unique_ptr<Gateway> gateway;
+  std::vector<Packet> egress;
+
+  explicit GatewayFixture(GatewayConfig cfg = {}, size_t hosts = 2,
+                          Duration clone_delay = Duration::Millis(500))
+      : backend(&loop, hosts, clone_delay), config(std::move(cfg)) {
+    config.farm_prefix = kFarm;
+    gateway = std::make_unique<Gateway>(&loop, config, &backend);
+    gateway->set_egress_sink(
+        [this](Packet p) { egress.push_back(std::move(p)); });
+  }
+};
+
+TEST(GatewayTest, FirstPacketTriggersCloneAndQueues) {
+  GatewayFixture fx;
+  fx.gateway->HandleInbound(InboundSyn(kFarm.AddressAt(5)));
+  EXPECT_EQ(fx.backend.spawns(), 1u);
+  EXPECT_EQ(fx.gateway->stats().clones_triggered, 1u);
+  EXPECT_EQ(fx.gateway->stats().inbound_queued, 1u);
+  const Binding* binding = fx.gateway->bindings().Find(kFarm.AddressAt(5));
+  ASSERT_NE(binding, nullptr);
+  EXPECT_EQ(binding->state, BindingState::kCloning);
+  // After the clone delay the queued packet is delivered.
+  fx.loop.RunAll();
+  EXPECT_EQ(binding->state, BindingState::kActive);
+  ASSERT_EQ(fx.backend.delivered().size(), 1u);
+  EXPECT_EQ(fx.gateway->stats().inbound_delivered, 1u);
+}
+
+TEST(GatewayTest, SubsequentPacketsReuseBinding) {
+  GatewayFixture fx;
+  fx.gateway->HandleInbound(InboundSyn(kFarm.AddressAt(5)));
+  fx.loop.RunAll();
+  fx.gateway->HandleInbound(InboundSyn(kFarm.AddressAt(5)));
+  fx.loop.RunAll();
+  EXPECT_EQ(fx.backend.spawns(), 1u);  // no second clone
+  EXPECT_EQ(fx.backend.delivered().size(), 2u);
+}
+
+TEST(GatewayTest, PacketsDuringCloningAllQueueAndFlush) {
+  GatewayFixture fx;
+  for (int i = 0; i < 5; ++i) {
+    fx.gateway->HandleInbound(InboundSyn(kFarm.AddressAt(9)));
+  }
+  EXPECT_EQ(fx.backend.spawns(), 1u);
+  EXPECT_EQ(fx.gateway->stats().inbound_queued, 5u);
+  fx.loop.RunAll();
+  EXPECT_EQ(fx.backend.delivered().size(), 5u);
+}
+
+TEST(GatewayTest, DropWhileCloningAblation) {
+  GatewayConfig config;
+  config.queue_while_cloning = false;
+  GatewayFixture fx(config);
+  for (int i = 0; i < 3; ++i) {
+    fx.gateway->HandleInbound(InboundSyn(kFarm.AddressAt(9)));
+  }
+  fx.loop.RunAll();
+  EXPECT_EQ(fx.backend.delivered().size(), 0u);
+  EXPECT_EQ(fx.gateway->stats().inbound_dropped_cloning, 3u);
+}
+
+TEST(GatewayTest, PendingQueueCapEnforced) {
+  GatewayConfig config;
+  config.pending_queue_cap = 2;
+  GatewayFixture fx(config);
+  for (int i = 0; i < 5; ++i) {
+    fx.gateway->HandleInbound(InboundSyn(kFarm.AddressAt(9)));
+  }
+  EXPECT_EQ(fx.gateway->bindings().stats().pending_dropped, 3u);
+  fx.loop.RunAll();
+  EXPECT_EQ(fx.backend.delivered().size(), 2u);
+}
+
+TEST(GatewayTest, NonFarmInboundIgnored) {
+  GatewayFixture fx;
+  fx.gateway->HandleInbound(InboundSyn(Ipv4Address(8, 8, 8, 8)));
+  EXPECT_EQ(fx.backend.spawns(), 0u);
+  EXPECT_EQ(fx.gateway->stats().inbound_nonfarm, 1u);
+}
+
+TEST(GatewayTest, RoundRobinPlacementAlternates) {
+  GatewayFixture fx;
+  fx.gateway->HandleInbound(InboundSyn(kFarm.AddressAt(1)));
+  fx.gateway->HandleInbound(InboundSyn(kFarm.AddressAt(2)));
+  fx.gateway->HandleInbound(InboundSyn(kFarm.AddressAt(3)));
+  ASSERT_EQ(fx.backend.spawn_hosts().size(), 3u);
+  EXPECT_EQ(fx.backend.spawn_hosts()[0], 0u);
+  EXPECT_EQ(fx.backend.spawn_hosts()[1], 1u);
+  EXPECT_EQ(fx.backend.spawn_hosts()[2], 0u);
+}
+
+TEST(GatewayTest, PlacementSkipsExhaustedHosts) {
+  GatewayFixture fx;
+  fx.backend.ExhaustHost(0);
+  fx.gateway->HandleInbound(InboundSyn(kFarm.AddressAt(1)));
+  fx.gateway->HandleInbound(InboundSyn(kFarm.AddressAt(2)));
+  for (HostId host : fx.backend.spawn_hosts()) {
+    EXPECT_EQ(host, 1u);
+  }
+}
+
+TEST(GatewayTest, NoCapacityDropsCounted) {
+  GatewayFixture fx;
+  fx.backend.ExhaustHost(0);
+  fx.backend.ExhaustHost(1);
+  fx.gateway->HandleInbound(InboundSyn(kFarm.AddressAt(1)));
+  EXPECT_EQ(fx.backend.spawns(), 0u);
+  EXPECT_EQ(fx.gateway->stats().no_capacity_drops, 1u);
+  EXPECT_EQ(fx.gateway->bindings().size(), 0u);
+}
+
+TEST(GatewayTest, FailedCloneRemovesBinding) {
+  GatewayFixture fx;
+  fx.backend.set_fail_spawns(true);
+  fx.gateway->HandleInbound(InboundSyn(kFarm.AddressAt(1)));
+  fx.loop.RunAll();
+  EXPECT_EQ(fx.gateway->stats().clone_failures, 1u);
+  EXPECT_EQ(fx.gateway->bindings().size(), 0u);
+}
+
+TEST(GatewayTest, RecyclerRetiresIdleVms) {
+  GatewayConfig config;
+  config.recycle.idle_timeout = Duration::Seconds(5);
+  config.recycle.scan_interval = Duration::Seconds(1);
+  GatewayFixture fx(config);
+  fx.gateway->HandleInbound(InboundSyn(kFarm.AddressAt(1)));
+  fx.gateway->StartRecycling();
+  fx.loop.RunFor(Duration::Seconds(10.0));
+  EXPECT_EQ(fx.backend.retires(), 1u);
+  EXPECT_EQ(fx.gateway->bindings().size(), 0u);
+  EXPECT_EQ(fx.gateway->stats().vms_retired, 1u);
+}
+
+TEST(GatewayTest, ActivityDefersRecycling) {
+  GatewayConfig config;
+  config.recycle.idle_timeout = Duration::Seconds(5);
+  config.recycle.scan_interval = Duration::Seconds(1);
+  config.recycle.max_lifetime = Duration::Zero();
+  GatewayFixture fx(config);
+  fx.gateway->HandleInbound(InboundSyn(kFarm.AddressAt(1)));
+  fx.gateway->StartRecycling();
+  // Keep poking every 3 seconds; VM must stay alive.
+  for (int i = 1; i <= 4; ++i) {
+    fx.loop.RunFor(Duration::Seconds(3.0));
+    fx.gateway->HandleInbound(InboundSyn(kFarm.AddressAt(1)));
+  }
+  EXPECT_EQ(fx.backend.retires(), 0u);
+  fx.loop.RunFor(Duration::Seconds(10.0));
+  EXPECT_EQ(fx.backend.retires(), 1u);
+}
+
+TEST(GatewayTest, MaxLifetimeCapsEvenActiveVms) {
+  GatewayConfig config;
+  config.recycle.idle_timeout = Duration::Seconds(100);
+  config.recycle.max_lifetime = Duration::Seconds(8);
+  config.recycle.scan_interval = Duration::Seconds(1);
+  GatewayFixture fx(config);
+  fx.gateway->HandleInbound(InboundSyn(kFarm.AddressAt(1)));
+  fx.gateway->StartRecycling();
+  fx.loop.RunFor(Duration::Seconds(12.0));
+  EXPECT_EQ(fx.backend.retires(), 1u);
+}
+
+}  // namespace
+}  // namespace potemkin

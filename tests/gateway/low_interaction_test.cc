@@ -1,0 +1,111 @@
+#include "src/gateway/low_interaction.h"
+
+#include <gtest/gtest.h>
+
+namespace potemkin {
+namespace {
+
+const Ipv4Prefix kPrefix(Ipv4Address(10, 1, 0, 0), 16);
+
+PacketView MakeView(Packet& storage, IpProto proto, uint16_t dst_port,
+                    uint8_t tcp_flags = TcpFlags::kSyn,
+                    std::vector<uint8_t> payload = {}) {
+  PacketSpec spec;
+  spec.src_mac = MacAddress::FromId(7);
+  spec.dst_mac = MacAddress::FromId(1);
+  spec.src_ip = Ipv4Address(198, 51, 100, 3);
+  spec.dst_ip = kPrefix.AddressAt(77);
+  spec.proto = proto;
+  spec.src_port = 40000;
+  spec.dst_port = dst_port;
+  spec.tcp_flags = tcp_flags;
+  spec.icmp_type = 8;
+  spec.payload = std::move(payload);
+  storage = BuildPacket(spec);
+  return *PacketView::Parse(storage);
+}
+
+TEST(LowInteractionTest, SynToOpenPortGetsSynAck) {
+  LowInteractionResponder responder(kPrefix, DefaultWindowsServices(), 1);
+  Packet storage;
+  const auto reply = responder.Respond(MakeView(storage, IpProto::kTcp, 445));
+  ASSERT_TRUE(reply.has_value());
+  const auto view = PacketView::Parse(*reply);
+  EXPECT_EQ(view->tcp().flags, TcpFlags::kSyn | TcpFlags::kAck);
+  EXPECT_EQ(view->ip().src, kPrefix.AddressAt(77));  // impersonates the probed IP
+  EXPECT_TRUE(ValidateChecksums(*reply));
+  EXPECT_EQ(responder.stats().synacks_sent, 1u);
+}
+
+TEST(LowInteractionTest, ClosedPortGetsRst) {
+  LowInteractionResponder responder(kPrefix, DefaultWindowsServices(), 1);
+  Packet storage;
+  const auto reply = responder.Respond(MakeView(storage, IpProto::kTcp, 9999));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(PacketView::Parse(*reply)->tcp().flags & TcpFlags::kRst);
+}
+
+TEST(LowInteractionTest, BannerOnRequest) {
+  LowInteractionResponder responder(kPrefix, DefaultWindowsServices(), 1);
+  Packet storage;
+  const auto reply = responder.Respond(MakeView(
+      storage, IpProto::kTcp, 80, TcpFlags::kPsh | TcpFlags::kAck, {'G', 'E', 'T'}));
+  ASSERT_TRUE(reply.has_value());
+  const auto payload = PacketView::Parse(*reply)->l4_payload();
+  EXPECT_NE(std::string(payload.begin(), payload.end()).find("IIS"),
+            std::string::npos);
+}
+
+TEST(LowInteractionTest, IcmpEchoAnswered) {
+  LowInteractionResponder responder(kPrefix, DefaultWindowsServices(), 1);
+  Packet storage;
+  const auto reply =
+      responder.Respond(MakeView(storage, IpProto::kIcmp, 0, 0, {9, 9}));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(PacketView::Parse(*reply)->icmp().type, 0);
+  EXPECT_EQ(responder.stats().icmp_replies, 1u);
+}
+
+TEST(LowInteractionTest, ExploitsBounceOffTheFacade) {
+  LowInteractionResponder responder(kPrefix, DefaultWindowsServices(), 1);
+  Packet storage;
+  std::vector<uint8_t> exploit = {'E', 'X', 'P', 'L', 'O', 'I', 'T', '-',
+                                  'S', 'L', 'A', 'M', 'M', 'E', 'R'};
+  const auto reply = responder.Respond(
+      MakeView(storage, IpProto::kUdp, 1434, 0, exploit));
+  // It answers with the canned banner but nothing was compromised.
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(responder.stats().exploit_payloads_ignored, 1u);
+}
+
+TEST(LowInteractionTest, OutsidePrefixIgnored) {
+  LowInteractionResponder responder(Ipv4Prefix(Ipv4Address(172, 16, 0, 0), 16),
+                                    DefaultWindowsServices(), 1);
+  Packet storage;
+  EXPECT_FALSE(responder.Respond(MakeView(storage, IpProto::kTcp, 445)).has_value());
+  EXPECT_EQ(responder.stats().packets_seen, 0u);
+}
+
+TEST(LowInteractionTest, StatelessAcrossMillionsOfAddresses) {
+  // One responder covers the whole prefix with zero per-address state.
+  LowInteractionResponder responder(kPrefix, DefaultWindowsServices(), 1);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    PacketSpec spec;
+    spec.src_mac = MacAddress::FromId(7);
+    spec.dst_mac = MacAddress::FromId(1);
+    spec.src_ip = Ipv4Address(198, 51, 100, 3);
+    spec.dst_ip = kPrefix.AddressAt(i * 61 % kPrefix.NumAddresses());
+    spec.proto = IpProto::kTcp;
+    spec.src_port = 40000;
+    spec.dst_port = 445;
+    spec.tcp_flags = TcpFlags::kSyn;
+    const Packet packet = BuildPacket(spec);
+    const auto reply = responder.Respond(*PacketView::Parse(packet));
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(PacketView::Parse(*reply)->ip().src, spec.dst_ip);
+  }
+  EXPECT_EQ(responder.stats().synacks_sent, 1000u);
+}
+
+}  // namespace
+}  // namespace potemkin

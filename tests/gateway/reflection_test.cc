@@ -1,0 +1,225 @@
+// Focused gateway-level tests of reflection and its NAT bookkeeping, using the
+// same scripted fake backend as gateway_unit_test.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/gateway/gateway.h"
+
+namespace potemkin {
+namespace {
+
+const Ipv4Prefix kFarm(Ipv4Address(10, 1, 0, 0), 16);
+const Ipv4Address kExternalPeer(203, 0, 113, 50);
+
+class ScriptedBackend : public GatewayBackend {
+ public:
+  explicit ScriptedBackend(EventLoop* loop) : loop_(loop) {}
+
+  size_t NumHosts() const override { return 1; }
+  bool HostCanAdmit(HostId) const override { return true; }
+  size_t HostLiveVms(HostId) const override { return 0; }
+  void SpawnVm(HostId, Ipv4Address ip, std::function<void(VmId)> done) override {
+    const VmId vm = next_vm_++;
+    vm_by_ip_[ip.value()] = vm;
+    done(vm);  // instant clone
+  }
+  void RetireVm(HostId, VmId) override {}
+  void DeliverToVm(HostId, VmId vm, Packet packet) override {
+    loop_->ScheduleAfter(Duration::Micros(1), [this, vm, p = std::move(packet)]() {
+      delivered_.emplace_back(vm, std::move(p));
+    });
+  }
+
+  VmId VmFor(Ipv4Address ip) const {
+    auto it = vm_by_ip_.find(ip.value());
+    return it == vm_by_ip_.end() ? kInvalidVm : it->second;
+  }
+  const std::vector<std::pair<VmId, Packet>>& delivered() const { return delivered_; }
+  void ClearDelivered() { delivered_.clear(); }
+
+ private:
+  EventLoop* loop_;
+  VmId next_vm_ = 1;
+  std::map<uint32_t, VmId> vm_by_ip_;
+  std::vector<std::pair<VmId, Packet>> delivered_;
+};
+
+Packet Tcp(Ipv4Address src, Ipv4Address dst, uint16_t sport, uint16_t dport,
+           uint8_t flags, std::vector<uint8_t> payload = {}) {
+  PacketSpec spec;
+  spec.src_mac = MacAddress::FromId(2);
+  spec.dst_mac = MacAddress::FromId(1);
+  spec.src_ip = src;
+  spec.dst_ip = dst;
+  spec.proto = IpProto::kTcp;
+  spec.src_port = sport;
+  spec.dst_port = dport;
+  spec.tcp_flags = flags;
+  spec.payload = std::move(payload);
+  return BuildPacket(spec);
+}
+
+struct ReflectionFixture {
+  EventLoop loop;
+  ScriptedBackend backend;
+  GatewayConfig config;
+  std::unique_ptr<Gateway> gateway;
+  std::vector<Packet> egress;
+  Ipv4Address worm_ip = kFarm.AddressAt(3);
+  VmId worm_vm = kInvalidVm;
+
+  ReflectionFixture() : backend(&loop) {
+    config.farm_prefix = kFarm;
+    config.containment.mode = OutboundMode::kReflect;
+    gateway = std::make_unique<Gateway>(&loop, config, &backend);
+    gateway->set_egress_sink([this](Packet p) { egress.push_back(std::move(p)); });
+    // Bring up the "worm" VM with one inbound probe.
+    gateway->HandleInbound(
+        Tcp(kExternalPeer, worm_ip, 40000, 445, TcpFlags::kSyn));
+    loop.RunAll();
+    worm_vm = backend.VmFor(worm_ip);
+    backend.ClearDelivered();
+  }
+};
+
+TEST(ReflectionTest, OutboundScanIsRewrittenIntoTheFarm) {
+  ReflectionFixture fx;
+  const Ipv4Address external_target(77, 1, 2, 3);
+  fx.gateway->HandleOutbound(0, fx.worm_vm,
+                             Tcp(fx.worm_ip, external_target, 2000, 135,
+                                 TcpFlags::kSyn));
+  fx.loop.RunAll();
+  EXPECT_TRUE(fx.egress.empty());
+  ASSERT_EQ(fx.backend.delivered().size(), 1u);
+  const auto view = PacketView::Parse(fx.backend.delivered()[0].second);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_TRUE(kFarm.Contains(view->ip().dst));         // rewritten into the farm
+  EXPECT_NE(view->ip().dst, fx.worm_ip);               // never onto itself
+  EXPECT_EQ(view->ip().src, fx.worm_ip);               // source preserved
+  EXPECT_TRUE(ValidateChecksums(fx.backend.delivered()[0].second));
+  // Victim binding created via reflection.
+  const Binding* victim = fx.gateway->bindings().Find(view->ip().dst);
+  ASSERT_NE(victim, nullptr);
+  EXPECT_TRUE(victim->reflected_origin);
+}
+
+TEST(ReflectionTest, VictimReplyIsSourceNattedBackToExternalAddress) {
+  ReflectionFixture fx;
+  const Ipv4Address external_target(77, 1, 2, 3);
+  fx.gateway->HandleOutbound(0, fx.worm_vm,
+                             Tcp(fx.worm_ip, external_target, 2000, 135,
+                                 TcpFlags::kSyn));
+  fx.loop.RunAll();
+  const auto reflected = PacketView::Parse(fx.backend.delivered()[0].second);
+  const Ipv4Address victim_ip = reflected->ip().dst;
+  const VmId victim_vm = fx.backend.VmFor(victim_ip);
+  fx.backend.ClearDelivered();
+
+  // Victim answers the worm; the gateway must rewrite src victim -> external.
+  fx.gateway->HandleOutbound(0, victim_vm,
+                             Tcp(victim_ip, fx.worm_ip, 135, 2000,
+                                 TcpFlags::kSyn | TcpFlags::kAck));
+  fx.loop.RunAll();
+  ASSERT_EQ(fx.backend.delivered().size(), 1u);
+  EXPECT_EQ(fx.backend.delivered()[0].first, fx.worm_vm);
+  const auto reply = PacketView::Parse(fx.backend.delivered()[0].second);
+  EXPECT_EQ(reply->ip().src, external_target);  // the lie that preserves fidelity
+  EXPECT_EQ(reply->ip().dst, fx.worm_ip);
+  EXPECT_TRUE(ValidateChecksums(fx.backend.delivered()[0].second));
+  EXPECT_TRUE(fx.egress.empty());
+}
+
+TEST(ReflectionTest, KeyedReflectionIsStablePerExternalTarget) {
+  ReflectionFixture fx;
+  const Ipv4Address external_target(77, 1, 2, 3);
+  for (int i = 0; i < 3; ++i) {
+    fx.gateway->HandleOutbound(0, fx.worm_vm,
+                               Tcp(fx.worm_ip, external_target,
+                                   static_cast<uint16_t>(2000 + i), 135,
+                                   TcpFlags::kSyn));
+  }
+  fx.loop.RunAll();
+  ASSERT_EQ(fx.backend.delivered().size(), 3u);
+  const Ipv4Address first =
+      PacketView::Parse(fx.backend.delivered()[0].second)->ip().dst;
+  for (const auto& [vm, packet] : fx.backend.delivered()) {
+    EXPECT_EQ(PacketView::Parse(packet)->ip().dst, first);
+  }
+  // Only one victim VM was created for three packets.
+  EXPECT_EQ(fx.gateway->stats().clones_triggered, 2u);  // worm + one victim
+}
+
+TEST(ReflectionTest, FollowUpToSameExternalTargetDoesNotEscape) {
+  // Regression for the NAT/flow-table containment hole: after the victim's
+  // NATted reply, more packets to the external target must still reflect.
+  ReflectionFixture fx;
+  const Ipv4Address external_target(77, 1, 2, 3);
+  fx.gateway->HandleOutbound(0, fx.worm_vm,
+                             Tcp(fx.worm_ip, external_target, 2000, 135,
+                                 TcpFlags::kSyn));
+  fx.loop.RunAll();
+  const Ipv4Address victim_ip =
+      PacketView::Parse(fx.backend.delivered()[0].second)->ip().dst;
+  const VmId victim_vm = fx.backend.VmFor(victim_ip);
+  fx.gateway->HandleOutbound(0, victim_vm,
+                             Tcp(victim_ip, fx.worm_ip, 135, 2000,
+                                 TcpFlags::kSyn | TcpFlags::kAck));
+  fx.loop.RunAll();
+  fx.backend.ClearDelivered();
+
+  // The worm now sends the exploit payload to the external target.
+  fx.gateway->HandleOutbound(
+      0, fx.worm_vm,
+      Tcp(fx.worm_ip, external_target, 2000, 135, TcpFlags::kAck | TcpFlags::kPsh,
+          {'E', 'V', 'I', 'L'}));
+  fx.loop.RunAll();
+  EXPECT_TRUE(fx.egress.empty()) << "exploit escaped to the Internet";
+  ASSERT_EQ(fx.backend.delivered().size(), 1u);
+  const auto view = PacketView::Parse(fx.backend.delivered()[0].second);
+  EXPECT_EQ(view->ip().dst, victim_ip);
+  EXPECT_EQ(view->l4_payload().size(), 4u);
+}
+
+TEST(ReflectionTest, ResponsesToRealProbersStillPass) {
+  ReflectionFixture fx;
+  // The honeypot answers its original external prober: must go out, not reflect.
+  fx.gateway->HandleOutbound(0, fx.worm_vm,
+                             Tcp(fx.worm_ip, kExternalPeer, 445, 40000,
+                                 TcpFlags::kSyn | TcpFlags::kAck));
+  fx.loop.RunAll();
+  ASSERT_EQ(fx.egress.size(), 1u);
+  EXPECT_EQ(PacketView::Parse(fx.egress[0])->ip().dst, kExternalPeer);
+  EXPECT_EQ(fx.gateway->stats().responses_allowed_out, 1u);
+}
+
+TEST(ReflectionTest, RandomReflectionSpreadsVictims) {
+  EventLoop loop;
+  ScriptedBackend backend(&loop);
+  GatewayConfig config;
+  config.farm_prefix = kFarm;
+  config.containment.mode = OutboundMode::kReflect;
+  config.containment.keyed_reflection = false;
+  Gateway gateway(&loop, config, &backend);
+  gateway.HandleInbound(Tcp(kExternalPeer, kFarm.AddressAt(3), 40000, 445,
+                            TcpFlags::kSyn));
+  loop.RunAll();
+  const VmId worm_vm = backend.VmFor(kFarm.AddressAt(3));
+  backend.ClearDelivered();
+  for (int i = 0; i < 5; ++i) {
+    gateway.HandleOutbound(0, worm_vm,
+                           Tcp(kFarm.AddressAt(3), Ipv4Address(77, 1, 2, 3),
+                               static_cast<uint16_t>(3000 + i), 135,
+                               TcpFlags::kSyn));
+  }
+  loop.RunAll();
+  std::set<uint32_t> victims;
+  for (const auto& [vm, packet] : backend.delivered()) {
+    victims.insert(PacketView::Parse(packet)->ip().dst.value());
+  }
+  EXPECT_GE(victims.size(), 4u);  // random mode scatters
+}
+
+}  // namespace
+}  // namespace potemkin

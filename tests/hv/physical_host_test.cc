@@ -1,0 +1,175 @@
+// Flash-clone vs full-copy mechanics and host admission control.
+#include "src/hv/physical_host.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace potemkin {
+namespace {
+
+PhysicalHostConfig SmallHost(uint64_t memory_mb = 16) {
+  PhysicalHostConfig config;
+  config.memory_mb = memory_mb;
+  config.content_mode = ContentMode::kStoreBytes;
+  config.domain_overhead_frames = 8;
+  config.admission_reserve_frames = 16;
+  return config;
+}
+
+ReferenceImageConfig SmallImage() {
+  ReferenceImageConfig config;
+  config.num_pages = 128;  // 512 KiB image
+  config.content_seed = 5;
+  return config;
+}
+
+TEST(PhysicalHostTest, FlashCloneSharesAllImagePages) {
+  PhysicalHost host(SmallHost());
+  const ImageId image = host.RegisterImage(SmallImage());
+  const uint64_t frames_after_image = host.allocator().used_frames();
+  EXPECT_EQ(frames_after_image, 128u);
+
+  VirtualMachine* vm = host.CreateClone(image, CloneKind::kFlash, "clone-1");
+  ASSERT_NE(vm, nullptr);
+  // Flash cloning allocates only the domain overhead, zero guest page copies.
+  EXPECT_EQ(host.allocator().used_frames(), frames_after_image + 8);
+  EXPECT_EQ(vm->memory().shared_pages(), 128u);
+  EXPECT_EQ(vm->memory().private_pages(), 0u);
+  EXPECT_EQ(vm->state(), VmState::kCloning);
+}
+
+TEST(PhysicalHostTest, FlashCloneSeesImageContent) {
+  PhysicalHost host(SmallHost());
+  const auto image_config = SmallImage();
+  const ImageId image = host.RegisterImage(image_config);
+  VirtualMachine* vm = host.CreateClone(image, CloneKind::kFlash, "clone-1");
+  ASSERT_NE(vm, nullptr);
+  for (Gpfn g = 0; g < 128; g += 31) {
+    const auto expected = ReferenceImage::ExpectedPageContent(image_config, g);
+    std::vector<uint8_t> actual(kPageSize);
+    EXPECT_EQ(vm->memory().ReadGuest(static_cast<uint64_t>(g) * kPageSize,
+                                     std::span(actual.data(), actual.size())),
+              MemAccessResult::kOk);
+    EXPECT_EQ(actual, expected) << "page " << g;
+  }
+}
+
+TEST(PhysicalHostTest, CloneWritesDoNotContaminateImageOrSiblings) {
+  PhysicalHost host(SmallHost());
+  const auto image_config = SmallImage();
+  const ImageId image = host.RegisterImage(image_config);
+  VirtualMachine* a = host.CreateClone(image, CloneKind::kFlash, "a");
+  VirtualMachine* b = host.CreateClone(image, CloneKind::kFlash, "b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+
+  const std::vector<uint8_t> patch = {0x66};
+  a->memory().WriteGuest(0, std::span(patch.data(), 1));
+
+  const auto expected = ReferenceImage::ExpectedPageContent(image_config, 0);
+  std::vector<uint8_t> b_page(kPageSize);
+  b->memory().ReadGuest(0, std::span(b_page.data(), b_page.size()));
+  EXPECT_EQ(b_page, expected);
+
+  std::vector<uint8_t> a_byte(1);
+  a->memory().ReadGuest(0, std::span(a_byte.data(), 1));
+  EXPECT_EQ(a_byte[0], 0x66);
+}
+
+TEST(PhysicalHostTest, FullCopyCloneCopiesEveryPage) {
+  PhysicalHost host(SmallHost());
+  const ImageId image = host.RegisterImage(SmallImage());
+  const uint64_t before = host.allocator().used_frames();
+  VirtualMachine* vm = host.CreateClone(image, CloneKind::kFullCopy, "fat");
+  ASSERT_NE(vm, nullptr);
+  EXPECT_EQ(host.allocator().used_frames(), before + 128 + 8);
+  EXPECT_EQ(vm->memory().private_pages(), 128u);
+  EXPECT_EQ(vm->memory().shared_pages(), 0u);
+}
+
+TEST(PhysicalHostTest, ManyMoreFlashClonesThanFullCopiesFit) {
+  // 16 MiB host = 4096 frames; image 128 pages.
+  PhysicalHost flash_host(SmallHost());
+  PhysicalHost copy_host(SmallHost());
+  const ImageId flash_image = flash_host.RegisterImage(SmallImage());
+  const ImageId copy_image = copy_host.RegisterImage(SmallImage());
+  int flash_count = 0;
+  while (flash_host.CreateClone(flash_image, CloneKind::kFlash, "f") != nullptr) {
+    ++flash_count;
+  }
+  int copy_count = 0;
+  while (copy_host.CreateClone(copy_image, CloneKind::kFullCopy, "c") != nullptr) {
+    ++copy_count;
+  }
+  EXPECT_GT(flash_count, copy_count * 5) << "delta virtualization should fit >5x";
+}
+
+TEST(PhysicalHostTest, AdmissionControlRefusesBeforeExhaustion) {
+  PhysicalHostConfig config = SmallHost(1);  // 256 frames total
+  PhysicalHost host(config);
+  ReferenceImageConfig image_config;
+  image_config.num_pages = 128;
+  const ImageId image = host.RegisterImage(image_config);
+  // Full-copy needs 128 + 8 + 16 reserve = 152 > 128 remaining -> refused.
+  EXPECT_FALSE(host.CanAdmit(image, CloneKind::kFullCopy));
+  EXPECT_EQ(host.CreateClone(image, CloneKind::kFullCopy, "x"), nullptr);
+  EXPECT_EQ(host.total_clone_failures(), 1u);
+  // Flash clone still fits.
+  EXPECT_TRUE(host.CanAdmit(image, CloneKind::kFlash));
+  EXPECT_NE(host.CreateClone(image, CloneKind::kFlash, "y"), nullptr);
+}
+
+TEST(PhysicalHostTest, DestroyReleasesEverything) {
+  PhysicalHost host(SmallHost());
+  const ImageId image = host.RegisterImage(SmallImage());
+  const uint64_t baseline = host.allocator().used_frames();
+  VirtualMachine* vm = host.CreateClone(image, CloneKind::kFlash, "tmp");
+  ASSERT_NE(vm, nullptr);
+  const std::vector<uint8_t> data = {1};
+  vm->memory().WriteGuest(0, std::span(data.data(), 1));  // one private page
+  EXPECT_GT(host.allocator().used_frames(), baseline);
+  const VmId id = vm->id();
+  EXPECT_TRUE(host.DestroyVm(id));
+  EXPECT_EQ(host.allocator().used_frames(), baseline);
+  EXPECT_EQ(host.FindVm(id), nullptr);
+  EXPECT_FALSE(host.DestroyVm(id));
+  EXPECT_EQ(host.live_vm_count(), 0u);
+  EXPECT_EQ(host.total_destroyed(), 1u);
+}
+
+TEST(PhysicalHostTest, VmIdsGloballyUnique) {
+  PhysicalHost host_a(SmallHost());
+  PhysicalHost host_b(SmallHost());
+  const ImageId image_a = host_a.RegisterImage(SmallImage());
+  const ImageId image_b = host_b.RegisterImage(SmallImage());
+  VirtualMachine* a = host_a.CreateClone(image_a, CloneKind::kFlash, "a");
+  VirtualMachine* b = host_b.CreateClone(image_b, CloneKind::kFlash, "b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a->id(), b->id());
+}
+
+TEST(PhysicalHostTest, TotalPrivatePagesAggregates) {
+  PhysicalHost host(SmallHost());
+  const ImageId image = host.RegisterImage(SmallImage());
+  VirtualMachine* a = host.CreateClone(image, CloneKind::kFlash, "a");
+  VirtualMachine* b = host.CreateClone(image, CloneKind::kFlash, "b");
+  a->memory().TouchPages(0, 3);
+  b->memory().TouchPages(0, 5);
+  EXPECT_EQ(host.TotalPrivatePages(), 8u);
+}
+
+TEST(PhysicalHostTest, PeakLiveVmsTracked) {
+  PhysicalHost host(SmallHost());
+  const ImageId image = host.RegisterImage(SmallImage());
+  VirtualMachine* a = host.CreateClone(image, CloneKind::kFlash, "a");
+  VirtualMachine* b = host.CreateClone(image, CloneKind::kFlash, "b");
+  host.DestroyVm(a->id());
+  host.DestroyVm(b->id());
+  EXPECT_EQ(host.peak_live_vms(), 2u);
+  EXPECT_EQ(host.total_clones_created(), 2u);
+}
+
+}  // namespace
+}  // namespace potemkin

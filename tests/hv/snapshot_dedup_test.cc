@@ -1,0 +1,239 @@
+// Tests for forensic snapshots and content-based page deduplication.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/hv/page_dedup.h"
+#include "src/hv/physical_host.h"
+#include "src/hv/snapshot.h"
+
+namespace potemkin {
+namespace {
+
+PhysicalHostConfig StoreBytesHost() {
+  PhysicalHostConfig config;
+  config.memory_mb = 64;
+  config.content_mode = ContentMode::kStoreBytes;
+  config.domain_overhead_frames = 4;
+  return config;
+}
+
+ReferenceImageConfig SmallImage() {
+  ReferenceImageConfig config;
+  config.num_pages = 128;
+  config.content_seed = 3;
+  return config;
+}
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SnapshotTest, CapturesExactlyTheDelta) {
+  PhysicalHost host(StoreBytesHost());
+  const ImageId image = host.RegisterImage(SmallImage());
+  VirtualMachine* vm = host.CreateClone(image, CloneKind::kFlash, "victim");
+  vm->BindAddress(Ipv4Address(10, 1, 0, 9), MacAddress::FromId(9));
+  vm->set_infected(true);
+
+  const std::vector<uint8_t> payload = {0xde, 0xad, 0xbe, 0xef};
+  vm->memory().WriteGuest(5 * kPageSize + 100, std::span(payload.data(), 4));
+  vm->memory().WriteGuest(77 * kPageSize, std::span(payload.data(), 2));
+  vm->disk().WriteBytes(3, 10, std::span(payload.data(), 4));
+
+  const VmSnapshot snapshot = VmSnapshot::Capture(*vm, TimePoint() + Duration::Seconds(9.0));
+  EXPECT_EQ(snapshot.delta_pages(), 2u);
+  EXPECT_EQ(snapshot.disk_blocks(), 1u);
+  EXPECT_TRUE(snapshot.meta().infected);
+  EXPECT_EQ(snapshot.meta().ip, Ipv4Address(10, 1, 0, 9).value());
+  EXPECT_EQ(snapshot.meta().num_pages, 128u);
+  ASSERT_NE(snapshot.PageContent(5), nullptr);
+  EXPECT_EQ((*snapshot.PageContent(5))[100], 0xde);
+  EXPECT_EQ(snapshot.PageContent(6), nullptr);
+}
+
+TEST(SnapshotTest, FileRoundTripPreservesEverything) {
+  PhysicalHost host(StoreBytesHost());
+  const ImageId image = host.RegisterImage(SmallImage());
+  VirtualMachine* vm = host.CreateClone(image, CloneKind::kFlash, "victim");
+  vm->set_infected(true);
+  const std::vector<uint8_t> payload = {1, 2, 3};
+  vm->memory().WriteGuest(11 * kPageSize + 7, std::span(payload.data(), 3));
+  vm->disk().WriteBytes(9, 0, std::span(payload.data(), 3));
+
+  const std::string path = TempPath("victim.snap");
+  const VmSnapshot original = VmSnapshot::Capture(*vm, TimePoint());
+  ASSERT_TRUE(original.WriteToFile(path));
+  const auto loaded = VmSnapshot::ReadFromFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->delta_pages(), original.delta_pages());
+  EXPECT_EQ(loaded->disk_blocks(), original.disk_blocks());
+  EXPECT_EQ(loaded->meta().infected, true);
+  EXPECT_EQ(loaded->meta().vm, vm->id());
+  ASSERT_NE(loaded->PageContent(11), nullptr);
+  EXPECT_EQ(*loaded->PageContent(11), *original.PageContent(11));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RestoreReproducesInfectedMachine) {
+  PhysicalHost host(StoreBytesHost());
+  const ImageId image = host.RegisterImage(SmallImage());
+  VirtualMachine* victim = host.CreateClone(image, CloneKind::kFlash, "victim");
+  victim->set_infected(true);
+  const std::vector<uint8_t> payload = {0x99, 0x88};
+  victim->memory().WriteGuest(42 * kPageSize + 5, std::span(payload.data(), 2));
+  victim->disk().WriteBytes(7, 3, std::span(payload.data(), 2));
+  const VmSnapshot snapshot = VmSnapshot::Capture(*victim, TimePoint());
+  host.DestroyVm(victim->id());
+
+  // Restore into a fresh clone of the same image (the analysis workflow).
+  VirtualMachine* lab = host.CreateClone(image, CloneKind::kFlash, "lab");
+  ASSERT_TRUE(snapshot.RestoreInto(lab));
+  EXPECT_TRUE(lab->infected());
+  std::vector<uint8_t> mem(2);
+  lab->memory().ReadGuest(42 * kPageSize + 5, std::span(mem.data(), 2));
+  EXPECT_EQ(mem[0], 0x99);
+  EXPECT_EQ(mem[1], 0x88);
+  std::vector<uint8_t> block(kDiskBlockSize);
+  lab->disk().ReadBlock(7, std::span(block.data(), block.size()));
+  EXPECT_EQ(block[3], 0x99);
+  EXPECT_EQ(block[4], 0x88);
+  // Unmodified pages still show the image content.
+  const auto expected = ReferenceImage::ExpectedPageContent(SmallImage(), 50);
+  std::vector<uint8_t> page(kPageSize);
+  lab->memory().ReadGuest(50 * kPageSize, std::span(page.data(), page.size()));
+  EXPECT_EQ(page, expected);
+}
+
+TEST(SnapshotTest, RestoreRejectsMismatchedShape) {
+  PhysicalHost host(StoreBytesHost());
+  const ImageId small = host.RegisterImage(SmallImage());
+  ReferenceImageConfig big_config = SmallImage();
+  big_config.num_pages = 256;
+  const ImageId big = host.RegisterImage(big_config);
+  VirtualMachine* a = host.CreateClone(small, CloneKind::kFlash, "a");
+  VirtualMachine* b = host.CreateClone(big, CloneKind::kFlash, "b");
+  const VmSnapshot snapshot = VmSnapshot::Capture(*a, TimePoint());
+  EXPECT_FALSE(snapshot.RestoreInto(b));
+  EXPECT_FALSE(snapshot.RestoreInto(nullptr));
+}
+
+TEST(SnapshotTest, MissingFileFailsCleanly) {
+  EXPECT_FALSE(VmSnapshot::ReadFromFile("/no/such/file.snap").has_value());
+}
+
+TEST(DedupTest, MergesIdenticalPagesAcrossVms) {
+  PhysicalHost host(StoreBytesHost());
+  const ImageId image = host.RegisterImage(SmallImage());
+  VirtualMachine* a = host.CreateClone(image, CloneKind::kFlash, "a");
+  VirtualMachine* b = host.CreateClone(image, CloneKind::kFlash, "b");
+  VirtualMachine* c = host.CreateClone(image, CloneKind::kFlash, "c");
+
+  // All three CoW-break the SAME image page with the same patch, so their
+  // private copies are byte-identical (image content + identical overwrite).
+  const std::vector<uint8_t> same(64, 0x5a);
+  a->memory().WriteGuest(3 * kPageSize, std::span(same.data(), same.size()));
+  b->memory().WriteGuest(3 * kPageSize, std::span(same.data(), same.size()));
+  c->memory().WriteGuest(3 * kPageSize, std::span(same.data(), same.size()));
+  // And one writes something unique.
+  const std::vector<uint8_t> unique = {0x11};
+  a->memory().WriteGuest(9 * kPageSize, std::span(unique.data(), 1));
+
+  const uint64_t frames_before = host.allocator().used_frames();
+  const DedupResult result = DeduplicatePages(host);
+  EXPECT_EQ(result.pages_scanned, 4u);
+  EXPECT_EQ(result.pages_merged, 2u);
+  EXPECT_EQ(result.frames_freed, 2u);
+  EXPECT_EQ(host.allocator().used_frames(), frames_before - 2);
+
+  // Contents unchanged for every VM.
+  std::vector<uint8_t> buf(64);
+  for (VirtualMachine* vm : {a, b, c}) {
+    vm->memory().ReadGuest(3 * kPageSize, std::span(buf.data(), buf.size()));
+    EXPECT_EQ(buf, same);
+  }
+}
+
+TEST(DedupTest, MergedPagesReprivatizeOnWrite) {
+  PhysicalHost host(StoreBytesHost());
+  const ImageId image = host.RegisterImage(SmallImage());
+  VirtualMachine* a = host.CreateClone(image, CloneKind::kFlash, "a");
+  VirtualMachine* b = host.CreateClone(image, CloneKind::kFlash, "b");
+  const std::vector<uint8_t> same(16, 0x77);
+  a->memory().WriteGuest(3 * kPageSize, std::span(same.data(), same.size()));
+  b->memory().WriteGuest(3 * kPageSize, std::span(same.data(), same.size()));
+  DeduplicatePages(host);
+  EXPECT_TRUE(a->memory().IsCowShared(3));
+  EXPECT_TRUE(b->memory().IsCowShared(3));
+
+  // Writing through the share must CoW-break without disturbing the other VM.
+  const std::vector<uint8_t> change = {0xff};
+  EXPECT_EQ(a->memory().WriteGuest(3 * kPageSize, std::span(change.data(), 1)),
+            MemAccessResult::kCowBreak);
+  std::vector<uint8_t> buf(16);
+  b->memory().ReadGuest(3 * kPageSize, std::span(buf.data(), buf.size()));
+  EXPECT_EQ(buf, same);
+  std::vector<uint8_t> a_first(1);
+  a->memory().ReadGuest(3 * kPageSize, std::span(a_first.data(), 1));
+  EXPECT_EQ(a_first[0], 0xff);
+}
+
+TEST(DedupTest, SecondPassIsIdempotent) {
+  PhysicalHost host(StoreBytesHost());
+  const ImageId image = host.RegisterImage(SmallImage());
+  VirtualMachine* a = host.CreateClone(image, CloneKind::kFlash, "a");
+  VirtualMachine* b = host.CreateClone(image, CloneKind::kFlash, "b");
+  const std::vector<uint8_t> same(16, 0x42);
+  a->memory().WriteGuest(0, std::span(same.data(), same.size()));
+  b->memory().WriteGuest(0, std::span(same.data(), same.size()));
+  const DedupResult first = DeduplicatePages(host);
+  EXPECT_EQ(first.pages_merged, 1u);
+  const DedupResult second = DeduplicatePages(host);
+  EXPECT_EQ(second.pages_merged, 0u);
+  // After merging, both mappings are CoW shares; no private pages remain to scan.
+  EXPECT_EQ(second.pages_scanned, 0u);
+}
+
+TEST(DedupTest, DifferentContentNeverMerged) {
+  PhysicalHost host(StoreBytesHost());
+  const ImageId image = host.RegisterImage(SmallImage());
+  VirtualMachine* a = host.CreateClone(image, CloneKind::kFlash, "a");
+  VirtualMachine* b = host.CreateClone(image, CloneKind::kFlash, "b");
+  const std::vector<uint8_t> x = {1};
+  const std::vector<uint8_t> y = {2};
+  a->memory().WriteGuest(0, std::span(x.data(), 1));
+  b->memory().WriteGuest(0, std::span(y.data(), 1));
+  const DedupResult result = DeduplicatePages(host);
+  EXPECT_EQ(result.pages_merged, 0u);
+}
+
+TEST(DedupTest, ZeroDeltaPagesAllCollapseToOneFrame) {
+  PhysicalHost host(StoreBytesHost());
+  const ImageId image = host.RegisterImage(SmallImage());
+  // Identical CoW breaks of the same image page are byte-identical.
+  std::vector<VirtualMachine*> vms;
+  for (int i = 0; i < 5; ++i) {
+    VirtualMachine* vm = host.CreateClone(image, CloneKind::kFlash, "z");
+    const std::vector<uint8_t> zero = {0};
+    vm->memory().WriteGuest(10 * kPageSize, std::span(zero.data(), 1));
+    vms.push_back(vm);
+  }
+  const DedupResult result = DeduplicatePages(host);
+  EXPECT_EQ(result.pages_merged, 4u);  // 5 identical zero pages -> 1 frame
+}
+
+TEST(DedupTest, MetadataOnlyHostIsNoOp) {
+  PhysicalHostConfig config = StoreBytesHost();
+  config.content_mode = ContentMode::kMetadataOnly;
+  PhysicalHost host(config);
+  const ImageId image = host.RegisterImage(SmallImage());
+  VirtualMachine* a = host.CreateClone(image, CloneKind::kFlash, "a");
+  const std::vector<uint8_t> data = {1};
+  a->memory().WriteGuest(0, std::span(data.data(), 1));
+  const DedupResult result = DeduplicatePages(host);
+  EXPECT_EQ(result.pages_scanned, 0u);
+  EXPECT_EQ(result.pages_merged, 0u);
+}
+
+}  // namespace
+}  // namespace potemkin

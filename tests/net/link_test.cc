@@ -1,0 +1,152 @@
+#include "src/net/link.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace potemkin {
+namespace {
+
+class RecordingNode : public NetworkNode {
+ public:
+  explicit RecordingNode(EventLoop* loop, std::string name)
+      : loop_(loop), name_(std::move(name)) {}
+
+  void HandleFrame(Packet packet) override {
+    arrivals_.push_back(loop_->Now());
+    frames_.push_back(std::move(packet));
+  }
+  std::string node_name() const override { return name_; }
+
+  const std::vector<Packet>& frames() const { return frames_; }
+  const std::vector<TimePoint>& arrivals() const { return arrivals_; }
+
+ private:
+  EventLoop* loop_;
+  std::string name_;
+  std::vector<Packet> frames_;
+  std::vector<TimePoint> arrivals_;
+};
+
+Packet MakeFrame(size_t payload, MacAddress dst = MacAddress::FromId(2),
+                 MacAddress src = MacAddress::FromId(1)) {
+  PacketSpec spec;
+  spec.src_mac = src;
+  spec.dst_mac = dst;
+  spec.src_ip = Ipv4Address(1, 1, 1, 1);
+  spec.dst_ip = Ipv4Address(2, 2, 2, 2);
+  spec.proto = IpProto::kUdp;
+  spec.payload.assign(payload, 0);
+  return BuildPacket(spec);
+}
+
+TEST(LinkTest, DeliversAfterLatencyAndSerialization) {
+  EventLoop loop;
+  RecordingNode a(&loop, "a");
+  RecordingNode b(&loop, "b");
+  // 1 ms latency, 1 Mbit/s -> a 1000-bit frame takes 1 ms to serialize.
+  Link link(&loop, "l", Duration::Millis(1), 1e6);
+  link.Connect(&a, &b);
+  Packet frame = MakeFrame(125 - 42);  // 125 bytes = 1000 bits total
+  ASSERT_EQ(frame.size(), 125u);
+  EXPECT_TRUE(link.Send(&a, std::move(frame)));
+  loop.RunAll();
+  ASSERT_EQ(b.frames().size(), 1u);
+  EXPECT_EQ(b.arrivals()[0].nanos(), 2000000);  // 1 ms tx + 1 ms propagation
+  EXPECT_EQ(link.stats().packets_delivered, 1u);
+  EXPECT_EQ(link.stats().bytes_delivered, 125u);
+}
+
+TEST(LinkTest, BackToBackFramesQueueBehindEachOther) {
+  EventLoop loop;
+  RecordingNode a(&loop, "a");
+  RecordingNode b(&loop, "b");
+  Link link(&loop, "l", Duration::Zero(), 1e6);
+  link.Connect(&a, &b);
+  link.Send(&a, MakeFrame(125 - 42));
+  link.Send(&a, MakeFrame(125 - 42));
+  loop.RunAll();
+  ASSERT_EQ(b.arrivals().size(), 2u);
+  EXPECT_EQ(b.arrivals()[0].nanos(), 1000000);
+  EXPECT_EQ(b.arrivals()[1].nanos(), 2000000);  // serialized after the first
+}
+
+TEST(LinkTest, QueueLimitDropsTail) {
+  EventLoop loop;
+  RecordingNode a(&loop, "a");
+  RecordingNode b(&loop, "b");
+  Link link(&loop, "l", Duration::Zero(), 1e6, /*queue_limit=*/2);
+  link.Connect(&a, &b);
+  EXPECT_TRUE(link.Send(&a, MakeFrame(10)));
+  EXPECT_TRUE(link.Send(&a, MakeFrame(10)));
+  EXPECT_FALSE(link.Send(&a, MakeFrame(10)));
+  loop.RunAll();
+  EXPECT_EQ(b.frames().size(), 2u);
+  EXPECT_EQ(link.stats().packets_dropped, 1u);
+}
+
+TEST(LinkTest, FullDuplexDirectionsIndependent) {
+  EventLoop loop;
+  RecordingNode a(&loop, "a");
+  RecordingNode b(&loop, "b");
+  Link link(&loop, "l", Duration::Millis(1), 1e9);
+  link.Connect(&a, &b);
+  link.Send(&a, MakeFrame(10));
+  link.Send(&b, MakeFrame(10));
+  loop.RunAll();
+  EXPECT_EQ(a.frames().size(), 1u);
+  EXPECT_EQ(b.frames().size(), 1u);
+}
+
+TEST(SwitchTest, ForwardsToKnownMac) {
+  EventLoop loop;
+  RecordingNode a(&loop, "a");
+  RecordingNode b(&loop, "b");
+  RecordingNode c(&loop, "c");
+  Switch fabric(&loop, "sw", Duration::Micros(10));
+  fabric.Attach(&a, MacAddress::FromId(1));
+  fabric.Attach(&b, MacAddress::FromId(2));
+  fabric.Attach(&c, MacAddress::FromId(3));
+  fabric.Forward(&a, MakeFrame(10, MacAddress::FromId(2), MacAddress::FromId(1)));
+  loop.RunAll();
+  EXPECT_EQ(b.frames().size(), 1u);
+  EXPECT_EQ(c.frames().size(), 0u);
+  EXPECT_EQ(fabric.frames_forwarded(), 1u);
+}
+
+TEST(SwitchTest, FloodsUnknownAndBroadcast) {
+  EventLoop loop;
+  RecordingNode a(&loop, "a");
+  RecordingNode b(&loop, "b");
+  RecordingNode c(&loop, "c");
+  Switch fabric(&loop, "sw", Duration::Micros(10));
+  fabric.Attach(&a, MacAddress::FromId(1));
+  fabric.Attach(&b, MacAddress::FromId(2));
+  fabric.Attach(&c, MacAddress::FromId(3));
+  fabric.Forward(&a, MakeFrame(10, MacAddress::Broadcast(), MacAddress::FromId(1)));
+  loop.RunAll();
+  EXPECT_EQ(b.frames().size(), 1u);
+  EXPECT_EQ(c.frames().size(), 1u);
+  EXPECT_EQ(a.frames().size(), 0u);  // not back out the ingress port
+  EXPECT_EQ(fabric.frames_flooded(), 1u);
+}
+
+TEST(SwitchTest, LearnsSourceMacs) {
+  EventLoop loop;
+  RecordingNode a(&loop, "a");
+  RecordingNode b(&loop, "b");
+  Switch fabric(&loop, "sw", Duration::Micros(10));
+  fabric.Attach(&a, MacAddress::FromId(1));
+  fabric.Attach(&b, MacAddress::FromId(2));
+  // b sends from a MAC the switch has not seen; it learns the mapping.
+  fabric.Forward(&b, MakeFrame(10, MacAddress::FromId(1), MacAddress::FromId(99)));
+  loop.RunAll();
+  const size_t before = fabric.frames_flooded();
+  fabric.Forward(&a, MakeFrame(10, MacAddress::FromId(99), MacAddress::FromId(1)));
+  loop.RunAll();
+  EXPECT_EQ(fabric.frames_flooded(), before);  // forwarded, not flooded
+  EXPECT_EQ(b.frames().size(), 1u);
+}
+
+}  // namespace
+}  // namespace potemkin

@@ -1,0 +1,183 @@
+#include "src/net/packet.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/checksum.h"
+
+namespace potemkin {
+namespace {
+
+PacketSpec BaseTcpSpec() {
+  PacketSpec spec;
+  spec.src_mac = MacAddress::FromId(1);
+  spec.dst_mac = MacAddress::FromId(2);
+  spec.src_ip = Ipv4Address(1, 2, 3, 4);
+  spec.dst_ip = Ipv4Address(10, 1, 0, 1);
+  spec.proto = IpProto::kTcp;
+  spec.src_port = 31337;
+  spec.dst_port = 445;
+  spec.seq = 1000;
+  spec.tcp_flags = TcpFlags::kSyn;
+  return spec;
+}
+
+TEST(ChecksumTest, Rfc1071Example) {
+  // Classic example from RFC 1071 presentations.
+  const uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(ComputeInternetChecksum(data, sizeof(data)), 0x220d);
+}
+
+TEST(ChecksumTest, OddLengthHandled) {
+  const uint8_t data[] = {0x01, 0x02, 0x03};
+  // 0x0102 + 0x0300 = 0x0402 -> ~ = 0xfbfd
+  EXPECT_EQ(ComputeInternetChecksum(data, sizeof(data)), 0xfbfd);
+}
+
+TEST(ChecksumTest, IncrementalEqualsOneShot) {
+  const uint8_t data[] = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  InternetChecksum incremental;
+  incremental.Add(data, 3);
+  incremental.Add(data + 3, 6);
+  EXPECT_EQ(incremental.Finish(), ComputeInternetChecksum(data, sizeof(data)));
+}
+
+TEST(PacketTest, BuildTcpAndParseBack) {
+  PacketSpec spec = BaseTcpSpec();
+  spec.payload = {'h', 'i'};
+  const Packet packet = BuildPacket(spec);
+  const auto view = PacketView::Parse(packet);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->eth().src, spec.src_mac);
+  EXPECT_EQ(view->eth().dst, spec.dst_mac);
+  EXPECT_EQ(view->eth().ethertype, kEthertypeIpv4);
+  EXPECT_EQ(view->ip().src, spec.src_ip);
+  EXPECT_EQ(view->ip().dst, spec.dst_ip);
+  EXPECT_EQ(view->ip().ttl, 64);
+  ASSERT_TRUE(view->is_tcp());
+  EXPECT_EQ(view->tcp().src_port, 31337);
+  EXPECT_EQ(view->tcp().dst_port, 445);
+  EXPECT_EQ(view->tcp().seq, 1000u);
+  EXPECT_EQ(view->tcp().flags, TcpFlags::kSyn);
+  ASSERT_EQ(view->l4_payload().size(), 2u);
+  EXPECT_EQ(view->l4_payload()[0], 'h');
+}
+
+TEST(PacketTest, BuiltPacketsHaveValidChecksums) {
+  for (IpProto proto : {IpProto::kTcp, IpProto::kUdp, IpProto::kIcmp}) {
+    PacketSpec spec = BaseTcpSpec();
+    spec.proto = proto;
+    spec.payload = {1, 2, 3, 4, 5};
+    const Packet packet = BuildPacket(spec);
+    EXPECT_TRUE(ValidateChecksums(packet)) << IpProtoName(proto);
+  }
+}
+
+TEST(PacketTest, OddPayloadChecksumValid) {
+  PacketSpec spec = BaseTcpSpec();
+  spec.proto = IpProto::kUdp;
+  spec.payload = {9, 9, 9};  // odd length exercises the padding path
+  EXPECT_TRUE(ValidateChecksums(BuildPacket(spec)));
+}
+
+TEST(PacketTest, CorruptedPacketFailsValidation) {
+  Packet packet = BuildPacket(BaseTcpSpec());
+  packet.mutable_bytes()[20] ^= 0xff;  // flip bits in the IP header
+  EXPECT_FALSE(ValidateChecksums(packet));
+}
+
+TEST(PacketTest, UdpBuildAndParse) {
+  PacketSpec spec = BaseTcpSpec();
+  spec.proto = IpProto::kUdp;
+  spec.src_port = 5353;
+  spec.dst_port = 53;
+  spec.payload = {0xde, 0xad};
+  const auto view = PacketView::Parse(BuildPacket(spec));
+  ASSERT_TRUE(view.has_value());
+  ASSERT_TRUE(view->is_udp());
+  EXPECT_EQ(view->udp().src_port, 5353);
+  EXPECT_EQ(view->udp().dst_port, 53);
+  EXPECT_EQ(view->udp().length, kUdpHeaderSize + 2);
+}
+
+TEST(PacketTest, IcmpEchoBuildAndParse) {
+  PacketSpec spec = BaseTcpSpec();
+  spec.proto = IpProto::kIcmp;
+  spec.icmp_type = 8;
+  spec.icmp_id = 77;
+  spec.icmp_seq = 3;
+  const auto view = PacketView::Parse(BuildPacket(spec));
+  ASSERT_TRUE(view.has_value());
+  ASSERT_TRUE(view->is_icmp());
+  EXPECT_EQ(view->icmp().type, 8);
+  EXPECT_EQ(view->icmp().id, 77);
+  EXPECT_EQ(view->icmp().seq, 3);
+}
+
+TEST(PacketTest, ParseRejectsTruncated) {
+  Packet tiny(std::vector<uint8_t>(10, 0));
+  EXPECT_FALSE(PacketView::Parse(tiny).has_value());
+}
+
+TEST(PacketTest, ParseRejectsNonIpv4) {
+  Packet packet = BuildPacket(BaseTcpSpec());
+  packet.mutable_bytes()[12] = 0x86;  // ethertype -> IPv6
+  packet.mutable_bytes()[13] = 0xdd;
+  EXPECT_FALSE(PacketView::Parse(packet).has_value());
+}
+
+TEST(PacketTest, RewriteDstUpdatesChecksums) {
+  Packet packet = BuildPacket(BaseTcpSpec());
+  RewriteIpv4Dst(packet, Ipv4Address(10, 1, 7, 7));
+  EXPECT_TRUE(ValidateChecksums(packet));
+  const auto view = PacketView::Parse(packet);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->ip().dst, Ipv4Address(10, 1, 7, 7));
+  EXPECT_EQ(view->ip().src, Ipv4Address(1, 2, 3, 4));  // src untouched
+}
+
+TEST(PacketTest, RewriteSrcUpdatesChecksums) {
+  PacketSpec spec = BaseTcpSpec();
+  spec.proto = IpProto::kUdp;
+  Packet packet = BuildPacket(spec);
+  RewriteIpv4Src(packet, Ipv4Address(8, 8, 8, 8));
+  EXPECT_TRUE(ValidateChecksums(packet));
+  const auto view = PacketView::Parse(packet);
+  EXPECT_EQ(view->ip().src, Ipv4Address(8, 8, 8, 8));
+}
+
+TEST(PacketTest, RewriteMacs) {
+  Packet packet = BuildPacket(BaseTcpSpec());
+  RewriteMacs(packet, MacAddress::FromId(9), MacAddress::FromId(10));
+  const auto view = PacketView::Parse(packet);
+  EXPECT_EQ(view->eth().src, MacAddress::FromId(9));
+  EXPECT_EQ(view->eth().dst, MacAddress::FromId(10));
+}
+
+TEST(PacketTest, DecrementTtl) {
+  PacketSpec spec = BaseTcpSpec();
+  spec.ttl = 2;
+  Packet packet = BuildPacket(spec);
+  EXPECT_TRUE(DecrementTtl(packet));
+  EXPECT_TRUE(ValidateChecksums(packet));
+  EXPECT_EQ(PacketView::Parse(packet)->ip().ttl, 1);
+  EXPECT_FALSE(DecrementTtl(packet));  // hits zero
+  EXPECT_EQ(PacketView::Parse(packet)->ip().ttl, 0);
+}
+
+TEST(PacketTest, DescribeMentionsEndpointsAndFlags) {
+  const std::string text = PacketView::Parse(BuildPacket(BaseTcpSpec()))->Describe();
+  EXPECT_NE(text.find("1.2.3.4"), std::string::npos);
+  EXPECT_NE(text.find("445"), std::string::npos);
+  EXPECT_NE(text.find("[S]"), std::string::npos);
+}
+
+TEST(PacketTest, TotalLengthMatchesBuffer) {
+  PacketSpec spec = BaseTcpSpec();
+  spec.payload.assign(100, 0xab);
+  const Packet packet = BuildPacket(spec);
+  const auto view = PacketView::Parse(packet);
+  EXPECT_EQ(view->ip().total_length + kEthernetHeaderSize, packet.size());
+}
+
+}  // namespace
+}  // namespace potemkin
