@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_clone_breakdown.cc" "bench/CMakeFiles/bench_clone_breakdown.dir/bench_clone_breakdown.cc.o" "gcc" "bench/CMakeFiles/bench_clone_breakdown.dir/bench_clone_breakdown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/potemkin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gateway/CMakeFiles/potemkin_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/malware/CMakeFiles/potemkin_malware.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/potemkin_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/potemkin_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/potemkin_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/potemkin_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/potemkin_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clone_breakdown.dir/bench_clone_breakdown.cc.o"
+  "CMakeFiles/bench_clone_breakdown.dir/bench_clone_breakdown.cc.o.d"
+  "bench_clone_breakdown"
+  "bench_clone_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clone_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

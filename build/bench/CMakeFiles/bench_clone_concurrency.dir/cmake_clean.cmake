@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clone_concurrency.dir/bench_clone_concurrency.cc.o"
+  "CMakeFiles/bench_clone_concurrency.dir/bench_clone_concurrency.cc.o.d"
+  "bench_clone_concurrency"
+  "bench_clone_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clone_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

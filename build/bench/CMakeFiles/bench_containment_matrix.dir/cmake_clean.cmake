@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_containment_matrix.dir/bench_containment_matrix.cc.o"
+  "CMakeFiles/bench_containment_matrix.dir/bench_containment_matrix.cc.o.d"
+  "bench_containment_matrix"
+  "bench_containment_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_containment_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delta_memory.dir/bench_delta_memory.cc.o"
+  "CMakeFiles/bench_delta_memory.dir/bench_delta_memory.cc.o.d"
+  "bench_delta_memory"
+  "bench_delta_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delta_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fidelity_comparison.dir/bench_fidelity_comparison.cc.o"
+  "CMakeFiles/bench_fidelity_comparison.dir/bench_fidelity_comparison.cc.o.d"
+  "bench_fidelity_comparison"
+  "bench_fidelity_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fidelity_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

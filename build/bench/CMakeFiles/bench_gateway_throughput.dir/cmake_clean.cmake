@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gateway_throughput.dir/bench_gateway_throughput.cc.o"
+  "CMakeFiles/bench_gateway_throughput.dir/bench_gateway_throughput.cc.o.d"
+  "bench_gateway_throughput"
+  "bench_gateway_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gateway_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_handshake_fidelity.dir/bench_handshake_fidelity.cc.o"
+  "CMakeFiles/bench_handshake_fidelity.dir/bench_handshake_fidelity.cc.o.d"
+  "bench_handshake_fidelity"
+  "bench_handshake_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_handshake_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

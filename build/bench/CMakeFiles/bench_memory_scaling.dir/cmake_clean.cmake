@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_scaling.dir/bench_memory_scaling.cc.o"
+  "CMakeFiles/bench_memory_scaling.dir/bench_memory_scaling.cc.o.d"
+  "bench_memory_scaling"
+  "bench_memory_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_page_dedup.dir/bench_page_dedup.cc.o"
+  "CMakeFiles/bench_page_dedup.dir/bench_page_dedup.cc.o.d"
+  "bench_page_dedup"
+  "bench_page_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_page_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vm_scaling.dir/bench_vm_scaling.cc.o"
+  "CMakeFiles/bench_vm_scaling.dir/bench_vm_scaling.cc.o.d"
+  "bench_vm_scaling"
+  "bench_vm_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vm_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_worm_containment.dir/bench_worm_containment.cc.o"
+  "CMakeFiles/bench_worm_containment.dir/bench_worm_containment.cc.o.d"
+  "bench_worm_containment"
+  "bench_worm_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_worm_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

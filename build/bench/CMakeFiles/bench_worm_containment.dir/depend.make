@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_worm_containment.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/address_space_tour.dir/address_space_tour.cpp.o"
+  "CMakeFiles/address_space_tour.dir/address_space_tour.cpp.o.d"
+  "address_space_tour"
+  "address_space_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/address_space_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

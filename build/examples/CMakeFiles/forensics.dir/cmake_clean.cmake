@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forensics.dir/forensics.cpp.o"
+  "CMakeFiles/forensics.dir/forensics.cpp.o.d"
+  "forensics"
+  "forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/potemkin_sim.dir/potemkin_sim.cpp.o"
+  "CMakeFiles/potemkin_sim.dir/potemkin_sim.cpp.o.d"
+  "potemkin_sim"
+  "potemkin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/potemkin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

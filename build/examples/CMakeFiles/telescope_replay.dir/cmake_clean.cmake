@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telescope_replay.dir/telescope_replay.cpp.o"
+  "CMakeFiles/telescope_replay.dir/telescope_replay.cpp.o.d"
+  "telescope_replay"
+  "telescope_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telescope_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

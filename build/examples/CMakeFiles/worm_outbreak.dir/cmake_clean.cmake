@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worm_outbreak.dir/worm_outbreak.cpp.o"
+  "CMakeFiles/worm_outbreak.dir/worm_outbreak.cpp.o.d"
+  "worm_outbreak"
+  "worm_outbreak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worm_outbreak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for worm_outbreak.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cdf.cc" "src/analysis/CMakeFiles/potemkin_analysis.dir/cdf.cc.o" "gcc" "src/analysis/CMakeFiles/potemkin_analysis.dir/cdf.cc.o.d"
+  "/root/repo/src/analysis/series_util.cc" "src/analysis/CMakeFiles/potemkin_analysis.dir/series_util.cc.o" "gcc" "src/analysis/CMakeFiles/potemkin_analysis.dir/series_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/potemkin_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/potemkin_analysis.dir/cdf.cc.o"
+  "CMakeFiles/potemkin_analysis.dir/cdf.cc.o.d"
+  "CMakeFiles/potemkin_analysis.dir/series_util.cc.o"
+  "CMakeFiles/potemkin_analysis.dir/series_util.cc.o.d"
+  "libpotemkin_analysis.a"
+  "libpotemkin_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/potemkin_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/event_loop.cc" "src/base/CMakeFiles/potemkin_base.dir/event_loop.cc.o" "gcc" "src/base/CMakeFiles/potemkin_base.dir/event_loop.cc.o.d"
+  "/root/repo/src/base/flags.cc" "src/base/CMakeFiles/potemkin_base.dir/flags.cc.o" "gcc" "src/base/CMakeFiles/potemkin_base.dir/flags.cc.o.d"
+  "/root/repo/src/base/log.cc" "src/base/CMakeFiles/potemkin_base.dir/log.cc.o" "gcc" "src/base/CMakeFiles/potemkin_base.dir/log.cc.o.d"
+  "/root/repo/src/base/rng.cc" "src/base/CMakeFiles/potemkin_base.dir/rng.cc.o" "gcc" "src/base/CMakeFiles/potemkin_base.dir/rng.cc.o.d"
+  "/root/repo/src/base/stats.cc" "src/base/CMakeFiles/potemkin_base.dir/stats.cc.o" "gcc" "src/base/CMakeFiles/potemkin_base.dir/stats.cc.o.d"
+  "/root/repo/src/base/strings.cc" "src/base/CMakeFiles/potemkin_base.dir/strings.cc.o" "gcc" "src/base/CMakeFiles/potemkin_base.dir/strings.cc.o.d"
+  "/root/repo/src/base/table.cc" "src/base/CMakeFiles/potemkin_base.dir/table.cc.o" "gcc" "src/base/CMakeFiles/potemkin_base.dir/table.cc.o.d"
+  "/root/repo/src/base/time_types.cc" "src/base/CMakeFiles/potemkin_base.dir/time_types.cc.o" "gcc" "src/base/CMakeFiles/potemkin_base.dir/time_types.cc.o.d"
+  "/root/repo/src/base/token_bucket.cc" "src/base/CMakeFiles/potemkin_base.dir/token_bucket.cc.o" "gcc" "src/base/CMakeFiles/potemkin_base.dir/token_bucket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/potemkin_base.dir/event_loop.cc.o"
+  "CMakeFiles/potemkin_base.dir/event_loop.cc.o.d"
+  "CMakeFiles/potemkin_base.dir/flags.cc.o"
+  "CMakeFiles/potemkin_base.dir/flags.cc.o.d"
+  "CMakeFiles/potemkin_base.dir/log.cc.o"
+  "CMakeFiles/potemkin_base.dir/log.cc.o.d"
+  "CMakeFiles/potemkin_base.dir/rng.cc.o"
+  "CMakeFiles/potemkin_base.dir/rng.cc.o.d"
+  "CMakeFiles/potemkin_base.dir/stats.cc.o"
+  "CMakeFiles/potemkin_base.dir/stats.cc.o.d"
+  "CMakeFiles/potemkin_base.dir/strings.cc.o"
+  "CMakeFiles/potemkin_base.dir/strings.cc.o.d"
+  "CMakeFiles/potemkin_base.dir/table.cc.o"
+  "CMakeFiles/potemkin_base.dir/table.cc.o.d"
+  "CMakeFiles/potemkin_base.dir/time_types.cc.o"
+  "CMakeFiles/potemkin_base.dir/time_types.cc.o.d"
+  "CMakeFiles/potemkin_base.dir/token_bucket.cc.o"
+  "CMakeFiles/potemkin_base.dir/token_bucket.cc.o.d"
+  "libpotemkin_base.a"
+  "libpotemkin_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/potemkin_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

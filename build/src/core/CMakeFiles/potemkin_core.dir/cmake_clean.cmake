@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/potemkin_core.dir/clone_server.cc.o"
+  "CMakeFiles/potemkin_core.dir/clone_server.cc.o.d"
+  "CMakeFiles/potemkin_core.dir/honeyfarm.cc.o"
+  "CMakeFiles/potemkin_core.dir/honeyfarm.cc.o.d"
+  "libpotemkin_core.a"
+  "libpotemkin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/potemkin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

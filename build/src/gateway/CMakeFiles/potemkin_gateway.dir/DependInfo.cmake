@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gateway/binding_table.cc" "src/gateway/CMakeFiles/potemkin_gateway.dir/binding_table.cc.o" "gcc" "src/gateway/CMakeFiles/potemkin_gateway.dir/binding_table.cc.o.d"
+  "/root/repo/src/gateway/containment.cc" "src/gateway/CMakeFiles/potemkin_gateway.dir/containment.cc.o" "gcc" "src/gateway/CMakeFiles/potemkin_gateway.dir/containment.cc.o.d"
+  "/root/repo/src/gateway/dns_proxy.cc" "src/gateway/CMakeFiles/potemkin_gateway.dir/dns_proxy.cc.o" "gcc" "src/gateway/CMakeFiles/potemkin_gateway.dir/dns_proxy.cc.o.d"
+  "/root/repo/src/gateway/gateway.cc" "src/gateway/CMakeFiles/potemkin_gateway.dir/gateway.cc.o" "gcc" "src/gateway/CMakeFiles/potemkin_gateway.dir/gateway.cc.o.d"
+  "/root/repo/src/gateway/low_interaction.cc" "src/gateway/CMakeFiles/potemkin_gateway.dir/low_interaction.cc.o" "gcc" "src/gateway/CMakeFiles/potemkin_gateway.dir/low_interaction.cc.o.d"
+  "/root/repo/src/gateway/recycler.cc" "src/gateway/CMakeFiles/potemkin_gateway.dir/recycler.cc.o" "gcc" "src/gateway/CMakeFiles/potemkin_gateway.dir/recycler.cc.o.d"
+  "/root/repo/src/gateway/scan_detector.cc" "src/gateway/CMakeFiles/potemkin_gateway.dir/scan_detector.cc.o" "gcc" "src/gateway/CMakeFiles/potemkin_gateway.dir/scan_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/potemkin_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/potemkin_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/potemkin_hv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/potemkin_gateway.dir/binding_table.cc.o"
+  "CMakeFiles/potemkin_gateway.dir/binding_table.cc.o.d"
+  "CMakeFiles/potemkin_gateway.dir/containment.cc.o"
+  "CMakeFiles/potemkin_gateway.dir/containment.cc.o.d"
+  "CMakeFiles/potemkin_gateway.dir/dns_proxy.cc.o"
+  "CMakeFiles/potemkin_gateway.dir/dns_proxy.cc.o.d"
+  "CMakeFiles/potemkin_gateway.dir/gateway.cc.o"
+  "CMakeFiles/potemkin_gateway.dir/gateway.cc.o.d"
+  "CMakeFiles/potemkin_gateway.dir/low_interaction.cc.o"
+  "CMakeFiles/potemkin_gateway.dir/low_interaction.cc.o.d"
+  "CMakeFiles/potemkin_gateway.dir/recycler.cc.o"
+  "CMakeFiles/potemkin_gateway.dir/recycler.cc.o.d"
+  "CMakeFiles/potemkin_gateway.dir/scan_detector.cc.o"
+  "CMakeFiles/potemkin_gateway.dir/scan_detector.cc.o.d"
+  "libpotemkin_gateway.a"
+  "libpotemkin_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/potemkin_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

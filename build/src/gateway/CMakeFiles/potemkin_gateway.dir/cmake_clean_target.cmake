@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpotemkin_gateway.a"
+)

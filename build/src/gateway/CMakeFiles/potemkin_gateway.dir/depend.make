@@ -1,0 +1,2 @@
+# Empty dependencies file for potemkin_gateway.
+# This may be replaced when dependencies are built.

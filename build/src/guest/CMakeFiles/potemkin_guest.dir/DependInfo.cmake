@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/guest_os.cc" "src/guest/CMakeFiles/potemkin_guest.dir/guest_os.cc.o" "gcc" "src/guest/CMakeFiles/potemkin_guest.dir/guest_os.cc.o.d"
+  "/root/repo/src/guest/service.cc" "src/guest/CMakeFiles/potemkin_guest.dir/service.cc.o" "gcc" "src/guest/CMakeFiles/potemkin_guest.dir/service.cc.o.d"
+  "/root/repo/src/guest/tcp_stack.cc" "src/guest/CMakeFiles/potemkin_guest.dir/tcp_stack.cc.o" "gcc" "src/guest/CMakeFiles/potemkin_guest.dir/tcp_stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/potemkin_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/potemkin_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/potemkin_hv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/potemkin_guest.dir/guest_os.cc.o"
+  "CMakeFiles/potemkin_guest.dir/guest_os.cc.o.d"
+  "CMakeFiles/potemkin_guest.dir/service.cc.o"
+  "CMakeFiles/potemkin_guest.dir/service.cc.o.d"
+  "CMakeFiles/potemkin_guest.dir/tcp_stack.cc.o"
+  "CMakeFiles/potemkin_guest.dir/tcp_stack.cc.o.d"
+  "libpotemkin_guest.a"
+  "libpotemkin_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/potemkin_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/address_space.cc" "src/hv/CMakeFiles/potemkin_hv.dir/address_space.cc.o" "gcc" "src/hv/CMakeFiles/potemkin_hv.dir/address_space.cc.o.d"
+  "/root/repo/src/hv/clone_engine.cc" "src/hv/CMakeFiles/potemkin_hv.dir/clone_engine.cc.o" "gcc" "src/hv/CMakeFiles/potemkin_hv.dir/clone_engine.cc.o.d"
+  "/root/repo/src/hv/cow_disk.cc" "src/hv/CMakeFiles/potemkin_hv.dir/cow_disk.cc.o" "gcc" "src/hv/CMakeFiles/potemkin_hv.dir/cow_disk.cc.o.d"
+  "/root/repo/src/hv/frame_allocator.cc" "src/hv/CMakeFiles/potemkin_hv.dir/frame_allocator.cc.o" "gcc" "src/hv/CMakeFiles/potemkin_hv.dir/frame_allocator.cc.o.d"
+  "/root/repo/src/hv/latency_model.cc" "src/hv/CMakeFiles/potemkin_hv.dir/latency_model.cc.o" "gcc" "src/hv/CMakeFiles/potemkin_hv.dir/latency_model.cc.o.d"
+  "/root/repo/src/hv/page_dedup.cc" "src/hv/CMakeFiles/potemkin_hv.dir/page_dedup.cc.o" "gcc" "src/hv/CMakeFiles/potemkin_hv.dir/page_dedup.cc.o.d"
+  "/root/repo/src/hv/physical_host.cc" "src/hv/CMakeFiles/potemkin_hv.dir/physical_host.cc.o" "gcc" "src/hv/CMakeFiles/potemkin_hv.dir/physical_host.cc.o.d"
+  "/root/repo/src/hv/reference_image.cc" "src/hv/CMakeFiles/potemkin_hv.dir/reference_image.cc.o" "gcc" "src/hv/CMakeFiles/potemkin_hv.dir/reference_image.cc.o.d"
+  "/root/repo/src/hv/snapshot.cc" "src/hv/CMakeFiles/potemkin_hv.dir/snapshot.cc.o" "gcc" "src/hv/CMakeFiles/potemkin_hv.dir/snapshot.cc.o.d"
+  "/root/repo/src/hv/vm.cc" "src/hv/CMakeFiles/potemkin_hv.dir/vm.cc.o" "gcc" "src/hv/CMakeFiles/potemkin_hv.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/potemkin_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/potemkin_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

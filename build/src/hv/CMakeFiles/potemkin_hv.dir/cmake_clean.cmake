@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/potemkin_hv.dir/address_space.cc.o"
+  "CMakeFiles/potemkin_hv.dir/address_space.cc.o.d"
+  "CMakeFiles/potemkin_hv.dir/clone_engine.cc.o"
+  "CMakeFiles/potemkin_hv.dir/clone_engine.cc.o.d"
+  "CMakeFiles/potemkin_hv.dir/cow_disk.cc.o"
+  "CMakeFiles/potemkin_hv.dir/cow_disk.cc.o.d"
+  "CMakeFiles/potemkin_hv.dir/frame_allocator.cc.o"
+  "CMakeFiles/potemkin_hv.dir/frame_allocator.cc.o.d"
+  "CMakeFiles/potemkin_hv.dir/latency_model.cc.o"
+  "CMakeFiles/potemkin_hv.dir/latency_model.cc.o.d"
+  "CMakeFiles/potemkin_hv.dir/page_dedup.cc.o"
+  "CMakeFiles/potemkin_hv.dir/page_dedup.cc.o.d"
+  "CMakeFiles/potemkin_hv.dir/physical_host.cc.o"
+  "CMakeFiles/potemkin_hv.dir/physical_host.cc.o.d"
+  "CMakeFiles/potemkin_hv.dir/reference_image.cc.o"
+  "CMakeFiles/potemkin_hv.dir/reference_image.cc.o.d"
+  "CMakeFiles/potemkin_hv.dir/snapshot.cc.o"
+  "CMakeFiles/potemkin_hv.dir/snapshot.cc.o.d"
+  "CMakeFiles/potemkin_hv.dir/vm.cc.o"
+  "CMakeFiles/potemkin_hv.dir/vm.cc.o.d"
+  "libpotemkin_hv.a"
+  "libpotemkin_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/potemkin_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

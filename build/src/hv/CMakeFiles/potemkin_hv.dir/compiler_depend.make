@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for potemkin_hv.
+# This may be replaced when dependencies are built.

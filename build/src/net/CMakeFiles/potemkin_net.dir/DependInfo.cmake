@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/checksum.cc" "src/net/CMakeFiles/potemkin_net.dir/checksum.cc.o" "gcc" "src/net/CMakeFiles/potemkin_net.dir/checksum.cc.o.d"
+  "/root/repo/src/net/dns.cc" "src/net/CMakeFiles/potemkin_net.dir/dns.cc.o" "gcc" "src/net/CMakeFiles/potemkin_net.dir/dns.cc.o.d"
+  "/root/repo/src/net/flow.cc" "src/net/CMakeFiles/potemkin_net.dir/flow.cc.o" "gcc" "src/net/CMakeFiles/potemkin_net.dir/flow.cc.o.d"
+  "/root/repo/src/net/gre.cc" "src/net/CMakeFiles/potemkin_net.dir/gre.cc.o" "gcc" "src/net/CMakeFiles/potemkin_net.dir/gre.cc.o.d"
+  "/root/repo/src/net/ipv4.cc" "src/net/CMakeFiles/potemkin_net.dir/ipv4.cc.o" "gcc" "src/net/CMakeFiles/potemkin_net.dir/ipv4.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/net/CMakeFiles/potemkin_net.dir/link.cc.o" "gcc" "src/net/CMakeFiles/potemkin_net.dir/link.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/net/CMakeFiles/potemkin_net.dir/packet.cc.o" "gcc" "src/net/CMakeFiles/potemkin_net.dir/packet.cc.o.d"
+  "/root/repo/src/net/trace.cc" "src/net/CMakeFiles/potemkin_net.dir/trace.cc.o" "gcc" "src/net/CMakeFiles/potemkin_net.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/potemkin_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/potemkin_net.dir/checksum.cc.o"
+  "CMakeFiles/potemkin_net.dir/checksum.cc.o.d"
+  "CMakeFiles/potemkin_net.dir/dns.cc.o"
+  "CMakeFiles/potemkin_net.dir/dns.cc.o.d"
+  "CMakeFiles/potemkin_net.dir/flow.cc.o"
+  "CMakeFiles/potemkin_net.dir/flow.cc.o.d"
+  "CMakeFiles/potemkin_net.dir/gre.cc.o"
+  "CMakeFiles/potemkin_net.dir/gre.cc.o.d"
+  "CMakeFiles/potemkin_net.dir/ipv4.cc.o"
+  "CMakeFiles/potemkin_net.dir/ipv4.cc.o.d"
+  "CMakeFiles/potemkin_net.dir/link.cc.o"
+  "CMakeFiles/potemkin_net.dir/link.cc.o.d"
+  "CMakeFiles/potemkin_net.dir/packet.cc.o"
+  "CMakeFiles/potemkin_net.dir/packet.cc.o.d"
+  "CMakeFiles/potemkin_net.dir/trace.cc.o"
+  "CMakeFiles/potemkin_net.dir/trace.cc.o.d"
+  "libpotemkin_net.a"
+  "libpotemkin_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/potemkin_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_test.dir/base/event_loop_test.cc.o"
+  "CMakeFiles/base_test.dir/base/event_loop_test.cc.o.d"
+  "CMakeFiles/base_test.dir/base/log_test.cc.o"
+  "CMakeFiles/base_test.dir/base/log_test.cc.o.d"
+  "CMakeFiles/base_test.dir/base/misc_base_test.cc.o"
+  "CMakeFiles/base_test.dir/base/misc_base_test.cc.o.d"
+  "CMakeFiles/base_test.dir/base/rng_test.cc.o"
+  "CMakeFiles/base_test.dir/base/rng_test.cc.o.d"
+  "CMakeFiles/base_test.dir/base/stats_test.cc.o"
+  "CMakeFiles/base_test.dir/base/stats_test.cc.o.d"
+  "CMakeFiles/base_test.dir/base/strings_test.cc.o"
+  "CMakeFiles/base_test.dir/base/strings_test.cc.o.d"
+  "base_test"
+  "base_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_test.dir/gateway/backscatter_test.cc.o"
+  "CMakeFiles/gateway_test.dir/gateway/backscatter_test.cc.o.d"
+  "CMakeFiles/gateway_test.dir/gateway/binding_table_test.cc.o"
+  "CMakeFiles/gateway_test.dir/gateway/binding_table_test.cc.o.d"
+  "CMakeFiles/gateway_test.dir/gateway/containment_test.cc.o"
+  "CMakeFiles/gateway_test.dir/gateway/containment_test.cc.o.d"
+  "CMakeFiles/gateway_test.dir/gateway/gateway_unit_test.cc.o"
+  "CMakeFiles/gateway_test.dir/gateway/gateway_unit_test.cc.o.d"
+  "CMakeFiles/gateway_test.dir/gateway/low_interaction_test.cc.o"
+  "CMakeFiles/gateway_test.dir/gateway/low_interaction_test.cc.o.d"
+  "CMakeFiles/gateway_test.dir/gateway/reflection_test.cc.o"
+  "CMakeFiles/gateway_test.dir/gateway/reflection_test.cc.o.d"
+  "gateway_test"
+  "gateway_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

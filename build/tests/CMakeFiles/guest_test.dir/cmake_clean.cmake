@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guest_test.dir/guest/guest_os_test.cc.o"
+  "CMakeFiles/guest_test.dir/guest/guest_os_test.cc.o.d"
+  "CMakeFiles/guest_test.dir/guest/tcp_stack_test.cc.o"
+  "CMakeFiles/guest_test.dir/guest/tcp_stack_test.cc.o.d"
+  "guest_test"
+  "guest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

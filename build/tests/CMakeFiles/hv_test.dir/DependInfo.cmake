@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hv/address_space_test.cc" "tests/CMakeFiles/hv_test.dir/hv/address_space_test.cc.o" "gcc" "tests/CMakeFiles/hv_test.dir/hv/address_space_test.cc.o.d"
+  "/root/repo/tests/hv/clone_engine_test.cc" "tests/CMakeFiles/hv_test.dir/hv/clone_engine_test.cc.o" "gcc" "tests/CMakeFiles/hv_test.dir/hv/clone_engine_test.cc.o.d"
+  "/root/repo/tests/hv/cow_disk_test.cc" "tests/CMakeFiles/hv_test.dir/hv/cow_disk_test.cc.o" "gcc" "tests/CMakeFiles/hv_test.dir/hv/cow_disk_test.cc.o.d"
+  "/root/repo/tests/hv/frame_allocator_test.cc" "tests/CMakeFiles/hv_test.dir/hv/frame_allocator_test.cc.o" "gcc" "tests/CMakeFiles/hv_test.dir/hv/frame_allocator_test.cc.o.d"
+  "/root/repo/tests/hv/physical_host_test.cc" "tests/CMakeFiles/hv_test.dir/hv/physical_host_test.cc.o" "gcc" "tests/CMakeFiles/hv_test.dir/hv/physical_host_test.cc.o.d"
+  "/root/repo/tests/hv/reference_image_test.cc" "tests/CMakeFiles/hv_test.dir/hv/reference_image_test.cc.o" "gcc" "tests/CMakeFiles/hv_test.dir/hv/reference_image_test.cc.o.d"
+  "/root/repo/tests/hv/snapshot_dedup_test.cc" "tests/CMakeFiles/hv_test.dir/hv/snapshot_dedup_test.cc.o" "gcc" "tests/CMakeFiles/hv_test.dir/hv/snapshot_dedup_test.cc.o.d"
+  "/root/repo/tests/hv/vm_cpu_test.cc" "tests/CMakeFiles/hv_test.dir/hv/vm_cpu_test.cc.o" "gcc" "tests/CMakeFiles/hv_test.dir/hv/vm_cpu_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/potemkin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gateway/CMakeFiles/potemkin_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/malware/CMakeFiles/potemkin_malware.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/potemkin_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/potemkin_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/potemkin_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/potemkin_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/potemkin_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

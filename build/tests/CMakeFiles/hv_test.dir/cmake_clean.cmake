@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_test.dir/hv/address_space_test.cc.o"
+  "CMakeFiles/hv_test.dir/hv/address_space_test.cc.o.d"
+  "CMakeFiles/hv_test.dir/hv/clone_engine_test.cc.o"
+  "CMakeFiles/hv_test.dir/hv/clone_engine_test.cc.o.d"
+  "CMakeFiles/hv_test.dir/hv/cow_disk_test.cc.o"
+  "CMakeFiles/hv_test.dir/hv/cow_disk_test.cc.o.d"
+  "CMakeFiles/hv_test.dir/hv/frame_allocator_test.cc.o"
+  "CMakeFiles/hv_test.dir/hv/frame_allocator_test.cc.o.d"
+  "CMakeFiles/hv_test.dir/hv/physical_host_test.cc.o"
+  "CMakeFiles/hv_test.dir/hv/physical_host_test.cc.o.d"
+  "CMakeFiles/hv_test.dir/hv/reference_image_test.cc.o"
+  "CMakeFiles/hv_test.dir/hv/reference_image_test.cc.o.d"
+  "CMakeFiles/hv_test.dir/hv/snapshot_dedup_test.cc.o"
+  "CMakeFiles/hv_test.dir/hv/snapshot_dedup_test.cc.o.d"
+  "CMakeFiles/hv_test.dir/hv/vm_cpu_test.cc.o"
+  "CMakeFiles/hv_test.dir/hv/vm_cpu_test.cc.o.d"
+  "hv_test"
+  "hv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_test.dir/net/flow_test.cc.o"
+  "CMakeFiles/net_test.dir/net/flow_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/gre_test.cc.o"
+  "CMakeFiles/net_test.dir/net/gre_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/ipv4_test.cc.o"
+  "CMakeFiles/net_test.dir/net/ipv4_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/link_test.cc.o"
+  "CMakeFiles/net_test.dir/net/link_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/packet_test.cc.o"
+  "CMakeFiles/net_test.dir/net/packet_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/trace_dns_test.cc.o"
+  "CMakeFiles/net_test.dir/net/trace_dns_test.cc.o.d"
+  "net_test"
+  "net_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

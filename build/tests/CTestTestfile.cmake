@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[base_test]=] "/root/repo/build/tests/base_test")
+set_tests_properties([=[base_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;12;potemkin_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[net_test]=] "/root/repo/build/tests/net_test")
+set_tests_properties([=[net_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;21;potemkin_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[guest_test]=] "/root/repo/build/tests/guest_test")
+set_tests_properties([=[guest_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;30;potemkin_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[gateway_test]=] "/root/repo/build/tests/gateway_test")
+set_tests_properties([=[gateway_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;35;potemkin_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[malware_test]=] "/root/repo/build/tests/malware_test")
+set_tests_properties([=[malware_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;44;potemkin_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[core_test]=] "/root/repo/build/tests/core_test")
+set_tests_properties([=[core_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;48;potemkin_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[analysis_test]=] "/root/repo/build/tests/analysis_test")
+set_tests_properties([=[analysis_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;53;potemkin_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[property_test]=] "/root/repo/build/tests/property_test")
+set_tests_properties([=[property_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;57;potemkin_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[scenario_test]=] "/root/repo/build/tests/scenario_test")
+set_tests_properties([=[scenario_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;61;potemkin_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[hv_test]=] "/root/repo/build/tests/hv_test")
+set_tests_properties([=[hv_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;65;potemkin_test;/root/repo/tests/CMakeLists.txt;0;")
