@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench/report.h"
 #include "src/base/flags.h"
 #include "src/base/strings.h"
 #include "src/base/table.h"
@@ -100,15 +101,23 @@ void Run(int argc, char** argv) {
               engine_full.ToString().c_str(), full.ToString().c_str());
 
   // Real wall-clock mechanics of this implementation (not the paper's numbers).
+  const double flash_mechanics = MeasureMechanicsMs(CloneKind::kFlash, pages, iters);
+  const double full_mechanics = MeasureMechanicsMs(CloneKind::kFullCopy, pages, iters);
   std::printf("implementation mechanics (real wall clock, metadata mode, %d iters):\n",
               iters);
-  std::printf("  flash-clone mechanics:     %.3f ms/clone\n",
-              MeasureMechanicsMs(CloneKind::kFlash, pages, iters));
-  std::printf("  full-copy clone mechanics: %.3f ms/clone\n\n",
-              MeasureMechanicsMs(CloneKind::kFullCopy, pages, iters));
+  std::printf("  flash-clone mechanics:     %.3f ms/clone\n", flash_mechanics);
+  std::printf("  full-copy clone mechanics: %.3f ms/clone\n\n", full_mechanics);
 
   std::printf("shape check (paper): total ~0.5s unoptimized, dominated by "
               "control-plane phases; flash << full-copy << cold boot.\n");
+
+  BenchReport report("clone_breakdown");
+  report.Add("flash_clone_total_unoptimized", flash.millis_f(), "ms");
+  report.Add("flash_clone_total_optimized",
+             optimized.FlashCloneTotal(pages).millis_f(), "ms");
+  report.Add("full_copy_total_unoptimized", full.millis_f(), "ms");
+  report.Add("flash_clone_mechanics_wallclock", flash_mechanics, "ms");
+  report.WriteJson();
 }
 
 }  // namespace

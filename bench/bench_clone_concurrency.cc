@@ -6,7 +6,9 @@
 // projected parallel/optimized one, reporting completion throughput, latency
 // inflation from queueing, and the saturation point.
 #include <cstdio>
+#include <algorithm>
 
+#include "bench/report.h"
 #include "src/base/event_loop.h"
 #include "src/base/flags.h"
 #include "src/base/rng.h"
@@ -91,6 +93,8 @@ void Run(int argc, char** argv) {
       {"optimized, 4 workers", CloneLatencyModel::Optimized(), 4},
   };
 
+  BenchReport report("clone_concurrency");
+  report.set_seed(3);
   for (const auto& scenario : scenarios) {
     const double service_rate =
         static_cast<double>(scenario.workers) /
@@ -99,10 +103,12 @@ void Run(int argc, char** argv) {
                 service_rate);
     Table table({"offered (req/s)", "completed (clones/s)", "mean latency (ms)",
                  "p99 latency (ms)", "mean queue wait (ms)"});
+    double saturated_rate = 0;
     for (double frac : {0.25, 0.5, 0.9, 1.5, 3.0}) {
       const double rate = service_rate * frac;
       const StormResult r = RunStorm(rate, scenario.workers, scenario.model,
                                      Duration::Seconds(seconds), 3);
+      saturated_rate = std::max(saturated_rate, r.completed_rate);
       table.AddRow({StrFormat("%.2f", r.offered_rate),
                     StrFormat("%.2f", r.completed_rate),
                     StrFormat("%.0f", r.mean_latency_ms),
@@ -110,7 +116,14 @@ void Run(int argc, char** argv) {
                     StrFormat("%.0f", r.mean_queue_wait_ms)});
     }
     std::printf("%s\n", table.ToAscii().c_str());
+    report.Add(StrFormat("peak_completed_rate_workers_%d%s", scenario.workers,
+                         scenario.model.FlashCloneTotal(8192) <
+                                 CloneLatencyModel{}.FlashCloneTotal(8192)
+                             ? "_optimized"
+                             : ""),
+               saturated_rate, "clones/s");
   }
+  report.WriteJson();
 
   std::printf("shape check (paper): completion rate tracks offered load until the "
               "control plane saturates at ~1/clone-latency per worker, after which "

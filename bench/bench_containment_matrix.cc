@@ -7,6 +7,7 @@
 // counts.
 #include <cstdio>
 
+#include "bench/report.h"
 #include "src/base/flags.h"
 #include "src/base/strings.h"
 #include "src/base/table.h"
@@ -161,16 +162,29 @@ void Run(int, char**) {
 
   const auto classes = MakeClasses();
   Table table({"outbound traffic class", "open", "drop-all", "reflect"});
+  uint64_t reflected = 0;
+  uint64_t dropped = 0;
   for (const auto& cls : classes) {
-    table.AddRow({cls.name, Observe(cls, OutboundMode::kOpen),
-                  Observe(cls, OutboundMode::kDropAll),
-                  Observe(cls, OutboundMode::kReflect)});
+    const std::string open = Observe(cls, OutboundMode::kOpen);
+    const std::string drop = Observe(cls, OutboundMode::kDropAll);
+    const std::string reflect = Observe(cls, OutboundMode::kReflect);
+    reflected += reflect == "reflected" ? 1 : 0;
+    dropped += drop == "dropped" ? 1 : 0;
+    table.AddRow({cls.name, open, drop, reflect});
   }
   std::printf("%s\n", table.ToAscii().c_str());
   std::printf("invariants: responses and allow-listed ports pass under every "
               "policy; DNS is answered internally; farm-internal traffic never "
               "reaches the containment decision; initiated traffic is the only "
               "class whose fate differs across policies.\n");
+
+  BenchReport report("containment_matrix");
+  report.Add("traffic_classes", static_cast<double>(classes.size()), "classes");
+  report.Add("classes_reflected_under_reflect", static_cast<double>(reflected),
+             "classes");
+  report.Add("classes_dropped_under_drop_all", static_cast<double>(dropped),
+             "classes");
+  report.WriteJson();
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "src/analysis/cdf.h"
+#include "bench/report.h"
 #include "src/base/flags.h"
 #include "src/base/strings.h"
 #include "src/base/table.h"
@@ -73,6 +74,7 @@ void Run(int argc, char** argv) {
 
   Table table({"requests served", "mean delta (pages)", "median", "p90",
                "mean delta (MiB)", "% of image"});
+  double final_mean_delta_pages = 0;
   int done_requests = 0;
   for (int step : request_steps) {
     // Bring every VM up to `step` requests.
@@ -91,6 +93,7 @@ void Run(int argc, char** argv) {
       });
     }
     const double mean_pages = deltas.Mean();
+    final_mean_delta_pages = mean_pages;
     table.AddRow({StrFormat("%d", step), StrFormat("%.1f", mean_pages),
                   StrFormat("%.0f", deltas.Median()), StrFormat("%.0f", deltas.Quantile(0.9)),
                   StrFormat("%.2f", mean_pages * kPageSize / (1 << 20)),
@@ -113,6 +116,15 @@ void Run(int argc, char** argv) {
               priv ? static_cast<double>(shared) / static_cast<double>(priv) : 0.0);
   std::printf("shape check (paper): deltas are a few %% of the image, grow sub-"
               "linearly with traffic and plateau at the guest working set.\n");
+
+  BenchReport report("delta_memory");
+  report.Add("mean_delta_pages_final", final_mean_delta_pages, "pages");
+  report.Add("mean_delta_pct_of_image",
+             100.0 * final_mean_delta_pages / image_pages, "%");
+  report.Add("sharing_leverage",
+             priv ? static_cast<double>(shared) / static_cast<double>(priv) : 0.0,
+             "x");
+  report.WriteJson();
 }
 
 }  // namespace

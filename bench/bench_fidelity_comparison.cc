@@ -7,6 +7,7 @@
 // worm outbreak — and compares what each one captured and what it cost.
 #include <cstdio>
 
+#include "bench/report.h"
 #include "src/base/flags.h"
 #include "src/base/strings.h"
 #include "src/base/table.h"
@@ -151,6 +152,16 @@ void Run(int argc, char** argv) {
               "cheaply as Potemkin does, but observes ZERO infections and zero\n"
               "post-compromise behaviour — exploits bounce off a facade. The farm\n"
               "pays real (but delta-sized) memory to capture the actual malware.\n");
+
+  BenchReport report("fidelity_comparison");
+  report.set_seed(flags.GetUint("seed", 17));
+  report.Add("infections_high_interaction",
+             static_cast<double>(high.infections_observed), "infections");
+  report.Add("infections_low_interaction",
+             static_cast<double>(low.infections_observed), "infections");
+  report.Add("worm_scans_captured_high",
+             static_cast<double>(high.worm_scans_captured), "packets");
+  report.WriteJson();
 }
 
 }  // namespace

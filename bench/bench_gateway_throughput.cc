@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench/report.h"
 #include "src/base/flags.h"
 #include "src/base/rng.h"
 #include "src/base/strings.h"
@@ -145,16 +146,23 @@ void Run(int argc, char** argv) {
 
   std::printf("=== F4: gateway packet-processing throughput (real wall clock) ===\n\n");
 
+  BenchReport report("gateway_throughput");
   Table table({"live bindings", "hit-path throughput (pkts/s)", "per packet (ns)"});
   for (uint64_t bindings : {1000ull, 8000ull, 64000ull}) {
     const double pps = MeasureHitPathPps(bindings, packets);
     table.AddRow({WithCommas(bindings), WithCommas(static_cast<uint64_t>(pps)),
                   StrFormat("%.0f", 1e9 / pps)});
+    report.Add(StrFormat("hit_path_pps_%llu_bindings",
+                         static_cast<unsigned long long>(bindings)),
+               pps, "pkts/s");
   }
   std::printf("%s\n", table.ToAscii().c_str());
 
   const double miss = MeasureMissPathPps(packets / 3);
   const double reflect = MeasureReflectPps(packets / 3);
+  report.Add("miss_path_pps", miss, "pkts/s");
+  report.Add("reflect_path_pps", reflect, "pkts/s");
+  report.WriteJson();
   std::printf("miss path (first-contact: binding + clone dispatch): %s pkts/s\n",
               WithCommas(static_cast<uint64_t>(miss)).c_str());
   std::printf("outbound reflection path (rewrite + NAT + reroute):  %s pkts/s\n\n",

@@ -10,6 +10,7 @@
 // every scan, so dropping costs far less.
 #include <cstdio>
 
+#include "bench/report.h"
 #include "src/base/flags.h"
 #include "src/base/strings.h"
 #include "src/base/table.h"
@@ -92,6 +93,7 @@ void Run(int argc, char** argv) {
       {"single-packet (Slammer-like)", false, "queued (paper)", true},
       {"single-packet (Slammer-like)", false, "dropped", false},
   };
+  BenchReport report("handshake_fidelity");
   for (const auto& c : cases) {
     const Cell cell = RunCase(c.two_phase, c.queue, flags);
     table.AddRow({c.worm, c.pending, WithCommas(cell.infections),
@@ -99,8 +101,13 @@ void Run(int argc, char** argv) {
                   cell.t50 >= 0 ? StrFormat("%.0f", cell.t50) : "-",
                   c.two_phase ? WithCommas(cell.handshakes) : std::string("-"),
                   WithCommas(cell.queued), WithCommas(cell.dropped_cloning)});
+    report.Add(StrFormat("infections_30s_%s_%s",
+                         c.two_phase ? "two_phase" : "single_packet",
+                         c.queue ? "queued" : "dropped"),
+               static_cast<double>(cell.infections_30s), "infections");
     std::fprintf(stderr, "  [done] %s / %s\n", c.worm, c.pending);
   }
+  report.WriteJson();
   std::printf("%s\n", table.ToAscii().c_str());
   std::printf("shape check: with queue-and-replay the clone window is invisible —\n"
               "the farm saturates in seconds. Dropping first contacts starves the\n"

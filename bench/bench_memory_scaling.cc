@@ -7,6 +7,7 @@
 // deltas; the reproduction shows the same ~order-of-magnitude gap between modes.
 #include <cstdio>
 
+#include "bench/report.h"
 #include "src/base/flags.h"
 #include "src/base/rng.h"
 #include "src/base/strings.h"
@@ -103,6 +104,7 @@ void Run(int argc, char** argv) {
 
   Table table({"host memory", "mode", "max VMs", "used at cap (MiB)",
                "marginal cost (KiB/VM)"});
+  BenchReport report("memory_scaling");
   for (uint64_t host_mb : {512ull, 2048ull}) {
     for (CloneKind kind : {CloneKind::kFlash, CloneKind::kFullCopy}) {
       const ScaleResult r = RunMode(kind, host_mb, image_pages, requests);
@@ -110,6 +112,10 @@ void Run(int argc, char** argv) {
                     WithCommas(r.max_vms),
                     WithCommas(r.curve.back().used_mb),
                     StrFormat("%.0f", r.marginal_kb_per_vm)});
+      report.Add(StrFormat("max_vms_%llumb_%s",
+                           static_cast<unsigned long long>(host_mb),
+                           kind == CloneKind::kFlash ? "flash" : "fullcopy"),
+                 static_cast<double>(r.max_vms), "vms");
     }
   }
   std::printf("%s\n", table.ToAscii().c_str());
@@ -134,6 +140,9 @@ void Run(int argc, char** argv) {
   std::printf("\nshape check (paper): delta virtualization fits roughly an order of "
               "magnitude more VMs per host than full copying; marginal per-VM cost "
               "is the working-set delta plus fixed overhead, not the image size.\n");
+
+  report.Add("marginal_kb_per_vm_flash_2048mb", flash.marginal_kb_per_vm, "KiB");
+  report.WriteJson();
 }
 
 }  // namespace

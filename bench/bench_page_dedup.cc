@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench/report.h"
 #include "src/base/flags.h"
 #include "src/base/rng.h"
 #include "src/base/strings.h"
@@ -48,6 +49,7 @@ void Run(int argc, char** argv) {
   Table table({"clones", "delta pages (pre)", "after dedup", "merged", "saved",
                "extra reduction", "scan (ms)"});
 
+  BenchReport report("page_dedup");
   for (uint64_t vms : {8ull, 32ull, 128ull}) {
     PhysicalHostConfig host_config;
     host_config.memory_mb = 4096;
@@ -95,13 +97,23 @@ void Run(int argc, char** argv) {
                                         end - start)
                                         .count())});
 
+    report.Add(StrFormat("extra_reduction_%llu_vms",
+                         static_cast<unsigned long long>(vms)),
+               pre_frames ? static_cast<double>(pre_frames) /
+                                static_cast<double>(post_frames)
+                          : 1.0,
+               "x");
+
     // Idempotence check on the largest configuration.
     if (vms == 128) {
+      report.Add("pages_merged_128_vms", static_cast<double>(result.pages_merged),
+                 "pages");
       const DedupResult second = DeduplicatePages(host);
       std::fprintf(stderr, "  second pass: merged=%llu (expect 0)\n",
                    static_cast<unsigned long long>(second.pages_merged));
     }
   }
+  report.WriteJson();
   std::printf("%s\n", table.ToAscii().c_str());
   std::printf("shape check: with identical clone workloads, dedup collapses the\n"
               "per-VM deltas to ~one shared working set, multiplying the VM density\n"

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "src/analysis/series_util.h"
+#include "bench/report.h"
 #include "src/base/flags.h"
 #include "src/base/strings.h"
 #include "src/base/table.h"
@@ -144,6 +145,18 @@ void Run(int argc, char** argv) {
   std::printf("\nshape check (paper): live VMs << address space; population grows "
               "with the recycle timeout; aggressive recycling gives orders-of-"
               "magnitude reduction.\n");
+
+  BenchReport report("vm_scaling");
+  report.set_seed(radiation.seed);
+  for (size_t i = 0; i < results.size(); ++i) {
+    report.Add(StrFormat("peak_live_vms_timeout_%s", labels[i].c_str()),
+               static_cast<double>(results[i].peak_live), "vms");
+  }
+  report.Add("addr_space_reduction_smallest_timeout",
+             static_cast<double>(prefix.NumAddresses()) /
+                 std::max<uint64_t>(1, results.front().peak_live),
+             "x");
+  report.WriteJson();
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "src/analysis/series_util.h"
+#include "bench/report.h"
 #include "src/base/flags.h"
 #include "src/base/strings.h"
 #include "src/base/table.h"
@@ -150,6 +151,18 @@ void Run(int argc, char** argv) {
   std::printf("\nshape check (paper): open explodes outward (escapes >> 0); "
               "drop-all is safe but inert (1 infection); reflection is safe "
               "(0 escapes) with a live logistic epidemic inside the farm.\n");
+
+  BenchReport report("worm_containment");
+  for (const auto& r : results) {
+    std::string slug;
+    for (const char c : r.name) {
+      slug += (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ? c : '_';
+    }
+    report.Add("infections_" + slug, static_cast<double>(r.infections),
+               "infections");
+    report.Add("escapes_" + slug, static_cast<double>(r.escapes), "packets");
+  }
+  report.WriteJson();
 }
 
 }  // namespace

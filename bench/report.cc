@@ -1,0 +1,124 @@
+#include "bench/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <utility>
+
+namespace potemkin {
+
+namespace {
+
+// Runs `command`, returning its first output line (trimmed), or "" on failure.
+std::string FirstLineOf(const char* command) {
+  FILE* pipe = ::popen(command, "r");
+  if (pipe == nullptr) {
+    return "";
+  }
+  char buffer[512];
+  std::string line;
+  if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    line = buffer;
+  }
+  ::pclose(pipe);
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.pop_back();
+  }
+  return line;
+}
+
+void AppendJsonString(std::string& out, const std::string& value) {
+  out += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+void AppendJsonNumber(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    out += buffer;
+    return;
+  }
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out += buffer;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string benchmark) : benchmark_(std::move(benchmark)) {}
+
+void BenchReport::Add(std::string metric, double value, std::string unit) {
+  metrics_.push_back(Metric{std::move(metric), value, std::move(unit)});
+}
+
+std::string BenchReport::OutputDir() {
+  if (const char* dir = std::getenv("POTEMKIN_BENCH_DIR"); dir != nullptr && *dir) {
+    return dir;
+  }
+  const std::string toplevel =
+      FirstLineOf("git rev-parse --show-toplevel 2>/dev/null");
+  return toplevel.empty() ? "." : toplevel;
+}
+
+std::string BenchReport::GitSha() {
+  const std::string sha = FirstLineOf("git rev-parse --short HEAD 2>/dev/null");
+  return sha.empty() ? "unknown" : sha;
+}
+
+std::string BenchReport::ToJson() const {
+  std::string out = "{\n  \"benchmark\": ";
+  AppendJsonString(out, benchmark_);
+  out += ",\n  \"seed\": ";
+  AppendJsonNumber(out, static_cast<double>(seed_));
+  out += ",\n  \"git_sha\": ";
+  AppendJsonString(out, GitSha());
+  out += ",\n  \"metrics\": [";
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"metric\": ";
+    AppendJsonString(out, metrics_[i].name);
+    out += ", \"value\": ";
+    AppendJsonNumber(out, metrics_[i].value);
+    out += ", \"unit\": ";
+    AppendJsonString(out, metrics_[i].unit);
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string BenchReport::WriteJson() const {
+  const std::string path = OutputDir() + "/BENCH_" + benchmark_ + ".json";
+  FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
+    return "";
+  }
+  const std::string json = ToJson();
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  std::fprintf(stderr, "perf report: %s\n", path.c_str());
+  return path;
+}
+
+}  // namespace potemkin

@@ -1,0 +1,62 @@
+// Perf-trajectory reporting: every benchmark binary records its headline
+// metrics as BENCH_<name>.json at the repository root, so successive commits
+// leave a machine-readable performance trail (compare two checkouts by diffing
+// their BENCH files). The schema is deliberately flat — one object per binary,
+// one row per metric — so a dashboard or CI check needs no bench-specific
+// parsing:
+//
+//   {
+//     "benchmark": "vm_scaling",
+//     "seed": 42,
+//     "git_sha": "97e6328",
+//     "metrics": [
+//       {"metric": "peak_live_vms_timeout_5s", "value": 533, "unit": "vms"}
+//     ]
+//   }
+//
+// The output directory is the enclosing git worktree root (queried from git at
+// run time), overridable with POTEMKIN_BENCH_DIR; metric values come from the
+// deterministic simulation, so a BENCH file diff is meaningful noise-free.
+#ifndef BENCH_REPORT_H_
+#define BENCH_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace potemkin {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string benchmark);
+
+  void Add(std::string metric, double value, std::string unit);
+  void set_seed(uint64_t seed) { seed_ = seed; }
+
+  // Serializes the report (stable key order, trailing newline).
+  std::string ToJson() const;
+
+  // Writes BENCH_<benchmark>.json into OutputDir(). Returns the path written,
+  // or an empty string when the file could not be created.
+  std::string WriteJson() const;
+
+  // POTEMKIN_BENCH_DIR if set, else `git rev-parse --show-toplevel`, else ".".
+  static std::string OutputDir();
+  // Short commit hash of the enclosing checkout, "unknown" outside git.
+  static std::string GitSha();
+
+ private:
+  struct Metric {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+
+  std::string benchmark_;
+  uint64_t seed_ = 0;
+  std::vector<Metric> metrics_;
+};
+
+}  // namespace potemkin
+
+#endif  // BENCH_REPORT_H_

@@ -174,10 +174,7 @@ void Honeyfarm::Start(Duration sample_interval) {
 }
 
 void Honeyfarm::ScheduleSampling(Duration interval) {
-  loop_.ScheduleAfter(interval, [this, interval]() {
-    samples_.push_back(SampleNow());
-    ScheduleSampling(interval);
-  });
+  loop_.SchedulePeriodic(interval, [this]() { samples_.push_back(SampleNow()); });
 }
 
 FarmSample Honeyfarm::SampleNow() {

@@ -10,62 +10,71 @@ BindingTable::BindingTable(size_t pending_queue_cap)
     : pending_queue_cap_(pending_queue_cap) {}
 
 Binding& BindingTable::CreatePending(Ipv4Address ip, HostId host, TimePoint now) {
-  PK_CHECK(bindings_.find(ip) == bindings_.end())
+  PK_CHECK(index_.Find(ip.value()) == FlatIndex<uint32_t>::kNotFound)
       << "duplicate binding for " << ip.ToString();
-  Binding binding;
+  const uint32_t slot = slab_.Alloc();
+  index_.Insert(ip.value(), slot);
+  Binding& binding = slab_.At(slot);
   binding.ip = ip;
   binding.host = host;
   binding.state = BindingState::kCloning;
   binding.created = now;
   binding.last_activity = now;
-  auto [it, inserted] = bindings_.emplace(ip, std::move(binding));
   ++stats_.bindings_created;
-  stats_.peak_live = std::max<uint64_t>(stats_.peak_live, bindings_.size());
-  return it->second;
+  stats_.peak_live = std::max<uint64_t>(stats_.peak_live, slab_.live_count());
+  return binding;
 }
 
 Binding* BindingTable::Activate(Ipv4Address ip, VmId vm, TimePoint now) {
-  auto it = bindings_.find(ip);
-  if (it == bindings_.end()) {
+  Binding* binding = Find(ip);
+  if (binding == nullptr) {
     return nullptr;
   }
-  it->second.vm = vm;
-  it->second.state = BindingState::kActive;
-  it->second.last_activity = now;
-  return &it->second;
+  binding->vm = vm;
+  binding->state = BindingState::kActive;
+  binding->last_activity = now;
+  return binding;
 }
 
 bool BindingTable::Remove(Ipv4Address ip) {
-  const bool erased = bindings_.erase(ip) > 0;
-  if (erased) {
-    ++stats_.bindings_removed;
+  const uint32_t slot = index_.Erase(ip.value());
+  if (slot == FlatIndex<uint32_t>::kNotFound) {
+    return false;
   }
-  return erased;
-}
-
-Binding* BindingTable::Find(Ipv4Address ip) {
-  auto it = bindings_.find(ip);
-  return it == bindings_.end() ? nullptr : &it->second;
-}
-
-const Binding* BindingTable::Find(Ipv4Address ip) const {
-  auto it = bindings_.find(ip);
-  return it == bindings_.end() ? nullptr : &it->second;
+  if (slab_.At(slot).pending_count > 0) {
+    pending_.erase(ip.value());
+  }
+  slab_.Free(slot);
+  ++stats_.bindings_removed;
+  return true;
 }
 
 bool BindingTable::QueuePending(Binding& binding, Packet packet) {
-  if (binding.pending.size() >= pending_queue_cap_) {
+  if (binding.pending_count >= pending_queue_cap_) {
     ++stats_.pending_dropped;
     return false;
   }
-  binding.pending.push_back(std::move(packet));
+  std::vector<Packet>& queue = pending_[binding.ip.value()];
+  if (queue.empty()) {
+    queue.reserve(std::min<size_t>(pending_queue_cap_, 8));
+  }
+  queue.push_back(std::move(packet));
+  ++binding.pending_count;
   ++stats_.pending_queued;
   return true;
 }
 
 std::vector<Packet> BindingTable::TakePending(Binding& binding) {
   std::vector<Packet> out;
-  out.swap(binding.pending);
+  if (binding.pending_count == 0) {
+    return out;
+  }
+  auto it = pending_.find(binding.ip.value());
+  if (it != pending_.end()) {
+    out = std::move(it->second);
+    pending_.erase(it);
+  }
+  binding.pending_count = 0;
   return out;
 }
 

@@ -3,6 +3,12 @@
 // No VM exists for an address until traffic arrives; the table tracks each bound
 // address through its lifecycle (cloning with queued packets -> active -> removed
 // at recycle). Its size over time *is* the paper's headline scalability curve.
+//
+// Storage is packet-path flat: an open-addressing index keyed on the raw
+// uint32_t address maps to a chunked slab of `Binding` records (stable
+// addresses, no per-binding allocation). Packets queued while a clone is in
+// flight live out-of-line in a side table — only ~queue-depth bindings are ever
+// in kCloning, so the common kActive record stays one cache line.
 #ifndef SRC_GATEWAY_BINDING_TABLE_H_
 #define SRC_GATEWAY_BINDING_TABLE_H_
 
@@ -10,6 +16,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/flat_index.h"
+#include "src/base/slab.h"
 #include "src/base/time_types.h"
 #include "src/hv/types.h"
 #include "src/net/ipv4.h"
@@ -17,7 +25,7 @@
 
 namespace potemkin {
 
-enum class BindingState {
+enum class BindingState : uint8_t {
   kCloning,  // clone requested; packets queue here until it completes
   kActive,   // VM live; packets forward directly
 };
@@ -26,14 +34,15 @@ struct Binding {
   Ipv4Address ip;
   HostId host = 0;
   VmId vm = kInvalidVm;
-  BindingState state = BindingState::kCloning;
   TimePoint created;
   TimePoint last_activity;
+  uint64_t inbound_packets = 0;
+  uint32_t pending_count = 0;  // packets queued out-of-line while kCloning
+  BindingState state = BindingState::kCloning;
   bool infected = false;
   bool reflected_origin = false;  // first packet arrived via reflection
-  uint64_t inbound_packets = 0;
-  std::vector<Packet> pending;  // queued while cloning
 };
+static_assert(sizeof(Binding) <= 64, "kActive binding must stay one cache line");
 
 struct BindingTableStats {
   uint64_t bindings_created = 0;
@@ -47,14 +56,22 @@ class BindingTable {
  public:
   explicit BindingTable(size_t pending_queue_cap = 64);
 
-  // Creates a kCloning binding. Must not already exist.
+  // Creates a kCloning binding. Must not already exist. The returned reference
+  // is stable for the binding's lifetime (slab storage).
   Binding& CreatePending(Ipv4Address ip, HostId host, TimePoint now);
   // Transitions to kActive with the clone's VM id; returns nullptr if gone.
   Binding* Activate(Ipv4Address ip, VmId vm, TimePoint now);
   bool Remove(Ipv4Address ip);
 
-  Binding* Find(Ipv4Address ip);
-  const Binding* Find(Ipv4Address ip) const;
+  // Per-packet lookup; defined inline — it is the single hottest gateway call.
+  Binding* Find(Ipv4Address ip) {
+    const uint32_t slot = index_.Find(ip.value());
+    return slot == FlatIndex<uint32_t>::kNotFound ? nullptr : &slab_.At(slot);
+  }
+  const Binding* Find(Ipv4Address ip) const {
+    const uint32_t slot = index_.Find(ip.value());
+    return slot == FlatIndex<uint32_t>::kNotFound ? nullptr : &slab_.At(slot);
+  }
 
   // Queues a packet on a cloning binding, enforcing the queue cap.
   // Returns false (and counts a drop) when full.
@@ -62,14 +79,12 @@ class BindingTable {
   // Removes and returns all queued packets.
   std::vector<Packet> TakePending(Binding& binding);
 
-  size_t size() const { return bindings_.size(); }
+  size_t size() const { return slab_.live_count(); }
   const BindingTableStats& stats() const { return stats_; }
 
   template <typename Fn>
   void ForEach(Fn&& fn) {
-    for (auto& [ip, binding] : bindings_) {
-      fn(binding);
-    }
+    slab_.ForEach([&](uint32_t, Binding& binding) { fn(binding); });
   }
 
   // Collects addresses matching a predicate (used by the recycler to avoid
@@ -77,17 +92,21 @@ class BindingTable {
   template <typename Pred>
   std::vector<Ipv4Address> CollectIf(Pred&& pred) const {
     std::vector<Ipv4Address> out;
-    for (const auto& [ip, binding] : bindings_) {
+    slab_.ForEach([&](uint32_t, const Binding& binding) {
       if (pred(binding)) {
-        out.push_back(ip);
+        out.push_back(binding.ip);
       }
-    }
+    });
     return out;
   }
 
  private:
   size_t pending_queue_cap_;
-  std::unordered_map<Ipv4Address, Binding> bindings_;
+  FlatIndex<uint32_t> index_;  // ip (host order) -> slab slot
+  Slab<Binding> slab_;
+  // Out-of-line clone-time packet queues, keyed by raw IP. Touched only for
+  // kCloning bindings, which number ~clone-queue-depth at any instant.
+  std::unordered_map<uint32_t, std::vector<Packet>> pending_;
   BindingTableStats stats_;
 };
 

@@ -352,10 +352,9 @@ void Gateway::EmergencyReclaim() {
 }
 
 void Gateway::ScheduleSweep() {
-  loop_->ScheduleAfter(config_.recycle.scan_interval, [this]() {
-    SweepOnce();
-    ScheduleSweep();
-  });
+  // Periodic timer: one retained closure for the lifetime of the gateway
+  // instead of a fresh allocation per sweep.
+  loop_->SchedulePeriodic(config_.recycle.scan_interval, [this]() { SweepOnce(); });
 }
 
 void Gateway::StartRecycling() {

@@ -7,7 +7,9 @@
 namespace potemkin {
 
 AddressSpace::AddressSpace(FrameAllocator* allocator, uint32_t num_pages)
-    : allocator_(allocator), ptes_(num_pages) {}
+    : allocator_(allocator),
+      ptes_(num_pages),
+      track_dirty_(allocator->mode() == ContentMode::kStoreBytes) {}
 
 AddressSpace::~AddressSpace() { ReleaseAll(); }
 
@@ -24,6 +26,9 @@ void AddressSpace::MapPrivateOwned(Gpfn gpfn, FrameId frame) {
   Unmap(gpfn);
   ptes_[gpfn] = Pte{frame, true, false};
   ++private_pages_;
+  if (track_dirty_) {
+    MarkDirty(gpfn);  // new private content this address space has not exposed yet
+  }
 }
 
 void AddressSpace::Unmap(Gpfn gpfn) {
@@ -94,6 +99,9 @@ MemAccessResult AddressSpace::WriteGuest(uint64_t gpaddr,
     if (!MakeWritable(gpfn, &result)) {
       return result;  // kOutOfMemory
     }
+    if (track_dirty_) {
+      MarkDirty(gpfn);
+    }
     allocator_->Write(ptes_[gpfn].frame, offset, bytes.subspan(written, chunk));
     written += chunk;
   }
@@ -155,6 +163,17 @@ void AddressSpace::ConvertPrivateToSharedCow(Gpfn gpfn, FrameId frame) {
   PK_CHECK(gpfn < ptes_.size() && ptes_[gpfn].present && !ptes_[gpfn].cow)
       << "convert of non-private page";
   MapSharedCow(gpfn, frame);  // Unmaps (releasing the private frame) then shares.
+}
+
+void AddressSpace::MarkAllPrivateDirty() {
+  if (!track_dirty_) {
+    return;
+  }
+  for (Gpfn gpfn = 0; gpfn < ptes_.size(); ++gpfn) {
+    if (ptes_[gpfn].present && !ptes_[gpfn].cow) {
+      MarkDirty(gpfn);
+    }
+  }
 }
 
 void AddressSpace::ReleaseAll() {

@@ -73,7 +73,7 @@ class AddressSpace {
   const AddressSpaceStats& stats() const { return stats_; }
 
   // Iterates every private (non-CoW) mapping: fn(gpfn, frame). Used by snapshot
-  // capture and the page deduplicator.
+  // capture and the page deduplicator's full-scan mode.
   template <typename Fn>
   void ForEachPrivatePage(Fn&& fn) const {
     for (Gpfn gpfn = 0; gpfn < ptes_.size(); ++gpfn) {
@@ -82,6 +82,30 @@ class AddressSpace {
       }
     }
   }
+
+  // Consumes the set of private pages written since the last drain, in first-dirty
+  // order: fn(gpfn, frame). Pages unmapped or converted since they were dirtied are
+  // skipped. Tracking is only armed on kStoreBytes hosts (where page contents — and
+  // thus content dedup — exist); on metadata-only hosts this visits nothing.
+  template <typename Fn>
+  void DrainDirtyPages(Fn&& fn) {
+    for (const Gpfn gpfn : dirty_pages_) {
+      Pte& pte = ptes_[gpfn];
+      if (!pte.dirty) {
+        continue;  // unmapped/converted since dirtied
+      }
+      pte.dirty = false;
+      if (pte.present && !pte.cow) {
+        fn(gpfn, pte.frame);
+      }
+    }
+    dirty_pages_.clear();
+  }
+
+  // Re-marks every private page dirty (full-scan dedup mode).
+  void MarkAllPrivateDirty();
+
+  size_t dirty_page_count() const { return dirty_pages_.size(); }
 
   // Replaces the private mapping at `gpfn` with a CoW share of `frame` (used by
   // the deduplicator after proving contents identical). The old private frame is
@@ -96,15 +120,26 @@ class AddressSpace {
     FrameId frame = kInvalidFrame;
     bool present = false;
     bool cow = false;  // present but read-only shared; write must break the share
+    bool dirty = false;  // written since the last dedup drain (kStoreBytes only)
   };
 
   // Ensures the page at `gpfn` is privately writable; returns false on OOM.
   bool MakeWritable(Gpfn gpfn, MemAccessResult* result);
 
+  void MarkDirty(Gpfn gpfn) {
+    Pte& pte = ptes_[gpfn];
+    if (!pte.dirty) {
+      pte.dirty = true;
+      dirty_pages_.push_back(gpfn);
+    }
+  }
+
   FrameAllocator* allocator_;
   std::vector<Pte> ptes_;
+  std::vector<Gpfn> dirty_pages_;  // queue for DrainDirtyPages; deduped via Pte::dirty
   uint32_t private_pages_ = 0;
   uint32_t shared_pages_ = 0;
+  bool track_dirty_ = false;  // only kStoreBytes hosts pay for dirty tracking
   mutable AddressSpaceStats stats_;  // mutable: reads are logically const
 };
 

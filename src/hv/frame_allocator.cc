@@ -4,8 +4,14 @@
 #include <cstring>
 
 #include "src/base/log.h"
+#include "src/hv/dedup_index.h"
 
 namespace potemkin {
+
+namespace {
+// Canonical page for frames that were never materialized (zero-fill-on-demand).
+constexpr uint8_t kZeroPage[kPageSize] = {};
+}  // namespace
 
 FrameAllocator::FrameAllocator(uint64_t capacity_frames, ContentMode mode)
     : mode_(mode), capacity_frames_(capacity_frames) {}
@@ -54,6 +60,9 @@ void FrameAllocator::Ref(FrameId frame) {
 void FrameAllocator::Unref(FrameId frame) {
   PK_CHECK(frame < frames_.size() && frames_[frame].refcount > 0) << "unref dead frame";
   if (--frames_[frame].refcount == 0) {
+    if (dedup_index_ != nullptr) {
+      dedup_index_->OnFrameFreed(frame);
+    }
     frames_[frame].data.reset();
     free_list_.push_back(frame);
     PK_CHECK(used_frames_ > 0);
@@ -81,8 +90,20 @@ void FrameAllocator::Write(FrameId frame, size_t offset,
   if (mode_ == ContentMode::kMetadataOnly) {
     return;
   }
+  if (dedup_index_ != nullptr) {
+    dedup_index_->OnFrameWritten(frame);
+  }
   uint8_t* data = MaterializeData(frames_[frame]);
   std::memcpy(data + offset, bytes.data(), bytes.size());
+}
+
+const uint8_t* FrameAllocator::PeekData(FrameId frame) const {
+  PK_CHECK(frame < frames_.size() && frames_[frame].refcount > 0) << "peek dead frame";
+  if (mode_ == ContentMode::kMetadataOnly) {
+    return nullptr;
+  }
+  const Frame& f = frames_[frame];
+  return f.data == nullptr ? kZeroPage : f.data.get();
 }
 
 void FrameAllocator::Read(FrameId frame, size_t offset, std::span<uint8_t> out) const {

@@ -18,6 +18,8 @@
 
 namespace potemkin {
 
+class DedupIndex;
+
 enum class ContentMode {
   kStoreBytes,    // frames carry real 4 KiB buffers; reads/writes touch real memory
   kMetadataOnly,  // frames are accounting entries only (for very large farms)
@@ -48,6 +50,16 @@ class FrameAllocator {
   void Write(FrameId frame, size_t offset, std::span<const uint8_t> bytes);
   void Read(FrameId frame, size_t offset, std::span<uint8_t> out) const;
 
+  // Zero-copy view of a live frame's page for the deduplicator. Never null in
+  // kStoreBytes mode: an unmaterialized (all-zero) frame yields a shared
+  // canonical zero page. Returns nullptr in kMetadataOnly mode.
+  const uint8_t* PeekData(FrameId frame) const;
+
+  // Attaches the host's dedup index; it is notified on frame writes and frees
+  // so stale content hashes never survive. Pass nullptr to detach.
+  void set_dedup_index(DedupIndex* index) { dedup_index_ = index; }
+  DedupIndex* dedup_index() const { return dedup_index_; }
+
   uint64_t capacity_frames() const { return capacity_frames_; }
   uint64_t used_frames() const { return used_frames_; }
   uint64_t free_frames() const { return capacity_frames_ - used_frames_; }
@@ -67,6 +79,7 @@ class FrameAllocator {
 
   uint8_t* MaterializeData(Frame& frame);
 
+  DedupIndex* dedup_index_ = nullptr;
   ContentMode mode_;
   uint64_t capacity_frames_;
   uint64_t used_frames_ = 0;

@@ -1,10 +1,9 @@
 #include "src/hv/page_dedup.h"
 
 #include <cstring>
-#include <unordered_map>
-#include <vector>
 
 #include "src/hv/address_space.h"
+#include "src/hv/dedup_index.h"
 
 namespace potemkin {
 
@@ -21,68 +20,64 @@ uint64_t HashPage(const uint8_t* data) {
   return h;
 }
 
-struct PrivatePageRef {
-  VirtualMachine* vm = nullptr;
-  Gpfn gpfn = 0;
-  FrameId frame = kInvalidFrame;
-};
-
 }  // namespace
 
-DedupResult DeduplicatePages(PhysicalHost& host) {
+DedupResult DeduplicatePages(PhysicalHost& host, DedupMode mode) {
   DedupResult result;
   FrameAllocator& allocator = host.allocator();
   if (allocator.mode() != ContentMode::kStoreBytes) {
     return result;  // nothing to compare on accounting-only hosts
   }
+  DedupIndex& index = host.dedup_index();
+  if (mode == DedupMode::kFullScan) {
+    // Forget everything and reexamine the whole host: the ground-truth path the
+    // incremental mode is cross-checked against.
+    index.Clear();
+    host.ForEachVm([](VirtualMachine& vm) { vm.memory().MarkAllPrivateDirty(); });
+  }
 
-  // Pass 1: collect and hash every private page.
-  std::unordered_map<uint64_t, std::vector<PrivatePageRef>> by_hash;
-  std::vector<uint8_t> buffer(kPageSize);
   host.ForEachVm([&](VirtualMachine& vm) {
-    vm.memory().ForEachPrivatePage([&](Gpfn gpfn, FrameId frame) {
-      allocator.Read(frame, 0, std::span(buffer.data(), buffer.size()));
-      by_hash[HashPage(buffer.data())].push_back(PrivatePageRef{&vm, gpfn, frame});
-      ++result.pages_scanned;
-    });
-  });
-
-  // Pass 2: within each hash bucket, merge byte-identical pages onto the first
-  // (canonical) frame.
-  std::vector<uint8_t> canonical_bytes(kPageSize);
-  std::vector<uint8_t> candidate_bytes(kPageSize);
-  for (auto& [hash, refs] : by_hash) {
-    if (refs.size() < 2) {
-      continue;
-    }
-    // The canonical frame must survive its owner's conversion to CoW, so pin it.
-    const PrivatePageRef canonical = refs[0];
-    allocator.Read(canonical.frame, 0,
-                   std::span(canonical_bytes.data(), canonical_bytes.size()));
-    bool canonical_converted = false;
-    allocator.Ref(canonical.frame);
-    for (size_t i = 1; i < refs.size(); ++i) {
-      const PrivatePageRef& candidate = refs[i];
-      allocator.Read(candidate.frame, 0,
-                     std::span(candidate_bytes.data(), candidate_bytes.size()));
-      if (candidate_bytes != canonical_bytes) {
-        ++result.hash_collisions;
-        continue;
+    AddressSpace& memory = vm.memory();
+    memory.DrainDirtyPages([&](Gpfn gpfn, FrameId frame) {
+      if (index.Contains(frame)) {
+        return;  // still indexed => content unchanged since it was examined
       }
-      if (!canonical_converted) {
+      ++result.pages_scanned;
+      const uint8_t* data = allocator.PeekData(frame);
+      const uint64_t hash = HashPage(data);
+
+      // Find a byte-identical previously-seen frame (hash bucket may collide).
+      DedupIndex::Candidate canonical;
+      index.ForEachCandidate(hash, [&](const DedupIndex::Candidate& candidate) {
+        if (canonical.frame != kInvalidFrame || candidate.frame == frame) {
+          return;
+        }
+        if (std::memcmp(allocator.PeekData(candidate.frame), data, kPageSize) != 0) {
+          ++result.hash_collisions;
+          return;
+        }
+        canonical = candidate;
+      });
+
+      if (canonical.frame == kInvalidFrame) {
+        index.Insert(frame, hash, &memory, gpfn);
+        return;
+      }
+      // Pin the canonical frame across its owner's conversion to CoW.
+      allocator.Ref(canonical.frame);
+      if (canonical.owner_as != nullptr) {
         // Flip the canonical owner's mapping to read-only CoW first, so its
         // future writes cannot mutate pages now shared with others.
-        canonical.vm->memory().ConvertPrivateToSharedCow(canonical.gpfn,
-                                                         canonical.frame);
-        canonical_converted = true;
+        canonical.owner_as->ConvertPrivateToSharedCow(canonical.owner_gpfn,
+                                                      canonical.frame);
+        index.MarkShared(canonical.frame);
       }
-      candidate.vm->memory().ConvertPrivateToSharedCow(candidate.gpfn,
-                                                       canonical.frame);
+      memory.ConvertPrivateToSharedCow(gpfn, canonical.frame);  // frees `frame`
+      allocator.Unref(canonical.frame);
       ++result.pages_merged;
       ++result.frames_freed;
-    }
-    allocator.Unref(canonical.frame);
-  }
+    });
+  });
   result.bytes_saved = result.frames_freed * kPageSize;
   return result;
 }

@@ -3,10 +3,18 @@
 // Delta virtualization shares pages that clones *never wrote*; the paper points
 // out (as future work) that clones frequently write identical content — zeroed
 // buffers, identical kernel structures — which content-based sharing can merge
-// back, further raising VM density. This pass scans every private page on a host,
-// groups by content hash, verifies byte equality, and rewrites duplicates as
-// copy-on-write shares of one canonical frame. Safe by construction: all merged
-// mappings become read-only CoW, so a later write simply re-privatizes the page.
+// back, further raising VM density. This pass groups private pages by content
+// hash, verifies byte equality, and rewrites duplicates as copy-on-write shares
+// of one canonical frame. Safe by construction: all merged mappings become
+// read-only CoW, so a later write simply re-privatizes the page.
+//
+// Two scan modes share one merge core:
+//  - kIncremental (default): only pages dirtied since the previous pass are
+//    hashed; everything previously examined is remembered in the host's
+//    `DedupIndex`, which the frame allocator keeps consistent across writes and
+//    frees. Cost per pass is O(dirty), not O(host memory).
+//  - kFullScan: drops the index, re-marks every private page dirty and rescans —
+//    the cross-check mode tests run against the incremental path.
 //
 // Requires a kStoreBytes host (real contents); on metadata-only hosts it is a
 // no-op, since there are no bytes to compare.
@@ -20,16 +28,22 @@
 namespace potemkin {
 
 struct DedupResult {
-  uint64_t pages_scanned = 0;
+  uint64_t pages_scanned = 0;  // pages hashed this pass (dirty ones, incremental)
   uint64_t pages_merged = 0;   // private mappings rewritten to CoW shares
   uint64_t frames_freed = 0;   // machine frames released by merging
   uint64_t bytes_saved = 0;
   uint64_t hash_collisions = 0;  // equal hash, different bytes (kept separate)
 };
 
-// One full deduplication pass over `host`. Idempotent: a second immediate pass
+enum class DedupMode {
+  kIncremental,  // merge only pages dirtied since the last pass
+  kFullScan,     // rescan every private page (cross-check mode)
+};
+
+// One deduplication pass over `host`. Idempotent: a second immediate pass
 // merges nothing.
-DedupResult DeduplicatePages(PhysicalHost& host);
+DedupResult DeduplicatePages(PhysicalHost& host,
+                             DedupMode mode = DedupMode::kIncremental);
 
 }  // namespace potemkin
 

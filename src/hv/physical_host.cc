@@ -25,7 +25,11 @@ const char* CloneKindName(CloneKind kind) {
 
 PhysicalHost::PhysicalHost(const PhysicalHostConfig& config)
     : config_(config),
-      allocator_(config.memory_mb * (1 << 20) / kPageSize, config.content_mode) {}
+      allocator_(config.memory_mb * (1 << 20) / kPageSize, config.content_mode) {
+  if (config.content_mode == ContentMode::kStoreBytes) {
+    allocator_.set_dedup_index(&dedup_index_);
+  }
+}
 
 ImageId PhysicalHost::RegisterImage(const ReferenceImageConfig& config,
                                     uint64_t disk_blocks) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/hv/cow_disk.h"
+#include "src/hv/dedup_index.h"
 #include "src/hv/frame_allocator.h"
 #include "src/hv/latency_model.h"
 #include "src/hv/reference_image.h"
@@ -49,6 +50,11 @@ class PhysicalHost {
   const std::string& name() const { return config_.name; }
   FrameAllocator& allocator() { return allocator_; }
   const FrameAllocator& allocator() const { return allocator_; }
+
+  // Content-hash index the incremental deduplicator keeps warm between passes;
+  // wired into the allocator's write/free hooks on kStoreBytes hosts.
+  DedupIndex& dedup_index() { return dedup_index_; }
+  const DedupIndex& dedup_index() const { return dedup_index_; }
 
   // Boots a reference image (and its reference disk) on this host.
   ImageId RegisterImage(const ReferenceImageConfig& config, uint64_t disk_blocks = 1024);
@@ -92,6 +98,9 @@ class PhysicalHost {
 
   PhysicalHostConfig config_;
   FrameAllocator allocator_;
+  // Declared after allocator_ and before the frame holders below, so teardown
+  // (VMs, disks, images) still has a live index for its frame-free hooks.
+  DedupIndex dedup_index_;
   std::vector<std::unique_ptr<ReferenceImage>> images_;
   std::vector<std::unique_ptr<ReferenceDisk>> disks_;
   std::unordered_map<VmId, VmRecord> vms_;

@@ -19,15 +19,7 @@ std::string FlowKey::ToString() const {
 }
 
 size_t FlowKeyHash::operator()(const FlowKey& key) const noexcept {
-  uint64_t h = key.src.value();
-  h = h * 0x9e3779b97f4a7c15ull + key.dst.value();
-  h = h * 0x9e3779b97f4a7c15ull +
-      ((static_cast<uint64_t>(key.src_port) << 24) |
-       (static_cast<uint64_t>(key.dst_port) << 8) | static_cast<uint64_t>(key.proto));
-  h ^= h >> 29;
-  h *= 0xbf58476d1ce4e5b9ull;
-  h ^= h >> 32;
-  return static_cast<size_t>(h);
+  return static_cast<size_t>(PackedFlowKeyHash{}(PackedFlowKey::From(key)));
 }
 
 const char* TcpStateName(TcpState state) {
@@ -93,30 +85,66 @@ void FlowTable::AdvanceTcpState(FlowRecord& record, const PacketView& view,
   }
 }
 
+void FlowTable::LruUnlink(uint32_t slot) {
+  FlowSlot& s = slab_.At(slot);
+  if (s.lru_prev != kNil) {
+    slab_.At(s.lru_prev).lru_next = s.lru_next;
+  } else {
+    lru_head_ = s.lru_next;
+  }
+  if (s.lru_next != kNil) {
+    slab_.At(s.lru_next).lru_prev = s.lru_prev;
+  } else {
+    lru_tail_ = s.lru_prev;
+  }
+  s.lru_prev = kNil;
+  s.lru_next = kNil;
+}
+
+void FlowTable::LruPushBack(uint32_t slot) {
+  FlowSlot& s = slab_.At(slot);
+  s.lru_prev = lru_tail_;
+  s.lru_next = kNil;
+  if (lru_tail_ != kNil) {
+    slab_.At(lru_tail_).lru_next = slot;
+  } else {
+    lru_head_ = slot;
+  }
+  lru_tail_ = slot;
+}
+
+void FlowTable::RemoveSlot(uint32_t slot) {
+  LruUnlink(slot);
+  index_.Erase(PackedFlowKey::From(slab_.At(slot).record.key));
+  slab_.Free(slot);
+}
+
 const FlowRecord& FlowTable::Record(const PacketView& view, TimePoint now) {
   const FlowKey forward = FlowKey::FromView(view);
+  const PackedFlowKey packed = PackedFlowKey::From(forward);
   bool is_forward = true;
-  auto it = flows_.find(forward);
-  if (it == flows_.end()) {
-    auto rit = flows_.find(forward.Reversed());
-    if (rit != flows_.end()) {
-      it = rit;
-      is_forward = false;
-    }
+  uint32_t slot = index_.Find(packed);
+  if (slot == FlatIndex<PackedFlowKey, PackedFlowKeyHash>::kNotFound) {
+    slot = index_.Find(packed.Reversed());
+    is_forward = false;
   }
-  if (it == flows_.end()) {
-    if (flows_.size() >= max_flows_) {
+  if (slot == FlatIndex<PackedFlowKey, PackedFlowKeyHash>::kNotFound) {
+    if (slab_.live_count() >= max_flows_) {
       EvictOldest();
     }
-    FlowRecord record;
+    is_forward = true;
+    slot = slab_.Alloc();
+    index_.Insert(packed, slot);
+    FlowRecord& record = slab_.At(slot).record;
     record.key = forward;
     record.first_seen = now;
-    it = flows_.emplace(forward, record).first;
-    lru_.push_back(forward);
-    lru_pos_[forward] = std::prev(lru_.end());
+    LruPushBack(slot);
     ++total_created_;
+  } else {
+    LruUnlink(slot);
+    LruPushBack(slot);
   }
-  FlowRecord& record = it->second;
+  FlowRecord& record = slab_.At(slot).record;
   record.last_seen = now;
   const uint64_t bytes = view.ip().total_length;
   if (is_forward) {
@@ -127,51 +155,39 @@ const FlowRecord& FlowTable::Record(const PacketView& view, TimePoint now) {
     record.reverse_bytes += bytes;
   }
   AdvanceTcpState(record, view, is_forward);
-  // Refresh LRU position.
-  auto pos = lru_pos_.find(record.key);
-  if (pos != lru_pos_.end()) {
-    lru_.erase(pos->second);
-    lru_.push_back(record.key);
-    pos->second = std::prev(lru_.end());
-  }
   return record;
 }
 
 const FlowRecord* FlowTable::Find(const FlowKey& key) const {
-  auto it = flows_.find(key);
-  if (it != flows_.end()) {
-    return &it->second;
+  const PackedFlowKey packed = PackedFlowKey::From(key);
+  uint32_t slot = index_.Find(packed);
+  if (slot == FlatIndex<PackedFlowKey, PackedFlowKeyHash>::kNotFound) {
+    slot = index_.Find(packed.Reversed());
   }
-  it = flows_.find(key.Reversed());
-  return it == flows_.end() ? nullptr : &it->second;
+  if (slot == FlatIndex<PackedFlowKey, PackedFlowKeyHash>::kNotFound) {
+    return nullptr;
+  }
+  return &slab_.At(slot).record;
 }
 
 size_t FlowTable::ExpireIdle(TimePoint now) {
   size_t removed = 0;
-  while (!lru_.empty()) {
-    const FlowKey& oldest = lru_.front();
-    auto it = flows_.find(oldest);
-    if (it != flows_.end() && now - it->second.last_seen <= idle_timeout_) {
+  while (lru_head_ != kNil) {
+    const uint32_t oldest = lru_head_;
+    if (now - slab_.At(oldest).record.last_seen <= idle_timeout_) {
       break;  // everything behind it is younger
     }
-    if (it != flows_.end()) {
-      flows_.erase(it);
-    }
-    lru_pos_.erase(oldest);
-    lru_.pop_front();
+    RemoveSlot(oldest);
     ++removed;
   }
   return removed;
 }
 
 void FlowTable::EvictOldest() {
-  if (lru_.empty()) {
+  if (lru_head_ == kNil) {
     return;
   }
-  const FlowKey oldest = lru_.front();
-  lru_.pop_front();
-  lru_pos_.erase(oldest);
-  flows_.erase(oldest);
+  RemoveSlot(lru_head_);
   ++evictions_;
 }
 

@@ -1,16 +1,21 @@
 // Flow tracking: 5-tuple keys, per-flow records with a TCP state machine, and a
 // flow table with idle expiry. The gateway uses flow state to distinguish inbound
 // service traffic from scans and to account per-flow statistics.
+//
+// The table is packet-path flat: 5-tuples are packed into a 96-bit key probed in
+// an open-addressing index, records live in a chunked slab, and LRU order is an
+// intrusive doubly-linked list of slot ids — no per-flow node allocations and no
+// iterator bookkeeping maps.
 #ifndef SRC_NET_FLOW_H_
 #define SRC_NET_FLOW_H_
 
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <optional>
 #include <string>
-#include <unordered_map>
 
+#include "src/base/flat_index.h"
+#include "src/base/slab.h"
 #include "src/base/time_types.h"
 #include "src/net/ipv4.h"
 #include "src/net/packet.h"
@@ -34,6 +39,40 @@ struct FlowKey {
 
 struct FlowKeyHash {
   size_t operator()(const FlowKey& key) const noexcept;
+};
+
+// The 104 relevant bits of a 5-tuple packed into two words, so key compare is
+// two integer compares and the hash touches no padding.
+struct PackedFlowKey {
+  uint64_t addrs = 0;  // src << 32 | dst
+  uint64_t rest = 0;   // src_port << 24 | dst_port << 8 | proto
+
+  static PackedFlowKey From(const FlowKey& key) {
+    PackedFlowKey packed;
+    packed.addrs =
+        (static_cast<uint64_t>(key.src.value()) << 32) | key.dst.value();
+    packed.rest = (static_cast<uint64_t>(key.src_port) << 24) |
+                  (static_cast<uint64_t>(key.dst_port) << 8) |
+                  static_cast<uint64_t>(key.proto);
+    return packed;
+  }
+  PackedFlowKey Reversed() const {
+    PackedFlowKey packed;
+    packed.addrs = (addrs << 32) | (addrs >> 32);
+    packed.rest = (((rest >> 8) & 0xffff) << 24) | (((rest >> 24) & 0xffff) << 8) |
+                  (rest & 0xff);
+    return packed;
+  }
+  bool operator==(const PackedFlowKey&) const = default;
+};
+
+struct PackedFlowKeyHash {
+  uint64_t operator()(const PackedFlowKey& key) const noexcept {
+    uint64_t h = key.addrs * 0x9e3779b97f4a7c15ull + key.rest;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ull;
+    return h ^ (h >> 32);
+  }
 };
 
 enum class TcpState {
@@ -65,7 +104,8 @@ class FlowTable {
  public:
   explicit FlowTable(Duration idle_timeout, size_t max_flows = 1 << 20);
 
-  // Records a packet; creates the flow if new. Returns the updated record.
+  // Records a packet; creates the flow if new. Returns the updated record
+  // (valid until the next mutating call).
   const FlowRecord& Record(const PacketView& view, TimePoint now);
 
   const FlowRecord* Find(const FlowKey& key) const;
@@ -73,24 +113,36 @@ class FlowTable {
   // Removes flows idle since before `now - idle_timeout`. Returns count removed.
   size_t ExpireIdle(TimePoint now);
 
-  size_t size() const { return flows_.size(); }
+  size_t size() const { return slab_.live_count(); }
   uint64_t total_flows_created() const { return total_created_; }
   uint64_t handshakes_completed() const { return handshakes_; }
   uint64_t evictions() const { return evictions_; }
 
  private:
+  static constexpr uint32_t kNil = 0xffffffffu;
+
+  struct FlowSlot {
+    FlowRecord record;
+    uint32_t lru_prev = kNil;
+    uint32_t lru_next = kNil;
+  };
+
   void AdvanceTcpState(FlowRecord& record, const PacketView& view, bool is_forward);
   void EvictOldest();
+  void LruUnlink(uint32_t slot);
+  void LruPushBack(uint32_t slot);
+  // Removes the slot from index, LRU and slab.
+  void RemoveSlot(uint32_t slot);
 
   Duration idle_timeout_;
   size_t max_flows_;
   uint64_t total_created_ = 0;
   uint64_t handshakes_ = 0;
   uint64_t evictions_ = 0;
-  std::unordered_map<FlowKey, FlowRecord, FlowKeyHash> flows_;
-  // LRU list of keys, most recent at back; parallel to flows_.
-  std::list<FlowKey> lru_;
-  std::unordered_map<FlowKey, std::list<FlowKey>::iterator, FlowKeyHash> lru_pos_;
+  FlatIndex<PackedFlowKey, PackedFlowKeyHash> index_;  // forward key -> slot
+  Slab<FlowSlot> slab_;
+  uint32_t lru_head_ = kNil;  // oldest
+  uint32_t lru_tail_ = kNil;  // most recently touched
 };
 
 }  // namespace potemkin

@@ -1,0 +1,104 @@
+// Validates the perf-trajectory report schema (bench/report.h): every bench
+// binary ships BENCH_<name>.json with {benchmark, seed, git_sha, metrics:
+// [{metric, value, unit}]}. CI and dashboards diff these files across commits,
+// so the shape and the write path are contract, not implementation detail.
+#include "bench/report.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace potemkin {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return "";
+  }
+  std::string text;
+  char buffer[4096];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, got);
+  }
+  std::fclose(file);
+  return text;
+}
+
+TEST(BenchReportTest, JsonCarriesAllRequiredKeys) {
+  BenchReport report("schema_check");
+  report.set_seed(42);
+  report.Add("clone_latency", 0.512, "ms");
+  report.Add("peak_vms", 533.0, "vms");
+
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"benchmark\": \"schema_check\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\": "), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\": ["), std::string::npos);
+  EXPECT_NE(json.find("{\"metric\": \"clone_latency\", \"value\": 0.512"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"unit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("{\"metric\": \"peak_vms\", \"value\": 533,"),
+            std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(BenchReportTest, IdenticalReportsSerializeIdentically) {
+  // The whole point of the trajectory: a diff between two BENCH files must
+  // reflect metric changes only, never serialization noise.
+  BenchReport a("det");
+  BenchReport b("det");
+  for (BenchReport* r : {&a, &b}) {
+    r->set_seed(7);
+    r->Add("m", 1234.5678, "ns");
+  }
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+}
+
+TEST(BenchReportTest, EscapesQuotesAndBackslashesInStrings) {
+  BenchReport report("weird");
+  report.Add("path\\with\"quote", 1.0, "u");
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("path\\\\with\\\"quote"), std::string::npos);
+}
+
+TEST(BenchReportTest, NonFiniteValuesSerializeAsNull) {
+  BenchReport report("nan_check");
+  report.Add("bad", 0.0 / 0.0, "x");
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"value\": null"), std::string::npos);
+}
+
+TEST(BenchReportTest, WriteJsonHonorsOutputDirOverride) {
+  char dir_template[] = "/tmp/bench_report_test_XXXXXX";
+  ASSERT_NE(mkdtemp(dir_template), nullptr);
+  setenv("POTEMKIN_BENCH_DIR", dir_template, 1);
+
+  BenchReport report("roundtrip");
+  report.set_seed(9);
+  report.Add("value_under_test", 3.25, "x");
+  const std::string path = report.WriteJson();
+  unsetenv("POTEMKIN_BENCH_DIR");
+
+  ASSERT_EQ(path, std::string(dir_template) + "/BENCH_roundtrip.json");
+  const std::string on_disk = ReadFile(path);
+  EXPECT_EQ(on_disk, report.ToJson());
+  std::remove(path.c_str());
+  rmdir(dir_template);
+}
+
+TEST(BenchReportTest, WriteJsonReportsFailureAsEmptyPath) {
+  setenv("POTEMKIN_BENCH_DIR", "/nonexistent_dir_for_bench_report_test", 1);
+  BenchReport report("unwritable");
+  EXPECT_EQ(report.WriteJson(), "");
+  unsetenv("POTEMKIN_BENCH_DIR");
+}
+
+}  // namespace
+}  // namespace potemkin

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+#include <utility>
 #include <vector>
 
 namespace potemkin {
@@ -133,6 +135,103 @@ TEST(EventLoopTest, PendingCountTracksLiveEvents) {
   loop.RunAll();
   EXPECT_EQ(loop.pending_events(), 0u);
   EXPECT_EQ(loop.executed_events(), 1u);
+}
+
+TEST(EventLoopTest, SchedulePeriodicFiresAtFixedIntervals) {
+  EventLoop loop;
+  std::vector<int64_t> fired;
+  const EventHandle handle = loop.SchedulePeriodic(
+      Duration::Nanos(10), [&] { fired.push_back(loop.Now().nanos()); });
+  loop.RunFor(Duration::Nanos(45));
+  EXPECT_EQ(fired, (std::vector<int64_t>{10, 20, 30, 40}));
+  EXPECT_EQ(loop.pending_events(), 1u);  // the whole series counts as one event
+  EXPECT_FALSE(loop.Empty());
+  EXPECT_TRUE(loop.Cancel(handle));  // the handle stays valid across re-arms
+  loop.RunFor(Duration::Nanos(1000));
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_TRUE(loop.Empty());
+}
+
+TEST(EventLoopTest, PeriodicCancelledFromOwnCallbackStops) {
+  EventLoop loop;
+  int fired = 0;
+  EventHandle handle;
+  handle = loop.SchedulePeriodic(Duration::Nanos(5), [&] {
+    if (++fired == 3) {
+      EXPECT_TRUE(loop.Cancel(handle));
+    }
+  });
+  loop.RunFor(Duration::Nanos(1000));
+  EXPECT_EQ(fired, 3);
+  EXPECT_TRUE(loop.Empty());
+}
+
+TEST(EventLoopTest, StaleHandleCannotCancelRecycledSlot) {
+  EventLoop loop;
+  bool second_ran = false;
+  const EventHandle first = loop.ScheduleAfter(Duration::Nanos(10), [] {});
+  EXPECT_TRUE(loop.Cancel(first));
+  // Cancel reclaims the slot eagerly, so this schedule reuses it.
+  const EventHandle second =
+      loop.ScheduleAfter(Duration::Nanos(20), [&] { second_ran = true; });
+  EXPECT_EQ(loop.slab_slots(), 1u);
+  EXPECT_FALSE(loop.Cancel(first));  // stale generation must not hit `second`
+  loop.RunAll();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(EventLoopTest, CancelRearmChurnStaysBounded) {
+  // A recycler forever re-arming far-future timers: the slab must recycle slots
+  // (never exceeding the peak number of simultaneously live events) and
+  // compaction must keep cancelled residue in the queue bounded.
+  EventLoop loop;
+  std::vector<EventHandle> handles(128);
+  for (int round = 0; round < 1000; ++round) {
+    for (auto& handle : handles) {
+      handle = loop.ScheduleAfter(Duration::Hours(1), [] {});
+    }
+    for (auto& handle : handles) {
+      EXPECT_TRUE(loop.Cancel(handle));
+    }
+  }
+  EXPECT_EQ(loop.pending_events(), 0u);
+  EXPECT_LE(loop.slab_slots(), 128u);
+  EXPECT_LE(loop.heap_items(), 1024u);
+  loop.RunAll();
+  EXPECT_EQ(loop.executed_events(), 0u);
+}
+
+// Two loops fed the same seeded workload — heavy timestamp ties, interleaved
+// cancels and partial drains — must execute the exact same (id, time) sequence.
+// Heap addresses differ between the two runs, so any ordering that leaked
+// pointer values or container iteration order would diverge here.
+TEST(EventLoopTest, IdenticalWorkloadsExecuteIdentically) {
+  const auto run = [](std::vector<std::pair<int, int64_t>>& trace) {
+    EventLoop loop;
+    std::mt19937 rng(99);
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 2000; ++i) {
+      handles.push_back(loop.ScheduleAfter(
+          Duration::Nanos(static_cast<int64_t>(rng() % 64)),
+          [&trace, &loop, i] { trace.emplace_back(i, loop.Now().nanos()); }));
+      if (rng() % 4 == 0) {
+        loop.Cancel(handles[rng() % handles.size()]);
+      }
+      if (rng() % 8 == 0) {
+        loop.RunFor(Duration::Nanos(static_cast<int64_t>(rng() % 16)));
+      }
+    }
+    loop.RunAll();
+  };
+  std::vector<std::pair<int, int64_t>> a;
+  std::vector<std::pair<int, int64_t>> b;
+  run(a);
+  run(b);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  for (size_t i = 1; i < a.size(); ++i) {
+    ASSERT_LE(a[i - 1].second, a[i].second);  // time never moves backwards
+  }
 }
 
 }  // namespace

@@ -52,7 +52,7 @@ TEST(BindingTableTest, PendingQueueRespectsCap) {
   EXPECT_EQ(table.stats().pending_dropped, 1u);
   const auto drained = table.TakePending(binding);
   EXPECT_EQ(drained.size(), 2u);
-  EXPECT_TRUE(binding.pending.empty());
+  EXPECT_EQ(binding.pending_count, 0u);
   // Queue reusable after draining.
   EXPECT_TRUE(table.QueuePending(binding, SomePacket()));
 }
@@ -78,6 +78,41 @@ TEST(BindingTableTest, CollectIfSelectsMatching) {
   const auto infected =
       table.CollectIf([](const Binding& b) { return b.infected; });
   EXPECT_EQ(infected.size(), 4u);  // i = 0,3,6,9
+}
+
+// Drives the open-addressed index through several rehash doublings plus a
+// tombstone-heavy delete/reinsert cycle and verifies every key still resolves
+// to its own binding.
+TEST(BindingTableTest, GrowthTo64KiBindingsStaysConsistent) {
+  BindingTable table;
+  constexpr uint32_t kCount = 1u << 16;
+  const uint32_t base = Ipv4Address(10, 0, 0, 0).value();
+  for (uint32_t i = 0; i < kCount; ++i) {
+    Binding& binding = table.CreatePending(Ipv4Address(base + i), i % 16, TimePoint());
+    binding.vm = i;
+  }
+  EXPECT_EQ(table.size(), kCount);
+  for (uint32_t i = 0; i < kCount; i += 257) {
+    Binding* binding = table.Find(Ipv4Address(base + i));
+    ASSERT_NE(binding, nullptr);
+    EXPECT_EQ(binding->vm, i);
+    EXPECT_EQ(binding->host, i % 16);
+  }
+  // Delete every even key (leaves tombstones), then reinsert with new payloads.
+  for (uint32_t i = 0; i < kCount; i += 2) {
+    ASSERT_TRUE(table.Remove(Ipv4Address(base + i)));
+  }
+  EXPECT_EQ(table.size(), kCount / 2);
+  for (uint32_t i = 0; i < kCount; i += 2) {
+    Binding& binding = table.CreatePending(Ipv4Address(base + i), 0, TimePoint());
+    binding.vm = i + kCount;
+  }
+  EXPECT_EQ(table.size(), kCount);
+  for (uint32_t i = 0; i < kCount; i += 129) {
+    Binding* binding = table.Find(Ipv4Address(base + i));
+    ASSERT_NE(binding, nullptr);
+    EXPECT_EQ(binding->vm, i % 2 == 0 ? i + kCount : i);
+  }
 }
 
 TEST(BindingTableTest, ForEachVisitsAll) {

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <random>
 
 #include "src/hv/page_dedup.h"
 #include "src/hv/physical_host.h"
@@ -220,6 +221,59 @@ TEST(DedupTest, ZeroDeltaPagesAllCollapseToOneFrame) {
   }
   const DedupResult result = DeduplicatePages(host);
   EXPECT_EQ(result.pages_merged, 4u);  // 5 identical zero pages -> 1 frame
+}
+
+// Cross-check of the incremental index against the stateless full scan: a host
+// deduplicated incrementally after every burst of randomized guest writes must
+// converge to the same frame count and guest-visible bytes as an identically
+// driven host deduplicated once at the end with kFullScan — and a full scan run
+// *after* the incremental passes must find nothing left to merge.
+TEST(DedupTest, IncrementalMatchesFullScanOnRandomizedWrites) {
+  PhysicalHost inc_host(StoreBytesHost());
+  PhysicalHost full_host(StoreBytesHost());
+  const ImageId inc_image = inc_host.RegisterImage(SmallImage());
+  const ImageId full_image = full_host.RegisterImage(SmallImage());
+  constexpr size_t kVms = 4;
+  constexpr uint64_t kPages = 128;
+  std::vector<VirtualMachine*> inc_vms;
+  std::vector<VirtualMachine*> full_vms;
+  for (size_t i = 0; i < kVms; ++i) {
+    inc_vms.push_back(inc_host.CreateClone(inc_image, CloneKind::kFlash, "i"));
+    full_vms.push_back(full_host.CreateClone(full_image, CloneKind::kFlash, "f"));
+  }
+  std::mt19937 rng(20260806);
+  for (int round = 0; round < 6; ++round) {
+    for (int write = 0; write < 48; ++write) {
+      const size_t vm = rng() % kVms;
+      const uint64_t addr = (rng() % kPages) * kPageSize + rng() % 64;
+      // Low-entropy patches so cross-VM duplicates (and re-divergence of
+      // previously merged pages) are both common.
+      const std::vector<uint8_t> patch(1 + rng() % 16,
+                                       static_cast<uint8_t>(rng() % 4));
+      inc_vms[vm]->memory().WriteGuest(addr, std::span(patch.data(), patch.size()));
+      full_vms[vm]->memory().WriteGuest(addr, std::span(patch.data(), patch.size()));
+    }
+    DeduplicatePages(inc_host);  // incremental pass per burst: O(dirty) each
+  }
+  DeduplicatePages(full_host, DedupMode::kFullScan);
+  EXPECT_EQ(inc_host.allocator().used_frames(), full_host.allocator().used_frames());
+
+  // Every guest page reads back identically on the two hosts.
+  std::vector<uint8_t> inc_buf(kPageSize);
+  std::vector<uint8_t> full_buf(kPageSize);
+  for (size_t vm = 0; vm < kVms; ++vm) {
+    for (uint64_t page = 0; page < kPages; ++page) {
+      inc_vms[vm]->memory().ReadGuest(page * kPageSize,
+                                      std::span(inc_buf.data(), inc_buf.size()));
+      full_vms[vm]->memory().ReadGuest(page * kPageSize,
+                                       std::span(full_buf.data(), full_buf.size()));
+      ASSERT_EQ(inc_buf, full_buf) << "vm " << vm << " page " << page;
+    }
+  }
+
+  // The incremental passes left no mergeable duplicates behind.
+  const DedupResult residue = DeduplicatePages(inc_host, DedupMode::kFullScan);
+  EXPECT_EQ(residue.pages_merged, 0u);
 }
 
 TEST(DedupTest, MetadataOnlyHostIsNoOp) {

@@ -1,0 +1,154 @@
+// Normalizes google-benchmark JSON output into the repo's BENCH_<name>.json
+// perf-trajectory schema (see bench/report.h). Usage:
+//
+//   ./build/bench/bench_micro --benchmark_format=json > micro.json
+//   ./build/tools/bench_to_json micro.json            # writes BENCH_micro.json
+//   ./build/tools/bench_to_json --name=micro < micro.json
+//
+// Each benchmark entry becomes one metric row: the benchmark's name (slugified)
+// with its cpu_time value and time_unit. Aggregate rows (mean/median/stddev
+// from --benchmark_repetitions) are kept too — their names already carry the
+// suffix. The parser is a deliberate string scan, not a JSON library: the
+// benchmark output grammar is fixed and flat enough that scanning for the four
+// keys we need is simpler and dependency-free.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/report.h"
+
+namespace potemkin {
+namespace {
+
+std::string ReadAll(std::FILE* file) {
+  std::string text;
+  char buffer[4096];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, got);
+  }
+  return text;
+}
+
+// Returns the JSON string value following `"key":` at or after `from`, or ""
+// if the key does not appear before `until`.
+std::string FindStringValue(const std::string& text, const std::string& key,
+                            size_t from, size_t until) {
+  const std::string needle = "\"" + key + "\"";
+  const size_t at = text.find(needle, from);
+  if (at == std::string::npos || at >= until) {
+    return "";
+  }
+  size_t cursor = text.find('"', text.find(':', at + needle.size()));
+  if (cursor == std::string::npos || cursor >= until) {
+    return "";
+  }
+  std::string value;
+  for (++cursor; cursor < until && text[cursor] != '"'; ++cursor) {
+    value += text[cursor];
+  }
+  return value;
+}
+
+// Returns the numeric value following `"key":` at or after `from`, or NaN.
+double FindNumberValue(const std::string& text, const std::string& key,
+                       size_t from, size_t until) {
+  const std::string needle = "\"" + key + "\"";
+  const size_t at = text.find(needle, from);
+  if (at == std::string::npos || at >= until) {
+    return std::strtod("nan", nullptr);
+  }
+  const size_t colon = text.find(':', at + needle.size());
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+std::string Slugify(const std::string& name) {
+  std::string slug;
+  for (const char c : name) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9')) {
+      slug += c;
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug += '_';
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') {
+    slug.pop_back();
+  }
+  return slug;
+}
+
+int Run(int argc, char** argv) {
+  std::string report_name = "micro";
+  std::string input_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--name=", 7) == 0) {
+      report_name = argv[i] + 7;
+    } else {
+      input_path = argv[i];
+    }
+  }
+
+  std::FILE* input = stdin;
+  if (!input_path.empty()) {
+    input = std::fopen(input_path.c_str(), "rb");
+    if (input == nullptr) {
+      std::fprintf(stderr, "bench_to_json: cannot open %s\n",
+                   input_path.c_str());
+      return 1;
+    }
+  }
+  const std::string text = ReadAll(input);
+  if (input != stdin) {
+    std::fclose(input);
+  }
+
+  const size_t benchmarks = text.find("\"benchmarks\"");
+  if (benchmarks == std::string::npos) {
+    std::fprintf(stderr,
+                 "bench_to_json: no \"benchmarks\" array in input (expected "
+                 "--benchmark_format=json output)\n");
+    return 1;
+  }
+
+  BenchReport report(report_name);
+  size_t entries = 0;
+  // Each array element is one flat object; walk them by brace pairs.
+  for (size_t open = text.find('{', benchmarks); open != std::string::npos;
+       open = text.find('{', open + 1)) {
+    const size_t close = text.find('}', open);
+    if (close == std::string::npos) {
+      break;
+    }
+    const std::string name = FindStringValue(text, "name", open, close);
+    const double cpu_time = FindNumberValue(text, "cpu_time", open, close);
+    if (name.empty() || cpu_time != cpu_time) {
+      continue;  // context object or malformed entry
+    }
+    std::string unit = FindStringValue(text, "time_unit", open, close);
+    if (unit.empty()) {
+      unit = "ns";
+    }
+    report.Add(Slugify(name), cpu_time, unit);
+    ++entries;
+    open = close;
+  }
+  if (entries == 0) {
+    std::fprintf(stderr, "bench_to_json: no benchmark entries found\n");
+    return 1;
+  }
+
+  const std::string path = report.WriteJson();
+  if (path.empty()) {
+    std::fprintf(stderr, "bench_to_json: failed to write report\n");
+    return 1;
+  }
+  std::printf("%s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace potemkin
+
+int main(int argc, char** argv) { return potemkin::Run(argc, argv); }
