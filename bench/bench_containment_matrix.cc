@@ -30,7 +30,9 @@ class CountingBackend : public GatewayBackend {
     done(next_vm_++);
   }
   void RetireVm(HostId, VmId) override {}
-  void DeliverToVm(HostId, VmId, Packet) override { ++delivered_; }
+  void DeliverToVm(HostId, VmId, Packet, const PacketView&) override {
+    ++delivered_;
+  }
   uint64_t delivered_ = 0;
 
  private:

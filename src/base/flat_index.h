@@ -54,9 +54,12 @@ class FlatIndex {
   }
 
   // Inserts key -> slot. The key must not already be present.
+  // Rehash at 5/8 occupancy (live + tombstones): linear probing degrades
+  // sharply past ~70% load, and the index is 8 bytes/entry, so trading memory
+  // for short probe chains is the right side of the bargain on the packet path.
   void Insert(const Key& key, uint32_t slot) {
     PK_CHECK(slot < kTombstoneSlot) << "slot id collides with index sentinels";
-    if ((live_ + tombstones_ + 1) * 8 >= entries_.size() * 7) {
+    if ((live_ + tombstones_ + 1) * 8 >= entries_.size() * 5) {
       Rehash(live_ * 2 >= entries_.size() ? entries_.size() * 2 : entries_.size());
     }
     const size_t mask = entries_.size() - 1;

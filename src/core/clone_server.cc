@@ -113,15 +113,15 @@ void CloneServer::RetireVm(VmId vm) {
   engine_.RequestDestroy(vm);
 }
 
-void CloneServer::DeliverToVm(VmId vm, Packet packet) {
+void CloneServer::DeliverToVm(VmId vm, Packet packet, const PacketView& view) {
   loop_->ScheduleAfter(config_.delivery_latency,
-                       [this, vm, packet = std::move(packet)]() mutable {
+                       [this, vm, packet = std::move(packet), view]() mutable {
                          auto it = guests_.find(vm);
                          if (it == guests_.end()) {
                            return;  // retired while in flight
                          }
                          cpu_.ChargePacket();
-                         it->second->HandleFrame(packet, loop_->Now());
+                         it->second->HandleFrame(packet, view, loop_->Now());
                        });
 }
 

@@ -83,8 +83,10 @@ class CloneServer {
   void SpawnVm(Ipv4Address ip, std::function<void(VmId)> done);
   // Marks the VM dead immediately and schedules teardown through the engine.
   void RetireVm(VmId vm);
-  // Delivers a packet to a VM's vNIC after the fabric latency.
-  void DeliverToVm(VmId vm, Packet packet);
+  // Delivers a packet to a VM's vNIC after the fabric latency. `view` is the
+  // gateway's parse of `packet`; it is copied into the in-flight closure (views
+  // survive the packet move — the frame buffer address is stable).
+  void DeliverToVm(VmId vm, Packet packet, const PacketView& view);
 
   GuestOs* FindGuest(VmId vm);
   size_t guest_count() const { return guests_.size(); }

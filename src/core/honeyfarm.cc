@@ -96,8 +96,33 @@ void Honeyfarm::ScheduleRecord(const TraceRecord& record) {
 }
 
 void Honeyfarm::ScheduleTrace(const std::vector<TraceRecord>& records) {
-  for (const auto& record : records) {
-    ScheduleRecord(record);
+  // Runs of identical timestamps arrive at the gateway as one burst through the
+  // batched dispatch path: one callback and one parse/bin pass instead of a
+  // scheduled closure per packet. Distinct timestamps keep per-record
+  // scheduling (batching across time would distort the replay clock).
+  size_t i = 0;
+  while (i < records.size()) {
+    size_t j = i + 1;
+    while (j < records.size() && records[j].time == records[i].time) {
+      ++j;
+    }
+    if (j - i == 1) {
+      ScheduleRecord(records[i]);
+    } else {
+      std::vector<TraceRecord> burst(records.begin() + static_cast<long>(i),
+                                     records.begin() + static_cast<long>(j));
+      loop_.ScheduleAt(burst.front().time, [this, burst = std::move(burst)]() {
+        std::vector<Packet> packets;
+        packets.reserve(burst.size());
+        for (const auto& record : burst) {
+          packets.push_back(PacketFromRecord(
+              record, MacAddress::FromId(record.src.value()),
+              MacAddress::FromId(1)));
+        }
+        gateway_.HandleInboundBatch(packets);
+      });
+    }
+    i = j;
   }
 }
 
@@ -244,9 +269,10 @@ void Honeyfarm::RetireVm(HostId host, VmId vm) {
   servers_[host]->RetireVm(vm);
 }
 
-void Honeyfarm::DeliverToVm(HostId host, VmId vm, Packet packet) {
+void Honeyfarm::DeliverToVm(HostId host, VmId vm, Packet packet,
+                            const PacketView& view) {
   PK_CHECK(host < servers_.size());
-  servers_[host]->DeliverToVm(vm, std::move(packet));
+  servers_[host]->DeliverToVm(vm, std::move(packet), view);
 }
 
 HoneyfarmConfig MakeDefaultFarmConfig(Ipv4Prefix prefix, uint32_t num_hosts,

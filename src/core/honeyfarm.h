@@ -59,6 +59,11 @@ class Honeyfarm : public GatewayBackend {
 
   // ---- Traffic injection ----
   void InjectInbound(Packet packet) { gateway_.HandleInbound(std::move(packet)); }
+  // Burst variant: routes the whole burst through the gateway's batched
+  // dispatch path (one parse/bin pass). Packets are consumed.
+  void InjectInboundBatch(std::span<Packet> packets) {
+    gateway_.HandleInboundBatch(packets);
+  }
 
   // GRE termination, as in the paper's deployment (border routers tunnel the
   // telescope prefix to the gateway). After enabling, `InjectTunneled` accepts
@@ -115,7 +120,8 @@ class Honeyfarm : public GatewayBackend {
   size_t HostLiveVms(HostId host) const override;
   void SpawnVm(HostId host, Ipv4Address ip, std::function<void(VmId)> done) override;
   void RetireVm(HostId host, VmId vm) override;
-  void DeliverToVm(HostId host, VmId vm, Packet packet) override;
+  void DeliverToVm(HostId host, VmId vm, Packet packet,
+                   const PacketView& view) override;
 
  private:
   void OnInfection(GuestOs& guest, const PacketView& exploit);

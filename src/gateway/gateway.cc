@@ -63,24 +63,25 @@ bool Gateway::ChooseHost(HostId* out) {
   return false;
 }
 
-void Gateway::DeliverToBinding(Binding& binding, Packet packet) {
-  // The gateway is a router hop: TTL decrements on the way into the farm.
-  if (!DecrementTtl(packet)) {
+void Gateway::DeliverToBinding(Binding& binding, Packet packet, PacketView& view) {
+  // The gateway is a router hop: TTL decrements on the way into the farm (the
+  // incremental update keeps `view` in sync, so the backend needs no re-parse).
+  if (!DecrementTtl(packet, &view)) {
     ++stats_.ttl_expired_drops;
     return;
   }
   binding.last_activity = loop_->Now();
   ++binding.inbound_packets;
   ++stats_.inbound_delivered;
-  backend_->DeliverToVm(binding.host, binding.vm, std::move(packet));
+  backend_->DeliverToVm(binding.host, binding.vm, std::move(packet), view);
 }
 
-void Gateway::RouteToFarm(Packet packet, const PacketView& view, bool via_reflection) {
+void Gateway::RouteToFarm(Packet packet, PacketView& view, bool via_reflection) {
   const Ipv4Address dst = view.ip().dst;
   Binding* binding = bindings_.Find(dst);
   if (binding != nullptr) {
     if (binding->state == BindingState::kActive) {
-      DeliverToBinding(*binding, std::move(packet));
+      DeliverToBinding(*binding, std::move(packet), view);
       return;
     }
     // Still cloning.
@@ -136,12 +137,17 @@ void Gateway::OnCloneDone(Ipv4Address ip, VmId vm) {
   bindings_.Activate(ip, vm, loop_->Now());
   auto pending = bindings_.TakePending(*binding);
   for (auto& queued : pending) {
-    DeliverToBinding(*binding, std::move(queued));
+    // Pending packets were parsed at ingress but queued without their views
+    // (the queue outlives the ingress stack frame); re-parse on this cold path.
+    auto view = PacketView::Parse(queued);
+    if (view) {
+      DeliverToBinding(*binding, std::move(queued), *view);
+    }
   }
 }
 
 void Gateway::HandleInbound(Packet packet) {
-  const auto view = PacketView::Parse(packet);
+  auto view = PacketView::Parse(packet);
   if (!view) {
     return;
   }
@@ -159,6 +165,63 @@ void Gateway::HandleInbound(Packet packet) {
   }
   flows_.Record(*view, loop_->Now());
   RouteToFarm(std::move(packet), *view, /*via_reflection=*/false);
+}
+
+void Gateway::HandleInboundBatch(std::span<Packet> packets) {
+  // Pass 1: decode every frame once, keeping only routable farm traffic.
+  batch_views_.assign(packets.size(), PacketView{});
+  batch_order_.clear();
+  for (uint32_t i = 0; i < packets.size(); ++i) {
+    auto view = PacketView::Parse(packets[i]);
+    if (!view) {
+      continue;
+    }
+    ++stats_.inbound_packets;
+    if (!config_.farm_prefix.Contains(view->ip().dst)) {
+      ++stats_.inbound_nonfarm;
+      continue;
+    }
+    batch_views_[i] = *view;
+    batch_order_.push_back(i);
+  }
+  // Pass 2: bin by destination (stable, so per-destination packet order is the
+  // arrival order) and route each bin with one binding lookup.
+  std::stable_sort(batch_order_.begin(), batch_order_.end(),
+                   [this](uint32_t a, uint32_t b) {
+                     return batch_views_[a].ip().dst.value() <
+                            batch_views_[b].ip().dst.value();
+                   });
+  size_t i = 0;
+  while (i < batch_order_.size()) {
+    const Ipv4Address dst = batch_views_[batch_order_[i]].ip().dst;
+    size_t j = i;
+    while (j < batch_order_.size() &&
+           batch_views_[batch_order_[j]].ip().dst == dst) {
+      ++j;
+    }
+    Binding* binding = bindings_.Find(dst);
+    for (size_t k = i; k < j; ++k) {
+      const uint32_t idx = batch_order_[k];
+      PacketView& view = batch_views_[idx];
+      const bool is_scanner =
+          scan_detector_.Record(view.ip().src, dst, loop_->Now());
+      if (config_.filter_known_scanners && is_scanner && binding == nullptr) {
+        ++stats_.inbound_filtered_scanners;
+        continue;
+      }
+      flows_.Record(view, loop_->Now());
+      if (binding != nullptr && binding->state == BindingState::kActive) {
+        DeliverToBinding(*binding, std::move(packets[idx]), view);
+        continue;
+      }
+      RouteToFarm(std::move(packets[idx]), view, /*via_reflection=*/false);
+      // RouteToFarm may have created, activated (synchronous spawn), removed
+      // (clone failure), or reclaimed the binding; refresh for the rest of the
+      // bin rather than trusting a possibly-dead pointer.
+      binding = bindings_.Find(dst);
+    }
+    i = j;
+  }
 }
 
 void Gateway::HandleDnsQuery(const PacketView& view, Binding* source_binding) {
@@ -179,7 +242,12 @@ void Gateway::HandleDnsQuery(const PacketView& view, Binding* source_binding) {
   spec.dst_port = view.udp().src_port;
   spec.payload = EncodeDnsResponse(answer);
   ++stats_.dns_responses;
-  backend_->DeliverToVm(source_binding->host, source_binding->vm, BuildPacket(spec));
+  Packet response = BuildPacket(spec);
+  const auto response_view = PacketView::Parse(response);
+  if (response_view) {
+    backend_->DeliverToVm(source_binding->host, source_binding->vm,
+                          std::move(response), *response_view);
+  }
 }
 
 void Gateway::HandleOutbound(HostId host, VmId vm, Packet packet) {
@@ -195,19 +263,19 @@ void Gateway::HandleOutbound(HostId host, VmId vm, Packet packet) {
   // reflected conversations look like they involve the original external address.
   if (config_.farm_prefix.Contains(view->ip().dst)) {
     ++stats_.internal_forwards;
-    const auto nat_key = std::make_pair(view->ip().src.value(), view->ip().dst.value());
-    auto nat = reflect_nat_.find(nat_key);
-    if (nat != reflect_nat_.end()) {
-      RewriteIpv4Src(packet, nat->second);
-      const auto rewritten = PacketView::Parse(packet);
-      if (rewritten) {
-        // Deliberately NOT recorded in the flow table: a NAT-rewritten packet
-        // impersonates an external source, and recording it would later make a
-        // VM-initiated packet toward that external address look like a
-        // "response", opening a containment escape. The flow table only ever
-        // holds genuinely external traffic.
-        RouteToFarm(std::move(packet), *rewritten, /*via_reflection=*/true);
-      }
+    const uint64_t nat_key =
+        (static_cast<uint64_t>(view->ip().src.value()) << 32) |
+        view->ip().dst.value();
+    const uint32_t nat_slot = reflect_index_.Find(nat_key);
+    if (nat_slot != FlatIndex<uint64_t>::kNotFound) {
+      // The incremental rewrite keeps `view` current — no re-parse.
+      RewriteIpv4Src(packet, reflect_slab_.At(nat_slot).external, &*view);
+      // Deliberately NOT recorded in the flow table: a NAT-rewritten packet
+      // impersonates an external source, and recording it would later make a
+      // VM-initiated packet toward that external address look like a
+      // "response", opening a containment escape. The flow table only ever
+      // holds genuinely external traffic.
+      RouteToFarm(std::move(packet), *view, /*via_reflection=*/true);
       return;
     }
     flows_.Record(*view, loop_->Now());
@@ -268,16 +336,21 @@ void Gateway::HandleOutbound(HostId host, VmId vm, Packet packet) {
       const Ipv4Address external = view->ip().dst;
       const Ipv4Address victim =
           containment_.ReflectTarget(external, view->ip().src);
-      RewriteIpv4Dst(packet, victim);
+      RewriteIpv4Dst(packet, victim, &*view);
       // Remember that `victim`'s replies to this scanner must impersonate
       // `external`.
-      reflect_nat_[std::make_pair(victim.value(), view->ip().src.value())] = external;
-      ++stats_.reflections_injected;
-      const auto rewritten = PacketView::Parse(packet);
-      if (rewritten) {
-        // Not recorded in the flow table either (see the NAT branch above).
-        RouteToFarm(std::move(packet), *rewritten, /*via_reflection=*/true);
+      const uint64_t nat_key = (static_cast<uint64_t>(victim.value()) << 32) |
+                               view->ip().src.value();
+      uint32_t nat_slot = reflect_index_.Find(nat_key);
+      if (nat_slot == FlatIndex<uint64_t>::kNotFound) {
+        nat_slot = reflect_slab_.Alloc();
+        reflect_slab_.At(nat_slot).key = nat_key;
+        reflect_index_.Insert(nat_key, nat_slot);
       }
+      reflect_slab_.At(nat_slot).external = external;
+      ++stats_.reflections_injected;
+      // Not recorded in the flow table either (see the NAT branch above).
+      RouteToFarm(std::move(packet), *view, /*via_reflection=*/true);
       return;
     }
     case OutboundAction::kInternal:
@@ -310,12 +383,16 @@ size_t Gateway::SweepOnce() {
   scan_detector_.ExpireIdle(now);
   // GC reflection-NAT entries whose victim binding is gone; a future reflection to
   // the same external address deterministically recreates them (keyed mode).
-  for (auto it = reflect_nat_.begin(); it != reflect_nat_.end();) {
-    if (bindings_.Find(Ipv4Address(it->first.first)) == nullptr) {
-      it = reflect_nat_.erase(it);
-    } else {
-      ++it;
+  std::vector<uint32_t> dead_nat;
+  reflect_slab_.ForEach([&](uint32_t slot, const ReflectNatEntry& entry) {
+    const auto victim = Ipv4Address(static_cast<uint32_t>(entry.key >> 32));
+    if (bindings_.Find(victim) == nullptr) {
+      dead_nat.push_back(slot);
     }
+  });
+  for (const uint32_t slot : dead_nat) {
+    reflect_index_.Erase(reflect_slab_.At(slot).key);
+    reflect_slab_.Free(slot);
   }
   return victims.size();
 }

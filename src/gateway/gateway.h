@@ -13,10 +13,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
+#include <span>
+#include <vector>
 
 #include "src/base/event_loop.h"
+#include "src/base/flat_index.h"
 #include "src/base/rng.h"
+#include "src/base/slab.h"
 #include "src/gateway/binding_table.h"
 #include "src/gateway/containment.h"
 #include "src/gateway/dns_proxy.h"
@@ -46,8 +49,12 @@ class GatewayBackend {
                        std::function<void(VmId)> done) = 0;
   virtual void RetireVm(HostId host, VmId vm) = 0;
   // MUST deliver asynchronously (via the event loop): the gateway assumes no
-  // re-entrant HandleOutbound call happens inside DeliverToVm.
-  virtual void DeliverToVm(HostId host, VmId vm, Packet packet) = 0;
+  // re-entrant HandleOutbound call happens inside DeliverToVm. `view` is a live
+  // parse of `packet` (parse-once: the gateway already decoded the frame);
+  // implementations that defer delivery must copy the view alongside the packet
+  // — it stays valid across Packet moves but not past the packet's lifetime.
+  virtual void DeliverToVm(HostId host, VmId vm, Packet packet,
+                           const PacketView& view) = 0;
 };
 
 struct GatewayConfig {
@@ -98,6 +105,11 @@ class Gateway {
 
   // ---- External (Internet) side ----
   void HandleInbound(Packet packet);
+  // Burst entry point: parses every frame once, bins the burst by destination
+  // address, then routes each bin with a single binding lookup. Within one
+  // destination, packet order is preserved; bins are visited in ascending
+  // address order (deterministic). Packets are consumed (moved from).
+  void HandleInboundBatch(std::span<Packet> packets);
   void set_egress_sink(EgressSink sink) { egress_ = std::move(sink); }
 
   // ---- Farm side ----
@@ -123,12 +135,14 @@ class Gateway {
 
  private:
   // Routes a packet destined to a farm address to its (possibly new) VM.
-  // `via_reflection` marks bindings created by reflected traffic.
-  void RouteToFarm(Packet packet, const PacketView& view, bool via_reflection);
+  // `via_reflection` marks bindings created by reflected traffic. `view` is the
+  // ingress parse of `packet`; it is threaded (and kept in sync by the rewrite
+  // helpers) all the way to the backend instead of re-parsing per layer.
+  void RouteToFarm(Packet packet, PacketView& view, bool via_reflection);
   // Picks a host for a new binding; returns false if no host can admit.
   bool ChooseHost(HostId* out);
   void OnCloneDone(Ipv4Address ip, VmId vm);
-  void DeliverToBinding(Binding& binding, Packet packet);
+  void DeliverToBinding(Binding& binding, Packet packet, PacketView& view);
   void HandleDnsQuery(const PacketView& view, Binding* source_binding);
   void ScheduleSweep();
   // Retires the most-idle active VMs to relieve memory pressure.
@@ -147,14 +161,19 @@ class Gateway {
   HostId next_host_ = 0;
   bool recycling_started_ = false;
   // Reflection NAT: internal victim address -> external address it impersonates,
-  // keyed per (victim, scanner) pair.
-  struct PairHash {
-    size_t operator()(const std::pair<uint32_t, uint32_t>& p) const noexcept {
-      return std::hash<uint64_t>()((static_cast<uint64_t>(p.first) << 32) | p.second);
-    }
+  // keyed per (victim, scanner) pair packed as victim << 32 | scanner. Flat
+  // index + slab, same shape as the binding and flow tables: the lookup sits on
+  // the outbound path of every reflected conversation.
+  struct ReflectNatEntry {
+    uint64_t key = 0;       // victim << 32 | scanner
+    Ipv4Address external;   // address the victim's replies impersonate
   };
-  std::unordered_map<std::pair<uint32_t, uint32_t>, Ipv4Address, PairHash>
-      reflect_nat_;
+  FlatIndex<uint64_t> reflect_index_;
+  Slab<ReflectNatEntry> reflect_slab_;
+  // Scratch for HandleInboundBatch, retained so steady-state bursts allocate
+  // nothing once the vectors reach burst size.
+  std::vector<PacketView> batch_views_;
+  std::vector<uint32_t> batch_order_;
 };
 
 }  // namespace potemkin

@@ -1,5 +1,6 @@
 #include "src/gateway/scan_detector.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace potemkin {
@@ -7,19 +8,37 @@ namespace potemkin {
 ScanDetector::ScanDetector(const ScanDetectorConfig& config) : config_(config) {}
 
 bool ScanDetector::Record(Ipv4Address source, Ipv4Address destination, TimePoint now) {
-  SourceState& state = sources_[source];
-  if (state.distinct.empty()) {
+  uint32_t slot = index_.Find(source.value());
+  if (slot == FlatIndex<uint32_t>::kNotFound) {
+    slot = slab_.Alloc();
+    slab_.At(slot).source = source;
+    index_.Insert(source.value(), slot);
+  }
+  SourceState& state = slab_.At(slot);
+  if (state.distinct_count == 0) {
     state.window_start = now;
   }
   // Restart the window when it lapses; keep the flag sticky for the source's
   // lifetime in the table (a scanner stays a scanner until expired).
   if (now - state.window_start > config_.window) {
     state.window_start = now;
-    state.distinct.clear();
+    state.distinct_count = 0;
   }
   state.last_seen = now;
-  state.distinct.insert(destination);
-  if (!state.flagged && state.distinct.size() >= config_.distinct_threshold) {
+  const size_t tracked =
+      std::min<size_t>(state.distinct_count, SourceState::kMaxTracked);
+  for (size_t i = 0; i < tracked; ++i) {
+    if (state.distinct[i] == destination) {
+      return state.flagged;
+    }
+  }
+  if (tracked < SourceState::kMaxTracked) {
+    state.distinct[tracked] = destination;
+  }
+  if (state.distinct_count < 0xff) {
+    ++state.distinct_count;
+  }
+  if (!state.flagged && state.distinct_count >= config_.distinct_threshold) {
     state.flagged = true;
     ++scanners_flagged_;
   }
@@ -27,19 +46,20 @@ bool ScanDetector::Record(Ipv4Address source, Ipv4Address destination, TimePoint
 }
 
 bool ScanDetector::IsScanner(Ipv4Address source) const {
-  auto it = sources_.find(source);
-  return it != sources_.end() && it->second.flagged;
+  const uint32_t slot = index_.Find(source.value());
+  return slot != FlatIndex<uint32_t>::kNotFound && slab_.At(slot).flagged;
 }
 
 size_t ScanDetector::ExpireIdle(TimePoint now) {
-  std::vector<Ipv4Address> dead;
-  for (const auto& [source, state] : sources_) {
+  std::vector<uint32_t> dead;
+  slab_.ForEach([&](uint32_t slot, const SourceState& state) {
     if (now - state.last_seen > config_.window) {
-      dead.push_back(source);
+      dead.push_back(slot);
     }
-  }
-  for (const auto& source : dead) {
-    sources_.erase(source);
+  });
+  for (const uint32_t slot : dead) {
+    index_.Erase(slab_.At(slot).source.value());
+    slab_.Free(slot);
   }
   return dead.size();
 }

@@ -162,13 +162,19 @@ void GuestOs::HandleTcpStrict(const PacketView& view) {
 }
 
 void GuestOs::HandleFrame(const Packet& frame, TimePoint now) {
-  if (vm_->state() != VmState::kRunning) {
-    return;
-  }
   const auto view = PacketView::Parse(frame);
   if (!view) {
     return;
   }
+  HandleFrame(frame, *view, now);
+}
+
+void GuestOs::HandleFrame(const Packet& frame, const PacketView& parsed,
+                          TimePoint now) {
+  if (vm_->state() != VmState::kRunning) {
+    return;
+  }
+  const PacketView* view = &parsed;
   ++stats_.packets_handled;
   vm_->CountReceived();
   vm_->set_last_activity(now);

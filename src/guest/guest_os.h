@@ -78,6 +78,10 @@ class GuestOs {
 
   // Processes an inbound frame delivered to this VM's vNIC at virtual time `now`.
   void HandleFrame(const Packet& frame, TimePoint now);
+  // Parse-once variant: `view` must be a live parse of `frame` (the delivery
+  // path already decoded the frame at gateway ingress; re-parsing here would
+  // double the per-packet header work).
+  void HandleFrame(const Packet& frame, const PacketView& view, TimePoint now);
 
   // The service listening on (proto, port), or nullptr.
   const ServiceConfig* FindService(IpProto proto, uint16_t port) const;

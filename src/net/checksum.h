@@ -25,6 +25,18 @@ class InternetChecksum {
 // One-shot convenience over a contiguous buffer.
 uint16_t ComputeInternetChecksum(const uint8_t* data, size_t length);
 
+// RFC 1624 incremental update: returns the stored checksum after one 16-bit
+// field covered by it changes from `old_word` to `new_word` (host order).
+// Equation 3: HC' = ~(~HC + ~m + m'). For any packet whose summed bytes are
+// not all zero — true of every real IP/TCP/UDP header — this is bit-identical
+// to a full recompute, so rewrites may mix the two freely.
+uint16_t ChecksumUpdate16(uint16_t checksum, uint16_t old_word,
+                          uint16_t new_word);
+
+// Same, for a 32-bit field (e.g. an IPv4 address) treated as two 16-bit words.
+uint16_t ChecksumUpdate32(uint16_t checksum, uint32_t old_word,
+                          uint32_t new_word);
+
 }  // namespace potemkin
 
 #endif  // SRC_NET_CHECKSUM_H_

@@ -53,7 +53,8 @@ Packet GreEncapsulate(const Packet& inner, Ipv4Address tunnel_src,
   const size_t gre_header = key.has_value() ? 8 : 4;
   const size_t ip_total = kIpv4MinHeaderSize + gre_header + inner_ip_size;
 
-  std::vector<uint8_t> b(kEthernetHeaderSize + ip_total, 0);
+  PacketPool& pool = PacketPool::Default();
+  std::vector<uint8_t> b = pool.Acquire(kEthernetHeaderSize + ip_total);
   std::memcpy(&b[0], dst_mac.bytes().data(), 6);
   std::memcpy(&b[6], src_mac.bytes().data(), 6);
   WriteU16(&b[12], kEthertypeIpv4);
@@ -81,7 +82,7 @@ Packet GreEncapsulate(const Packet& inner, Ipv4Address tunnel_src,
   if (inner_ip_size > 0) {
     std::memcpy(&b[gre + gre_header], &in[kIpOffset], inner_ip_size);
   }
-  return Packet(std::move(b));
+  return Packet(&pool, std::move(b));
 }
 
 std::optional<GreDecapResult> GreDecapsulate(const Packet& outer,
@@ -128,12 +129,13 @@ std::optional<GreDecapResult> GreDecapsulate(const Packet& outer,
   result.key = key;
 
   const size_t inner_size = b.size() - gre - header;
-  std::vector<uint8_t> inner(kEthernetHeaderSize + inner_size, 0);
+  PacketPool& pool = PacketPool::Default();
+  std::vector<uint8_t> inner = pool.Acquire(kEthernetHeaderSize + inner_size);
   std::memcpy(&inner[0], inner_dst_mac.bytes().data(), 6);
   std::memcpy(&inner[6], inner_src_mac.bytes().data(), 6);
   WriteU16(&inner[12], kEthertypeIpv4);
   std::memcpy(&inner[kEthernetHeaderSize], &b[gre + header], inner_size);
-  result.inner = Packet(std::move(inner));
+  result.inner = Packet(&pool, std::move(inner));
   return result;
 }
 

@@ -1,10 +1,12 @@
 #include "src/net/packet.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 
 #include "src/base/strings.h"
 #include "src/net/checksum.h"
+#include "src/net/packet_pool.h"
 
 namespace potemkin {
 
@@ -107,6 +109,8 @@ std::optional<PacketView> PacketView::Parse(const Packet& packet) {
     return std::nullopt;
   }
   PacketView view;
+  view.data_ = b.data();
+  view.size_ = b.size();
   std::array<uint8_t, 6> mac;
   std::memcpy(mac.data(), &b[0], 6);
   view.eth_.dst = MacAddress(mac);
@@ -250,7 +254,8 @@ Packet BuildPacket(const PacketSpec& spec) {
       break;
   }
   const size_t ip_total = kIpv4MinHeaderSize + l4_header + spec.payload.size();
-  std::vector<uint8_t> b(kEthernetHeaderSize + ip_total, 0);
+  PacketPool& pool = PacketPool::Default();
+  std::vector<uint8_t> b = pool.Acquire(kEthernetHeaderSize + ip_total);
 
   // Ethernet.
   std::memcpy(&b[0], spec.dst_mac.bytes().data(), 6);
@@ -298,27 +303,89 @@ Packet BuildPacket(const PacketSpec& spec) {
 
   FixIpChecksum(b);
   FixL4Checksum(b);
-  return Packet(std::move(b));
+  return Packet(&pool, std::move(b));
 }
 
-void RewriteIpv4Src(Packet& packet, Ipv4Address new_src) {
+namespace {
+
+struct AddressRewrite {
+  bool applied = false;
+  uint16_t ip_sum = 0;       // new IP header checksum
+  uint16_t l4_sum = 0;       // new transport checksum (if l4_updated)
+  bool l4_updated = false;
+  IpProto proto = IpProto::kTcp;
+};
+
+// Applies the RFC 1624 delta for a rewritten IPv4 address at header offset
+// `addr_offset` (12 = src, 16 = dst) to the IP checksum and, for TCP/UDP, to
+// the transport checksum (whose pseudo-header covers the addresses). ICMP
+// checksums exclude the IP header, so they need no touch-up — exactly like the
+// seed's full recompute, which reproduced the same value from the unchanged
+// ICMP bytes. Returns the new sums so the (friended) callers can keep a
+// PacketView in sync.
+AddressRewrite RewriteIpv4Address(Packet& packet, size_t addr_offset,
+                                  Ipv4Address new_addr) {
+  AddressRewrite result;
   auto& b = packet.mutable_bytes();
   if (b.size() < kIpOffset + kIpv4MinHeaderSize) {
-    return;
+    return result;
   }
-  WriteU32(&b[kIpOffset + 12], new_src.value());
-  FixIpChecksum(b);
-  FixL4Checksum(b);
+  const uint32_t old_value = ReadU32(&b[kIpOffset + addr_offset]);
+  const uint32_t new_value = new_addr.value();
+  result.ip_sum =
+      ChecksumUpdate32(ReadU16(&b[kIpOffset + 10]), old_value, new_value);
+  WriteU16(&b[kIpOffset + 10], result.ip_sum);
+  WriteU32(&b[kIpOffset + addr_offset], new_value);
+  result.applied = true;
+
+  result.proto = static_cast<IpProto>(b[kIpOffset + 9]);
+  size_t checksum_offset = 0;
+  if (result.proto == IpProto::kTcp) {
+    checksum_offset = L4Offset(b) + 16;
+  } else if (result.proto == IpProto::kUdp) {
+    checksum_offset = L4Offset(b) + 6;
+  }
+  if (checksum_offset != 0 && checksum_offset + 2 <= b.size()) {
+    result.l4_sum =
+        ChecksumUpdate32(ReadU16(&b[checksum_offset]), old_value, new_value);
+    WriteU16(&b[checksum_offset], result.l4_sum);
+    result.l4_updated = true;
+  }
+  return result;
 }
 
-void RewriteIpv4Dst(Packet& packet, Ipv4Address new_dst) {
-  auto& b = packet.mutable_bytes();
-  if (b.size() < kIpOffset + kIpv4MinHeaderSize) {
-    return;
+}  // namespace
+
+void RewriteIpv4Src(Packet& packet, Ipv4Address new_src, PacketView* view) {
+  assert(view == nullptr || view->ValidFor(packet));
+  const AddressRewrite r = RewriteIpv4Address(packet, 12, new_src);
+  if (view != nullptr && r.applied) {
+    view->ip_.src = new_src;
+    view->ip_.checksum = r.ip_sum;
+    if (r.l4_updated) {
+      if (r.proto == IpProto::kTcp) {
+        view->tcp_.checksum = r.l4_sum;
+      } else {
+        view->udp_.checksum = r.l4_sum;
+      }
+    }
   }
-  WriteU32(&b[kIpOffset + 16], new_dst.value());
-  FixIpChecksum(b);
-  FixL4Checksum(b);
+}
+
+void RewriteIpv4Dst(Packet& packet, Ipv4Address new_dst, PacketView* view) {
+  assert(view == nullptr || view->ValidFor(packet));
+  const AddressRewrite r = RewriteIpv4Address(packet, 16, new_dst);
+  if (view != nullptr && r.applied) {
+    view->ip_.dst = new_dst;
+    view->ip_.checksum = r.ip_sum;
+    if (r.l4_updated) {
+      if (r.proto == IpProto::kTcp) {
+        view->tcp_.checksum = r.l4_sum;
+      } else {
+        view->udp_.checksum = r.l4_sum;
+      }
+    }
+  }
 }
 
 void RewriteMacs(Packet& packet, MacAddress src, MacAddress dst) {
@@ -330,19 +397,27 @@ void RewriteMacs(Packet& packet, MacAddress src, MacAddress dst) {
   std::memcpy(&b[6], src.bytes().data(), 6);
 }
 
-bool DecrementTtl(Packet& packet) {
+bool DecrementTtl(Packet& packet, PacketView* view) {
   auto& b = packet.mutable_bytes();
   if (b.size() < kIpOffset + kIpv4MinHeaderSize) {
     return false;
   }
-  if (b[kIpOffset + 8] <= 1) {
-    b[kIpOffset + 8] = 0;
-    FixIpChecksum(b);
-    return false;
+  assert(view == nullptr || view->ValidFor(packet));
+  const uint8_t old_ttl = b[kIpOffset + 8];
+  const uint8_t new_ttl = old_ttl <= 1 ? 0 : old_ttl - 1;
+  // TTL shares its checksummed 16-bit word with the protocol byte.
+  const uint8_t proto = b[kIpOffset + 9];
+  const uint16_t sum = ChecksumUpdate16(
+      ReadU16(&b[kIpOffset + 10]),
+      static_cast<uint16_t>((old_ttl << 8) | proto),
+      static_cast<uint16_t>((new_ttl << 8) | proto));
+  b[kIpOffset + 8] = new_ttl;
+  WriteU16(&b[kIpOffset + 10], sum);
+  if (view != nullptr) {
+    view->ip_.ttl = new_ttl;
+    view->ip_.checksum = sum;
   }
-  b[kIpOffset + 8] -= 1;
-  FixIpChecksum(b);
-  return true;
+  return new_ttl != 0;
 }
 
 bool IsIcmpError(const PacketView& view) {

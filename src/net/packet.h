@@ -11,10 +11,12 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "src/net/ipv4.h"
+#include "src/net/packet_pool.h"
 
 namespace potemkin {
 
@@ -42,10 +44,44 @@ struct TcpFlags {
 };
 
 // An owned frame buffer (Ethernet header onward).
+//
+// A Packet may be pool-backed: when constructed with a PacketPool its buffer
+// is returned to that pool on destruction (or overwrite) instead of freed, so
+// steady-state traffic recycles buffers with zero heap churn. Pool-backed and
+// plain packets are byte-for-byte interchangeable; copies are always plain
+// (copying is a cold, test-only path and must not contend for pool buffers).
 class Packet {
  public:
   Packet() = default;
   explicit Packet(std::vector<uint8_t> bytes) : bytes_(std::move(bytes)) {}
+  Packet(PacketPool* pool, std::vector<uint8_t> bytes)
+      : bytes_(std::move(bytes)), pool_(pool) {}
+
+  ~Packet() { Recycle(); }
+
+  Packet(const Packet& other) : bytes_(other.bytes_) {}
+  Packet& operator=(const Packet& other) {
+    if (this != &other) {
+      Recycle();
+      bytes_ = other.bytes_;
+    }
+    return *this;
+  }
+
+  Packet(Packet&& other) noexcept
+      : bytes_(std::move(other.bytes_)),
+        pool_(std::exchange(other.pool_, nullptr)) {
+    other.bytes_.clear();
+  }
+  Packet& operator=(Packet&& other) noexcept {
+    if (this != &other) {
+      Recycle();
+      bytes_ = std::move(other.bytes_);
+      other.bytes_.clear();
+      pool_ = std::exchange(other.pool_, nullptr);
+    }
+    return *this;
+  }
 
   const std::vector<uint8_t>& bytes() const { return bytes_; }
   std::vector<uint8_t>& mutable_bytes() { return bytes_; }
@@ -53,8 +89,22 @@ class Packet {
   bool empty() const { return bytes_.empty(); }
 
  private:
+  void Recycle() {
+    if (pool_ != nullptr) {
+      pool_->Release(std::move(bytes_));
+      pool_ = nullptr;
+      bytes_.clear();
+    }
+  }
+
   std::vector<uint8_t> bytes_;
+  PacketPool* pool_ = nullptr;
 };
+
+// The hot path moves packets through closures and tables; a throwing or
+// copying move would silently reintroduce per-packet allocations.
+static_assert(std::is_nothrow_move_constructible_v<Packet>);
+static_assert(std::is_nothrow_move_assignable_v<Packet>);
 
 struct EthernetFields {
   MacAddress dst;
@@ -100,8 +150,15 @@ struct IcmpFields {
   uint16_t seq = 0;
 };
 
-// A parsed, validated view over a Packet. The view holds offsets into the packet's
-// buffer; it remains valid only while the packet is alive and unmodified.
+// A parsed, validated view over a Packet.
+//
+// Validity rules (the parse-once contract): the view points into the packet's
+// heap buffer, so it SURVIVES moving the Packet (the buffer address is stable
+// under move) and it survives in-place rewrites made through the view-aware
+// helpers below, which keep the decoded fields in sync. It is INVALIDATED by
+// anything that may reallocate or reshape the buffer — resizing via
+// `mutable_bytes()`, overwriting the packet, or destroying it. `ValidFor()`
+// checks the buffer identity and is asserted by the rewrite helpers.
 class PacketView {
  public:
   // Returns nullopt if the frame is truncated or not IPv4.
@@ -122,10 +179,19 @@ class PacketView {
 
   std::span<const uint8_t> l4_payload() const { return payload_; }
 
+  // True while this view still describes `packet`'s buffer (see class comment).
+  bool ValidFor(const Packet& packet) const {
+    return data_ == packet.bytes().data() && size_ == packet.size();
+  }
+
   // Human-readable one-liner, e.g. "TCP 1.2.3.4:80 > 10.0.0.1:1234 [S] len=0".
   std::string Describe() const;
 
  private:
+  friend void RewriteIpv4Src(Packet&, Ipv4Address, PacketView*);
+  friend void RewriteIpv4Dst(Packet&, Ipv4Address, PacketView*);
+  friend bool DecrementTtl(Packet&, PacketView*);
+
   EthernetFields eth_;
   Ipv4Fields ip_;
   TcpFields tcp_;
@@ -133,6 +199,8 @@ class PacketView {
   IcmpFields icmp_;
   bool has_l4_ = false;
   std::span<const uint8_t> payload_;
+  const uint8_t* data_ = nullptr;  // buffer identity, for ValidFor()
+  size_t size_ = 0;
 };
 
 // Declarative packet construction; checksums are computed during build.
@@ -164,12 +232,17 @@ struct PacketSpec {
 Packet BuildPacket(const PacketSpec& spec);
 
 // In-place header mutation (used by the gateway for reflection / NAT); both update
-// the IPv4 header checksum and the TCP/UDP pseudo-header checksum.
-void RewriteIpv4Src(Packet& packet, Ipv4Address new_src);
-void RewriteIpv4Dst(Packet& packet, Ipv4Address new_dst);
+// the IPv4 header checksum and the TCP/UDP pseudo-header checksum via RFC 1624
+// deltas (no full recompute). When `view` is non-null it must be a live view of
+// `packet` (asserted); the rewrite keeps its decoded fields in sync, so callers
+// can keep threading the same view instead of re-parsing.
+void RewriteIpv4Src(Packet& packet, Ipv4Address new_src,
+                    PacketView* view = nullptr);
+void RewriteIpv4Dst(Packet& packet, Ipv4Address new_dst,
+                    PacketView* view = nullptr);
 void RewriteMacs(Packet& packet, MacAddress src, MacAddress dst);
 // Decrements TTL with incremental checksum update; returns false if TTL hit zero.
-bool DecrementTtl(Packet& packet);
+bool DecrementTtl(Packet& packet, PacketView* view = nullptr);
 
 // Verifies the IPv4 header checksum and (for TCP/UDP/ICMP) the transport checksum.
 bool ValidateChecksums(const Packet& packet);

@@ -48,7 +48,8 @@ class FakeBackend : public GatewayBackend {
     --live_[host];
     vm_ips_.erase(vm);
   }
-  void DeliverToVm(HostId host, VmId vm, Packet packet) override {
+  void DeliverToVm(HostId host, VmId vm, Packet packet,
+                   const PacketView&) override {
     (void)host;
     loop_->ScheduleAfter(Duration::Micros(1), [this, vm, p = std::move(packet)]() {
       delivered_.emplace_back(vm, std::move(p));

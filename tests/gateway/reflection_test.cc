@@ -26,7 +26,8 @@ class ScriptedBackend : public GatewayBackend {
     done(vm);  // instant clone
   }
   void RetireVm(HostId, VmId) override {}
-  void DeliverToVm(HostId, VmId vm, Packet packet) override {
+  void DeliverToVm(HostId, VmId vm, Packet packet,
+                   const PacketView&) override {
     loop_->ScheduleAfter(Duration::Micros(1), [this, vm, p = std::move(packet)]() {
       delivered_.emplace_back(vm, std::move(p));
     });

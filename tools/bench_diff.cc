@@ -1,0 +1,204 @@
+// Compares two BENCH_<name>.json perf-trajectory reports (see bench/report.h)
+// metric by metric and prints the deltas. Exit status encodes the verdict so
+// CI can distinguish "slower" from "broken":
+//
+//   0  every shared metric within threshold (or improved)
+//   1  at least one metric regressed beyond the threshold
+//   2  schema mismatch: unreadable file, missing report keys, no metrics, or
+//      a baseline metric absent from the candidate
+//
+// Usage:
+//   bench_diff [--threshold=0.10] baseline.json candidate.json
+//
+// Direction is inferred from the metric's unit: rate units ("pkts/s", "MB/s",
+// anything ending in "/s") regress when they drop; everything else (ns, us,
+// bytes, ...) regresses when it grows. Metrics present only in the candidate
+// are listed as new and never fail the diff — reports are allowed to grow.
+// The parser is the same deliberate string scan as bench_to_json: the report
+// schema is flat and fixed, so scanning beats a JSON dependency.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace potemkin {
+namespace {
+
+struct Metric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+};
+
+struct Report {
+  std::string benchmark;
+  std::vector<Metric> metrics;
+};
+
+std::string ReadAll(const char* path) {
+  std::FILE* file = std::fopen(path, "rb");
+  if (file == nullptr) {
+    return "";
+  }
+  std::string text;
+  char buffer[4096];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, got);
+  }
+  std::fclose(file);
+  return text;
+}
+
+// Returns the JSON string value following `"key":` inside [from, until).
+std::string FindStringValue(const std::string& text, const std::string& key,
+                            size_t from, size_t until) {
+  const std::string needle = "\"" + key + "\"";
+  const size_t at = text.find(needle, from);
+  if (at == std::string::npos || at >= until) {
+    return "";
+  }
+  size_t cursor = text.find('"', text.find(':', at + needle.size()));
+  if (cursor == std::string::npos || cursor >= until) {
+    return "";
+  }
+  std::string value;
+  for (++cursor; cursor < until && text[cursor] != '"'; ++cursor) {
+    value += text[cursor];
+  }
+  return value;
+}
+
+double FindNumberValue(const std::string& text, const std::string& key,
+                       size_t from, size_t until) {
+  const std::string needle = "\"" + key + "\"";
+  const size_t at = text.find(needle, from);
+  if (at == std::string::npos || at >= until) {
+    return std::strtod("nan", nullptr);
+  }
+  const size_t colon = text.find(':', at + needle.size());
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+// Parses a BENCH report; returns false on any schema violation.
+bool ParseReport(const char* path, Report* out) {
+  const std::string text = ReadAll(path);
+  if (text.empty()) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", path);
+    return false;
+  }
+  out->benchmark = FindStringValue(text, "benchmark", 0, text.size());
+  const size_t metrics = text.find("\"metrics\"");
+  if (out->benchmark.empty() || metrics == std::string::npos) {
+    std::fprintf(stderr, "bench_diff: %s is not a BENCH report (missing "
+                 "\"benchmark\"/\"metrics\")\n", path);
+    return false;
+  }
+  for (size_t open = text.find('{', metrics); open != std::string::npos;
+       open = text.find('{', open + 1)) {
+    const size_t close = text.find('}', open);
+    if (close == std::string::npos) {
+      break;
+    }
+    Metric metric;
+    metric.name = FindStringValue(text, "metric", open, close);
+    metric.value = FindNumberValue(text, "value", open, close);
+    metric.unit = FindStringValue(text, "unit", open, close);
+    if (metric.name.empty() || metric.value != metric.value ||
+        metric.unit.empty()) {
+      std::fprintf(stderr, "bench_diff: malformed metric entry in %s\n", path);
+      return false;
+    }
+    out->metrics.push_back(std::move(metric));
+    open = close;
+  }
+  if (out->metrics.empty()) {
+    std::fprintf(stderr, "bench_diff: no metrics in %s\n", path);
+    return false;
+  }
+  return true;
+}
+
+bool HigherIsBetter(const std::string& unit) {
+  return unit.size() >= 2 && unit.compare(unit.size() - 2, 2, "/s") == 0;
+}
+
+const Metric* Find(const Report& report, const std::string& name) {
+  for (const auto& metric : report.metrics) {
+    if (metric.name == name) {
+      return &metric;
+    }
+  }
+  return nullptr;
+}
+
+int Run(int argc, char** argv) {
+  double threshold = 0.10;
+  std::vector<const char*> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
+      threshold = std::strtod(argv[i] + 12, nullptr);
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff [--threshold=0.10] baseline.json "
+                 "candidate.json\n");
+    return 2;
+  }
+
+  Report baseline;
+  Report candidate;
+  if (!ParseReport(paths[0], &baseline) || !ParseReport(paths[1], &candidate)) {
+    return 2;
+  }
+  if (baseline.benchmark != candidate.benchmark) {
+    std::fprintf(stderr, "bench_diff: comparing different benchmarks (%s vs %s)\n",
+                 baseline.benchmark.c_str(), candidate.benchmark.c_str());
+    return 2;
+  }
+
+  std::printf("%-44s %16s %16s %9s\n", "metric", "baseline", "candidate",
+              "delta");
+  bool regressed = false;
+  bool mismatch = false;
+  for (const auto& base : baseline.metrics) {
+    const Metric* cand = Find(candidate, base.name);
+    if (cand == nullptr) {
+      std::printf("%-44s %16.4g %16s %9s  MISSING\n", base.name.c_str(),
+                  base.value, "-", "-");
+      mismatch = true;
+      continue;
+    }
+    const double delta =
+        base.value != 0.0 ? (cand->value - base.value) / base.value : 0.0;
+    const bool worse = HigherIsBetter(base.unit) ? delta < -threshold
+                                                 : delta > threshold;
+    std::printf("%-44s %16.4g %16.4g %+8.1f%%%s\n", base.name.c_str(),
+                base.value, cand->value, delta * 100.0,
+                worse ? "  REGRESSED" : "");
+    regressed = regressed || worse;
+  }
+  for (const auto& cand : candidate.metrics) {
+    if (Find(baseline, cand.name) == nullptr) {
+      std::printf("%-44s %16s %16.4g %9s  NEW\n", cand.name.c_str(), "-",
+                  cand.value, "-");
+    }
+  }
+  if (mismatch) {
+    std::fprintf(stderr,
+                 "bench_diff: baseline metric(s) missing from candidate\n");
+    return 2;
+  }
+  return regressed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace potemkin
+
+int main(int argc, char** argv) {
+  return potemkin::Run(argc, argv);
+}
