@@ -12,13 +12,23 @@
 
 #include "bench/report.h"
 #include "src/base/flags.h"
+#include "src/base/log.h"
 #include "src/base/rng.h"
 #include "src/base/strings.h"
 #include "src/base/table.h"
 #include "src/gateway/gateway.h"
+#include "src/obs/observability.h"
 
 namespace potemkin {
 namespace {
+
+// Counter delta over a timed section, read from a bench-local registry. The
+// throughput numerators below come from the gateway's own metrics rather than
+// the loop trip count, so the bench measures what the observability layer
+// actually recorded (and fails loudly if instrumentation ever under-counts).
+uint64_t CounterValue(const Observability& obs, const char* name) {
+  return static_cast<uint64_t>(obs.metrics.ValueOf(name));
+}
 
 // Backend that completes spawns instantly and discards deliveries: isolates pure
 // gateway data-path cost.
@@ -63,8 +73,10 @@ Packet InboundProbe(Ipv4Address dst, uint32_t salt) {
 double MeasureHitPathPps(uint64_t bindings, uint64_t packets) {
   EventLoop loop;
   NullBackend backend(16);
+  Observability obs;
   GatewayConfig config;
   config.farm_prefix = kFarm;
+  config.obs = &obs;
   Gateway gateway(&loop, config, &backend);
   // Populate the binding table (instant spawns -> active immediately).
   for (uint64_t i = 0; i < bindings; ++i) {
@@ -80,13 +92,16 @@ double MeasureHitPathPps(uint64_t bindings, uint64_t packets) {
     workload.push_back(InboundProbe(kFarm.AddressAt(rng.NextBelow(bindings)),
                                     static_cast<uint32_t>(i)));
   }
+  const uint64_t hits_before = CounterValue(obs, "gateway.rx.hit");
   const auto start = std::chrono::steady_clock::now();
   for (auto& packet : workload) {
     gateway.HandleInbound(std::move(packet));
   }
   const auto end = std::chrono::steady_clock::now();
   const double seconds = std::chrono::duration<double>(end - start).count();
-  return static_cast<double>(packets) / seconds;
+  const uint64_t delivered = CounterValue(obs, "gateway.rx.hit") - hits_before;
+  PK_CHECK(delivered == packets) << "hit path under-delivered";
+  return static_cast<double>(delivered) / seconds;
 }
 
 // Same workload as MeasureHitPathPps, but injected through the batched entry
@@ -96,8 +111,10 @@ double MeasureHitPathBatchPps(uint64_t bindings, uint64_t packets,
                               size_t burst) {
   EventLoop loop;
   NullBackend backend(16);
+  Observability obs;
   GatewayConfig config;
   config.farm_prefix = kFarm;
+  config.obs = &obs;
   Gateway gateway(&loop, config, &backend);
   for (uint64_t i = 0; i < bindings; ++i) {
     gateway.HandleInbound(InboundProbe(kFarm.AddressAt(i), static_cast<uint32_t>(i)));
@@ -111,6 +128,7 @@ double MeasureHitPathBatchPps(uint64_t bindings, uint64_t packets,
     workload.push_back(InboundProbe(kFarm.AddressAt(rng.NextBelow(bindings)),
                                     static_cast<uint32_t>(i)));
   }
+  const uint64_t hits_before = CounterValue(obs, "gateway.rx.hit");
   const auto start = std::chrono::steady_clock::now();
   for (size_t i = 0; i < workload.size(); i += burst) {
     const size_t n = std::min(burst, workload.size() - i);
@@ -118,14 +136,18 @@ double MeasureHitPathBatchPps(uint64_t bindings, uint64_t packets,
   }
   const auto end = std::chrono::steady_clock::now();
   const double seconds = std::chrono::duration<double>(end - start).count();
-  return static_cast<double>(packets) / seconds;
+  const uint64_t delivered = CounterValue(obs, "gateway.rx.hit") - hits_before;
+  PK_CHECK(delivered == packets) << "batched hit path under-delivered";
+  return static_cast<double>(delivered) / seconds;
 }
 
 double MeasureMissPathPps(uint64_t packets) {
   EventLoop loop;
   NullBackend backend(16);
+  Observability obs;
   GatewayConfig config;
   config.farm_prefix = kFarm;
+  config.obs = &obs;
   Gateway gateway(&loop, config, &backend);
   std::vector<Packet> workload;
   workload.reserve(packets);
@@ -138,16 +160,20 @@ double MeasureMissPathPps(uint64_t packets) {
     gateway.HandleInbound(std::move(packet));
   }
   const auto end = std::chrono::steady_clock::now();
-  return static_cast<double>(packets) /
+  const uint64_t processed = CounterValue(obs, "gateway.rx.packets");
+  PK_CHECK(processed == packets) << "miss path under-counted";
+  return static_cast<double>(processed) /
          std::chrono::duration<double>(end - start).count();
 }
 
 double MeasureReflectPps(uint64_t packets) {
   EventLoop loop;
   NullBackend backend(16);
+  Observability obs;
   GatewayConfig config;
   config.farm_prefix = kFarm;
   config.containment.mode = OutboundMode::kReflect;
+  config.obs = &obs;
   Gateway gateway(&loop, config, &backend);
   // One live source VM binding.
   gateway.HandleInbound(InboundProbe(kFarm.AddressAt(0), 1));
@@ -172,7 +198,9 @@ double MeasureReflectPps(uint64_t packets) {
     gateway.HandleOutbound(0, 1, std::move(packet));
   }
   const auto end = std::chrono::steady_clock::now();
-  return static_cast<double>(packets) /
+  const uint64_t processed = CounterValue(obs, "gateway.tx.outbound");
+  PK_CHECK(processed == packets) << "reflect path under-counted";
+  return static_cast<double>(processed) /
          std::chrono::duration<double>(end - start).count();
 }
 

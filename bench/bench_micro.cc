@@ -14,6 +14,7 @@
 #include "src/net/flow.h"
 #include "src/net/packet.h"
 #include "src/net/packet_pool.h"
+#include "src/obs/observability.h"
 
 namespace potemkin {
 namespace {
@@ -297,6 +298,47 @@ void BM_RewriteDstFullRecompute(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RewriteDstFullRecompute);
+
+// ---- Observability hot-path primitives ----
+// These are the operations the instrumented gateway pays per packet; the
+// budget for the whole metrics layer is single-digit nanoseconds per packet.
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  MetricRegistry registry;
+  Counter counter = registry.RegisterCounter("bench.counter", "count");
+  for (auto _ : state) {
+    counter.Inc();
+  }
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  MetricRegistry registry;
+  FixedHistogram histogram = registry.RegisterHistogram(
+      "bench.histogram", "bytes", LinearBuckets(64.0, 256.0, 8));
+  double value = 0.0;
+  for (auto _ : state) {
+    value = value < 2048.0 ? value + 97.0 : 0.0;  // sweep across the buckets
+    histogram.Record(value);
+  }
+  benchmark::DoNotOptimize(histogram.count());
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+void BM_ObsSpanBeginEnd(benchmark::State& state) {
+  TraceRecorder recorder;
+  const TraceRecorder::TrackId track = recorder.RegisterTrack("bench");
+  int64_t now = 0;
+  for (auto _ : state) {
+    const TraceRecorder::OpenSpan open =
+        recorder.Begin(track, "span", TimePoint::FromNanos(now));
+    now += 100;
+    recorder.End(open, TimePoint::FromNanos(now));
+  }
+  benchmark::DoNotOptimize(recorder.span_count(track));
+}
+BENCHMARK(BM_ObsSpanBeginEnd);
 
 }  // namespace
 }  // namespace potemkin

@@ -30,7 +30,10 @@ TimePoint TokenBucket::AvailableAt(TimePoint now, double tokens) {
   if (tokens_ >= tokens) {
     return now;
   }
-  if (rate_per_sec_ <= 0.0) {
+  // A request above the burst capacity can never be satisfied: refills cap at
+  // burst_, so projecting deficit/rate would name a time at which the tokens
+  // still would not be there.
+  if (rate_per_sec_ <= 0.0 || tokens > burst_) {
     return TimePoint::Max();
   }
   const double deficit = tokens - tokens_;

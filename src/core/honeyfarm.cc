@@ -2,13 +2,15 @@
 
 #include "src/base/log.h"
 #include "src/base/strings.h"
+#include "src/net/packet_pool.h"
 
 namespace potemkin {
 
 namespace {
 
-GatewayConfig WithPrefix(GatewayConfig config, Ipv4Prefix prefix) {
+GatewayConfig WithPrefix(GatewayConfig config, Ipv4Prefix prefix, Observability* obs) {
   config.farm_prefix = prefix;
+  config.obs = obs;
   return config;
 }
 
@@ -16,14 +18,17 @@ GatewayConfig WithPrefix(GatewayConfig config, Ipv4Prefix prefix) {
 
 Honeyfarm::Honeyfarm(const HoneyfarmConfig& config)
     : config_(config),
-      gateway_(&loop_, WithPrefix(config.gateway, config.prefix), this) {
+      gateway_(&loop_, WithPrefix(config.gateway, config.prefix, &obs_), this) {
   servers_.reserve(config_.num_hosts);
   for (uint32_t i = 0; i < config_.num_hosts; ++i) {
     CloneServerConfig server_config = config_.server_template;
     server_config.host.id = i;
     server_config.host.name = StrFormat("host%u", i);
+    server_config.engine.obs = &obs_;
+    server_config.engine.trace_track = StrFormat("clone/host%u", i);
     auto server =
         std::make_unique<CloneServer>(&loop_, server_config, config_.seed + 1000 + i);
+    server->host().ExportMetrics(&obs_.metrics, server_config.host.name);
     server->set_outbound_handler([this](HostId host, VmId vm, Packet packet) {
       gateway_.HandleOutbound(host, vm, std::move(packet));
     });
@@ -46,7 +51,32 @@ Honeyfarm::Honeyfarm(const HoneyfarmConfig& config)
       egress_monitor_(packet);
     }
   });
+  epidemic_.ExportMetrics(&obs_.metrics, "epidemic");
+  // Farm-level rollups plus the process-wide packet pool's recycling health.
+  MetricRegistry& m = obs_.metrics;
+  m.RegisterProbe(this, "farm.vms.live", "vms",
+                  [this] { return static_cast<double>(TotalLiveVms()); });
+  m.RegisterProbe(this, "farm.mem.used_frames", "frames",
+                  [this] { return static_cast<double>(TotalUsedFrames()); });
+  m.RegisterProbe(this, "farm.pages.private", "pages",
+                  [this] { return static_cast<double>(TotalPrivatePages()); });
+  m.RegisterProbe(this, "farm.clones.completed", "count", [this] {
+    return static_cast<double>(total_clones_completed());
+  });
+  m.RegisterProbe(this, "farm.egress.packets", "count",
+                  [this] { return static_cast<double>(egress_packets_); });
+  m.RegisterProbe(this, "packet_pool.cached_buffers", "buffers", [] {
+    return static_cast<double>(PacketPool::Default().cached_buffers());
+  });
+  m.RegisterProbe(this, "packet_pool.hit_rate", "ratio", [] {
+    const PacketPool::Stats& s = PacketPool::Default().stats();
+    return s.acquires == 0 ? 0.0
+                           : static_cast<double>(s.pool_hits) /
+                                 static_cast<double>(s.acquires);
+  });
 }
+
+Honeyfarm::~Honeyfarm() { obs_.metrics.RemoveProbes(this); }
 
 void Honeyfarm::OnInfection(GuestOs& guest, const PacketView& exploit) {
   const Ipv4Address victim = guest.vm()->ip();

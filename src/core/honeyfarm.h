@@ -19,6 +19,8 @@
 #include "src/malware/worm.h"
 #include "src/net/gre.h"
 #include "src/net/trace.h"
+#include "src/obs/health_snapshot.h"
+#include "src/obs/observability.h"
 
 namespace potemkin {
 
@@ -46,11 +48,15 @@ struct FarmSample {
 class Honeyfarm : public GatewayBackend {
  public:
   explicit Honeyfarm(const HoneyfarmConfig& config);
-  ~Honeyfarm() override = default;
+  ~Honeyfarm() override;
   Honeyfarm(const Honeyfarm&) = delete;
   Honeyfarm& operator=(const Honeyfarm&) = delete;
 
   EventLoop& loop() { return loop_; }
+  // The farm's own telemetry bundle: every component of this farm registers
+  // against it, so concurrent farms (tests, sweeps) never share metric storage.
+  Observability& obs() { return obs_; }
+  HealthMonitor& health() { return health_; }
   Gateway& gateway() { return gateway_; }
   CloneServer& server(size_t i) { return *servers_[i]; }
   size_t server_count() const { return servers_.size(); }
@@ -99,6 +105,9 @@ class Honeyfarm : public GatewayBackend {
   void RunUntil(TimePoint t) { loop_.RunUntil(t); }
   // Starts the recycler and (optionally) periodic telemetry sampling.
   void Start(Duration sample_interval = Duration::Zero());
+  // Begins periodic versioned health snapshots (HealthMonitor over this farm's
+  // registry). Independent of Start()'s FarmSample sampling.
+  void StartHealthSnapshots(Duration interval) { health_.Start(interval); }
 
   // ---- Telemetry ----
   FarmSample SampleNow();
@@ -129,6 +138,10 @@ class Honeyfarm : public GatewayBackend {
 
   HoneyfarmConfig config_;
   EventLoop loop_;
+  // Declared before gateway_/servers_ (whose configs point into it) and
+  // destroyed after them, so component destructors can still remove probes.
+  Observability obs_;
+  HealthMonitor health_{&loop_, &obs_.metrics, "honeyfarm"};
   Gateway gateway_;
   std::vector<std::unique_ptr<CloneServer>> servers_;
   // In-flight handshake seeds, matched against egress SYN|ACKs.

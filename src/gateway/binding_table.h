@@ -80,6 +80,14 @@ class BindingTable {
   std::vector<Packet> TakePending(Binding& binding);
 
   size_t size() const { return slab_.live_count(); }
+  // Occupancy of the open-addressing index (live entries / table slots): the
+  // probe-length health signal surfaced in farm snapshots.
+  double load_factor() const {
+    return index_.capacity() == 0
+               ? 0.0
+               : static_cast<double>(index_.size()) /
+                     static_cast<double>(index_.capacity());
+  }
   const BindingTableStats& stats() const { return stats_; }
 
   template <typename Fn>

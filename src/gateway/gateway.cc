@@ -11,11 +11,79 @@ Gateway::Gateway(EventLoop* loop, const GatewayConfig& config, GatewayBackend* b
     : loop_(loop),
       config_(config),
       backend_(backend),
+      obs_(ObsOrDefault(config.obs)),
       bindings_(config.pending_queue_cap),
       containment_(config.containment, config.farm_prefix, config.seed),
       dns_proxy_(config.farm_prefix, config.seed),
       scan_detector_(config.scan_detector),
-      flows_(config.flow_idle_timeout) {}
+      flows_(config.flow_idle_timeout) {
+  MetricRegistry& m = obs_.metrics;
+  m_rx_packets_ = m.RegisterCounter("gateway.rx.packets", "count");
+  m_rx_hit_ = m.RegisterCounter("gateway.rx.hit", "count");
+  m_rx_first_contact_ = m.RegisterCounter("gateway.rx.first_contact", "count");
+  m_rx_nonfarm_ = m.RegisterCounter("gateway.rx.nonfarm", "count");
+  m_rx_queued_ = m.RegisterCounter("gateway.rx.queued", "count");
+  m_tx_outbound_ = m.RegisterCounter("gateway.tx.outbound", "count");
+  m_tx_egress_ = m.RegisterCounter("gateway.tx.egress", "count");
+  m_batch_bin_packets_ = m.RegisterHistogram(
+      "gateway.batch.bin_packets", "packets", ExponentialBuckets(1.0, 2.0, 10));
+  m_rx_frame_bytes_ = m.RegisterHistogram(
+      "gateway.rx.frame_bytes", "bytes", LinearBuckets(64.0, 256.0, 8));
+  // Cold-path state (binding table, containment verdicts, scan detector,
+  // recycler churn) is exported via probes: sampled only when a snapshot is
+  // taken, costing the packet path nothing.
+  m.RegisterProbe(this, "gateway.bindings.live", "vms",
+                  [this] { return static_cast<double>(bindings_.size()); });
+  m.RegisterProbe(this, "gateway.bindings.load_factor", "ratio",
+                  [this] { return bindings_.load_factor(); });
+  m.RegisterProbe(this, "gateway.bindings.peak_live", "vms", [this] {
+    return static_cast<double>(bindings_.stats().peak_live);
+  });
+  m.RegisterProbe(this, "gateway.containment.allowed", "count", [this] {
+    return static_cast<double>(containment_.stats().allowed);
+  });
+  m.RegisterProbe(this, "gateway.containment.dropped", "count", [this] {
+    return static_cast<double>(containment_.stats().dropped);
+  });
+  m.RegisterProbe(this, "gateway.containment.reflected", "count", [this] {
+    return static_cast<double>(containment_.stats().reflected);
+  });
+  m.RegisterProbe(this, "gateway.containment.rate_limited", "count", [this] {
+    return static_cast<double>(containment_.stats().rate_limited);
+  });
+  m.RegisterProbe(this, "gateway.containment.dns_proxied", "count", [this] {
+    return static_cast<double>(containment_.stats().dns_proxied);
+  });
+  m.RegisterProbe(this, "gateway.containment.escapes_from_infected", "count",
+                  [this] {
+                    return static_cast<double>(
+                        containment_.stats().escapes_from_infected);
+                  });
+  m.RegisterProbe(this, "gateway.scan.tracked_sources", "sources", [this] {
+    return static_cast<double>(scan_detector_.tracked_sources());
+  });
+  m.RegisterProbe(this, "gateway.scan.scanners_flagged", "count", [this] {
+    return static_cast<double>(scan_detector_.scanners_flagged());
+  });
+  m.RegisterProbe(this, "gateway.recycle.retired", "vms", [this] {
+    return static_cast<double>(stats_.vms_retired);
+  });
+  m.RegisterProbe(this, "gateway.recycle.retired_idle", "vms", [this] {
+    return static_cast<double>(stats_.retired_idle);
+  });
+  m.RegisterProbe(this, "gateway.recycle.retired_lifetime", "vms", [this] {
+    return static_cast<double>(stats_.retired_lifetime);
+  });
+  m.RegisterProbe(this, "gateway.recycle.retired_infected_expired", "vms",
+                  [this] {
+                    return static_cast<double>(stats_.retired_infected_expired);
+                  });
+  m.RegisterProbe(this, "gateway.recycle.emergency_reclaims", "vms", [this] {
+    return static_cast<double>(stats_.emergency_reclaims);
+  });
+}
+
+Gateway::~Gateway() { obs_.metrics.RemoveProbes(this); }
 
 bool Gateway::ChooseHost(HostId* out) {
   const size_t n = backend_->NumHosts();
@@ -73,6 +141,7 @@ void Gateway::DeliverToBinding(Binding& binding, Packet packet, PacketView& view
   binding.last_activity = loop_->Now();
   ++binding.inbound_packets;
   ++stats_.inbound_delivered;
+  m_rx_hit_.Inc();
   backend_->DeliverToVm(binding.host, binding.vm, std::move(packet), view);
 }
 
@@ -88,6 +157,7 @@ void Gateway::RouteToFarm(Packet packet, PacketView& view, bool via_reflection) 
     if (config_.queue_while_cloning) {
       if (bindings_.QueuePending(*binding, std::move(packet))) {
         ++stats_.inbound_queued;
+        m_rx_queued_.Inc();
       }
     } else {
       ++stats_.inbound_dropped_cloning;
@@ -107,9 +177,11 @@ void Gateway::RouteToFarm(Packet packet, PacketView& view, bool via_reflection) 
   }
   Binding& fresh = bindings_.CreatePending(dst, host, loop_->Now());
   fresh.reflected_origin = via_reflection;
+  m_rx_first_contact_.Inc();
   if (config_.queue_while_cloning) {
     if (bindings_.QueuePending(fresh, std::move(packet))) {
       ++stats_.inbound_queued;
+      m_rx_queued_.Inc();
     }
   } else {
     ++stats_.inbound_dropped_cloning;
@@ -152,8 +224,11 @@ void Gateway::HandleInbound(Packet packet) {
     return;
   }
   ++stats_.inbound_packets;
+  m_rx_packets_.Inc();
+  m_rx_frame_bytes_.Record(static_cast<double>(packet.size()));
   if (!config_.farm_prefix.Contains(view->ip().dst)) {
     ++stats_.inbound_nonfarm;
+    m_rx_nonfarm_.Inc();
     return;
   }
   const bool is_scanner =
@@ -177,8 +252,11 @@ void Gateway::HandleInboundBatch(std::span<Packet> packets) {
       continue;
     }
     ++stats_.inbound_packets;
+    m_rx_packets_.Inc();
+    m_rx_frame_bytes_.Record(static_cast<double>(packets[i].size()));
     if (!config_.farm_prefix.Contains(view->ip().dst)) {
       ++stats_.inbound_nonfarm;
+      m_rx_nonfarm_.Inc();
       continue;
     }
     batch_views_[i] = *view;
@@ -199,6 +277,7 @@ void Gateway::HandleInboundBatch(std::span<Packet> packets) {
            batch_views_[batch_order_[j]].ip().dst == dst) {
       ++j;
     }
+    m_batch_bin_packets_.Record(static_cast<double>(j - i));
     Binding* binding = bindings_.Find(dst);
     for (size_t k = i; k < j; ++k) {
       const uint32_t idx = batch_order_[k];
@@ -257,6 +336,7 @@ void Gateway::HandleOutbound(HostId host, VmId vm, Packet packet) {
     return;
   }
   ++stats_.outbound_packets;
+  m_tx_outbound_.Inc();
   Binding* source_binding = bindings_.Find(view->ip().src);
 
   // Farm-internal destination: forward inside, applying reflection reverse-NAT so
@@ -292,6 +372,7 @@ void Gateway::HandleOutbound(HostId host, VmId vm, Packet packet) {
         config_.farm_prefix.Contains(embedded->second)) {
       ++stats_.icmp_errors_allowed_out;
       ++stats_.egress_packets;
+      m_tx_egress_.Inc();
       if (egress_) {
         egress_(std::move(packet));
       }
@@ -308,6 +389,7 @@ void Gateway::HandleOutbound(HostId host, VmId vm, Packet packet) {
     flows_.Record(*view, loop_->Now());
     ++stats_.responses_allowed_out;
     ++stats_.egress_packets;
+    m_tx_egress_.Inc();
     if (egress_) {
       egress_(std::move(packet));
     }
@@ -322,6 +404,7 @@ void Gateway::HandleOutbound(HostId host, VmId vm, Packet packet) {
     case OutboundAction::kAllow:
       flows_.Record(*view, loop_->Now());
       ++stats_.egress_packets;
+      m_tx_egress_.Inc();
       if (egress_) {
         egress_(std::move(packet));
       }
@@ -374,6 +457,19 @@ size_t Gateway::SweepOnce() {
     Binding* binding = bindings_.Find(ip);
     if (binding == nullptr) {
       continue;
+    }
+    switch (ClassifyRetire(*binding, config_.recycle, now)) {
+      case RetireReason::kIdle:
+        ++stats_.retired_idle;
+        break;
+      case RetireReason::kLifetime:
+        ++stats_.retired_lifetime;
+        break;
+      case RetireReason::kInfectedExpired:
+        ++stats_.retired_infected_expired;
+        break;
+      case RetireReason::kKeep:
+        break;  // state changed between collect and retire; retire anyway
     }
     backend_->RetireVm(binding->host, binding->vm);
     bindings_.Remove(ip);

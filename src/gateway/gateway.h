@@ -26,6 +26,7 @@
 #include "src/gateway/recycler.h"
 #include "src/gateway/scan_detector.h"
 #include "src/net/flow.h"
+#include "src/obs/observability.h"
 
 namespace potemkin {
 
@@ -72,6 +73,9 @@ struct GatewayConfig {
   size_t pending_queue_cap = 64;
   Duration flow_idle_timeout = Duration::Minutes(2);
   uint64_t seed = 42;
+  // Telemetry bundle; null falls back to Observability::Default(). The farm
+  // passes its own so per-farm metrics stay isolated.
+  Observability* obs = nullptr;
 };
 
 struct GatewayStats {
@@ -94,6 +98,11 @@ struct GatewayStats {
   uint64_t dns_responses = 0;
   uint64_t egress_packets = 0;
   uint64_t vms_retired = 0;
+  // Recycler churn attributed by RetireReason (emergency reclaims counted
+  // separately above).
+  uint64_t retired_idle = 0;
+  uint64_t retired_lifetime = 0;
+  uint64_t retired_infected_expired = 0;
 };
 
 class Gateway {
@@ -102,6 +111,7 @@ class Gateway {
   using EgressSink = std::function<void(Packet)>;
 
   Gateway(EventLoop* loop, const GatewayConfig& config, GatewayBackend* backend);
+  ~Gateway();
 
   // ---- External (Internet) side ----
   void HandleInbound(Packet packet);
@@ -151,6 +161,18 @@ class Gateway {
   EventLoop* loop_;
   GatewayConfig config_;
   GatewayBackend* backend_;
+  Observability& obs_;
+  // Hot-path metric handles: each Inc/Record is one relaxed atomic add against
+  // registry-owned storage — no allocation, no lock, no map lookup per packet.
+  Counter m_rx_packets_;
+  Counter m_rx_hit_;
+  Counter m_rx_first_contact_;
+  Counter m_rx_nonfarm_;
+  Counter m_rx_queued_;
+  Counter m_tx_outbound_;
+  Counter m_tx_egress_;
+  FixedHistogram m_batch_bin_packets_;
+  FixedHistogram m_rx_frame_bytes_;
   BindingTable bindings_;
   ContainmentEngine containment_;
   DnsProxy dns_proxy_;

@@ -2,17 +2,21 @@
 
 namespace potemkin {
 
-bool ShouldRetire(const Binding& binding, const RecyclePolicy& policy, TimePoint now) {
+RetireReason ClassifyRetire(const Binding& binding, const RecyclePolicy& policy,
+                            TimePoint now) {
   if (binding.state != BindingState::kActive) {
-    return false;
+    return RetireReason::kKeep;
   }
   if (!policy.max_lifetime.IsZero() && now - binding.created >= policy.max_lifetime) {
-    return true;
+    return RetireReason::kLifetime;
   }
+  const bool held_infected = binding.infected && !policy.infected_hold.IsZero();
   const Duration idle_limit =
-      binding.infected && !policy.infected_hold.IsZero() ? policy.infected_hold
-                                                         : policy.idle_timeout;
-  return now - binding.last_activity >= idle_limit;
+      held_infected ? policy.infected_hold : policy.idle_timeout;
+  if (now - binding.last_activity >= idle_limit) {
+    return held_infected ? RetireReason::kInfectedExpired : RetireReason::kIdle;
+  }
+  return RetireReason::kKeep;
 }
 
 }  // namespace potemkin

@@ -29,9 +29,25 @@ struct RecyclePolicy {
   uint32_t emergency_reclaim_batch = 0;
 };
 
+// Why (or whether) a binding should be retired. The gateway attributes recycler
+// churn per reason in its health metrics, so the policy exposes the
+// classification rather than just the boolean.
+enum class RetireReason : uint8_t {
+  kKeep = 0,          // not retired
+  kLifetime,          // exceeded max_lifetime
+  kIdle,              // idle past idle_timeout
+  kInfectedExpired,   // infected VM idle past its (longer) infected_hold
+};
+
+RetireReason ClassifyRetire(const Binding& binding, const RecyclePolicy& policy,
+                            TimePoint now);
+
 // Whether `binding` should be retired at time `now` under `policy`. Bindings still
 // cloning are never retired.
-bool ShouldRetire(const Binding& binding, const RecyclePolicy& policy, TimePoint now);
+inline bool ShouldRetire(const Binding& binding, const RecyclePolicy& policy,
+                         TimePoint now) {
+  return ClassifyRetire(binding, policy, now) != RetireReason::kKeep;
+}
 
 }  // namespace potemkin
 

@@ -6,8 +6,17 @@ namespace potemkin {
 
 CloneEngine::CloneEngine(EventLoop* loop, PhysicalHost* host,
                          const CloneEngineConfig& config)
-    : loop_(loop), host_(host), config_(config) {
+    : loop_(loop),
+      host_(host),
+      config_(config),
+      obs_(ObsOrDefault(config.obs)),
+      track_(obs_.trace.RegisterTrack(config.trace_track)) {
   PK_CHECK(config_.control_plane_workers >= 1);
+  // Counter names are shared across engines on purpose: same name -> same
+  // storage, so a multi-host farm aggregates clone counts for free.
+  m_completed_ = obs_.metrics.RegisterCounter("clone.completed", "count");
+  m_failed_ = obs_.metrics.RegisterCounter("clone.failed", "count");
+  m_destroyed_ = obs_.metrics.RegisterCounter("clone.destroyed", "count");
 }
 
 void CloneEngine::RequestClone(ImageId image, const std::string& vm_name,
@@ -88,10 +97,13 @@ void CloneEngine::ExecuteClone(Job job) {
       vm->set_created_at(timing.finished);
       vm->set_last_activity(timing.finished);
       ++clones_completed_;
+      m_completed_.Inc();
       latency_hist_.Record(timing.Total().millis_f());
       queue_wait_hist_.Record(timing.QueueWait().millis_f());
+      RecordCloneSpans(timing);
     } else {
       ++clones_failed_;
+      m_failed_.Inc();
     }
     if (job.callback) {
       job.callback(vm, timing);
@@ -100,9 +112,39 @@ void CloneEngine::ExecuteClone(Job job) {
   });
 }
 
+void CloneEngine::RecordCloneSpans(const CloneTiming& timing) {
+  // The engine charges the whole clone as one lump of virtual time, so the
+  // phase boundaries are reconstructed here from the per-phase costs the model
+  // already attributed — the spans are exactly the model's breakdown laid out
+  // sequentially from `started`, which is also the order the real control
+  // plane executed them.
+  TraceRecorder& trace = obs_.trace;
+  trace.RecordSpan(track_, CloneKindName(config_.kind), timing.started,
+                   timing.finished);
+  TimePoint cursor = timing.started;
+  for (int p = 0; p < static_cast<int>(ClonePhase::kNumPhases); ++p) {
+    const Duration cost = timing.phase[static_cast<size_t>(p)];
+    trace.RecordSpan(track_, ClonePhaseName(static_cast<ClonePhase>(p)), cursor,
+                     cursor + cost);
+    cursor = cursor + cost;
+  }
+  if (!timing.memory_copy.IsZero()) {
+    trace.RecordSpan(track_, "memory_copy", cursor, cursor + timing.memory_copy);
+    cursor = cursor + timing.memory_copy;
+  }
+  if (!timing.boot.IsZero()) {
+    trace.RecordSpan(track_, "guest_boot", cursor, cursor + timing.boot);
+  }
+}
+
 void CloneEngine::ExecuteDestroy(Job job) {
-  loop_->ScheduleAfter(config_.latency.domain_destroy, [this, job = std::move(job)]() {
+  const TimePoint begin = loop_->Now();
+  loop_->ScheduleAfter(config_.latency.domain_destroy,
+                       [this, job = std::move(job), begin]() {
     host_->DestroyVm(job.victim);
+    ++destroys_completed_;
+    m_destroyed_.Inc();
+    obs_.trace.RecordSpan(track_, "domain_destroy", begin, loop_->Now());
     if (job.destroy_callback) {
       job.destroy_callback();
     }

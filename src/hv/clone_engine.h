@@ -17,6 +17,7 @@
 #include "src/base/event_loop.h"
 #include "src/base/stats.h"
 #include "src/hv/physical_host.h"
+#include "src/obs/observability.h"
 
 namespace potemkin {
 
@@ -39,6 +40,11 @@ struct CloneEngineConfig {
   CloneLatencyModel latency;
   CloneKind kind = CloneKind::kFlash;
   int control_plane_workers = 1;
+  // Telemetry bundle; null falls back to Observability::Default().
+  Observability* obs = nullptr;
+  // Trace track every clone's phase spans are recorded on (one per engine, so
+  // per-host timelines stay separate in the Chrome trace).
+  std::string trace_track = "clone";
 };
 
 class CloneEngine {
@@ -59,6 +65,9 @@ class CloneEngine {
   size_t queue_depth() const { return queue_.size(); }
   uint64_t clones_completed() const { return clones_completed_; }
   uint64_t clones_failed() const { return clones_failed_; }
+  uint64_t destroys_completed() const { return destroys_completed_; }
+  // The trace track this engine records clone-phase spans on.
+  TraceRecorder::TrackId trace_track() const { return track_; }
   const Histogram& latency_histogram() const { return latency_hist_; }
   const Histogram& queue_wait_histogram() const { return queue_wait_hist_; }
 
@@ -81,14 +90,21 @@ class CloneEngine {
   void ExecuteClone(Job job);
   void ExecuteDestroy(Job job);
   void FinishWorker();
+  void RecordCloneSpans(const CloneTiming& timing);
 
   EventLoop* loop_;
   PhysicalHost* host_;
   CloneEngineConfig config_;
+  Observability& obs_;
+  TraceRecorder::TrackId track_;
+  Counter m_completed_;
+  Counter m_failed_;
+  Counter m_destroyed_;
   std::deque<Job> queue_;
   int busy_workers_ = 0;
   uint64_t clones_completed_ = 0;
   uint64_t clones_failed_ = 0;
+  uint64_t destroys_completed_ = 0;
   Histogram latency_hist_;     // clone start->finish, milliseconds
   Histogram queue_wait_hist_;  // request->start, milliseconds
 };

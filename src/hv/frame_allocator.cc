@@ -16,6 +16,35 @@ constexpr uint8_t kZeroPage[kPageSize] = {};
 FrameAllocator::FrameAllocator(uint64_t capacity_frames, ContentMode mode)
     : mode_(mode), capacity_frames_(capacity_frames) {}
 
+FrameAllocator::~FrameAllocator() {
+  if (export_registry_ != nullptr) {
+    export_registry_->RemoveProbes(this);
+  }
+}
+
+void FrameAllocator::ExportMetrics(MetricRegistry* registry,
+                                   const std::string& prefix) {
+  if (export_registry_ != nullptr) {
+    export_registry_->RemoveProbes(this);
+  }
+  export_registry_ = registry;
+  if (registry == nullptr) {
+    return;
+  }
+  registry->RegisterProbe(this, prefix + ".used_frames", "frames", [this] {
+    return static_cast<double>(used_frames_);
+  });
+  registry->RegisterProbe(this, prefix + ".peak_used_frames", "frames", [this] {
+    return static_cast<double>(peak_used_frames_);
+  });
+  registry->RegisterProbe(this, prefix + ".capacity_frames", "frames", [this] {
+    return static_cast<double>(capacity_frames_);
+  });
+  registry->RegisterProbe(this, prefix + ".cow_copies", "count", [this] {
+    return static_cast<double>(total_copies_);
+  });
+}
+
 FrameId FrameAllocator::AllocateZeroed() {
   if (used_frames_ >= capacity_frames_) {
     return kInvalidFrame;

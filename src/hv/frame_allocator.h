@@ -12,9 +12,11 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/hv/types.h"
+#include "src/obs/metric_registry.h"
 
 namespace potemkin {
 
@@ -29,6 +31,13 @@ class FrameAllocator {
  public:
   // `capacity_frames` models the host's physical memory size.
   FrameAllocator(uint64_t capacity_frames, ContentMode mode);
+  ~FrameAllocator();
+
+  // Registers cold-path probes (used/peak/capacity frames, CoW copy count)
+  // under `prefix` (e.g. "host0.mem"). Keyed by this allocator; the destructor
+  // removes them, so handing out the registry pointer is safe for any
+  // allocator lifetime.
+  void ExportMetrics(MetricRegistry* registry, const std::string& prefix);
 
   ContentMode mode() const { return mode_; }
 
@@ -79,6 +88,7 @@ class FrameAllocator {
 
   uint8_t* MaterializeData(Frame& frame);
 
+  MetricRegistry* export_registry_ = nullptr;
   DedupIndex* dedup_index_ = nullptr;
   ContentMode mode_;
   uint64_t capacity_frames_;

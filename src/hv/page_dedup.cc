@@ -79,6 +79,8 @@ DedupResult DeduplicatePages(PhysicalHost& host, DedupMode mode) {
     });
   });
   result.bytes_saved = result.frames_freed * kPageSize;
+  host.AccumulateDedup(result.pages_scanned, result.pages_merged,
+                       result.frames_freed);
   return result;
 }
 

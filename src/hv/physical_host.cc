@@ -31,6 +31,44 @@ PhysicalHost::PhysicalHost(const PhysicalHostConfig& config)
   }
 }
 
+PhysicalHost::~PhysicalHost() {
+  if (export_registry_ != nullptr) {
+    export_registry_->RemoveProbes(this);
+  }
+}
+
+void PhysicalHost::ExportMetrics(MetricRegistry* registry,
+                                 const std::string& prefix) {
+  if (export_registry_ != nullptr) {
+    export_registry_->RemoveProbes(this);
+  }
+  export_registry_ = registry;
+  allocator_.ExportMetrics(registry, prefix + ".mem");
+  if (registry == nullptr) {
+    return;
+  }
+  registry->RegisterProbe(this, prefix + ".vms.live", "vms", [this] {
+    return static_cast<double>(vms_.size());
+  });
+  registry->RegisterProbe(this, prefix + ".vms.peak", "vms", [this] {
+    return static_cast<double>(peak_live_vms_);
+  });
+  registry->RegisterProbe(this, prefix + ".pages.private", "pages", [this] {
+    return static_cast<double>(TotalPrivatePages());
+  });
+  registry->RegisterProbe(this, prefix + ".dedup.passes", "count", [this] {
+    return static_cast<double>(dedup_totals_.passes);
+  });
+  registry->RegisterProbe(this, prefix + ".dedup.pages_merged", "pages", [this] {
+    return static_cast<double>(dedup_totals_.pages_merged);
+  });
+  registry->RegisterProbe(this, prefix + ".dedup.frames_freed", "frames", [this] {
+    return static_cast<double>(dedup_totals_.frames_freed);
+  });
+  registry->RegisterProbe(this, prefix + ".dedup.hit_rate", "ratio",
+                          [this] { return dedup_totals_.HitRate(); });
+}
+
 ImageId PhysicalHost::RegisterImage(const ReferenceImageConfig& config,
                                     uint64_t disk_blocks) {
   auto image = std::make_unique<ReferenceImage>(&allocator_, config);

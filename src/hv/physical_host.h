@@ -42,9 +42,31 @@ struct PhysicalHostConfig {
   uint64_t admission_reserve_frames = 1024;
 };
 
+// Cumulative deduplication accounting across every pass run on a host, kept by
+// the host so the farm's dedup hit rate survives individual DedupResult values.
+struct DedupTotals {
+  uint64_t passes = 0;
+  uint64_t pages_scanned = 0;
+  uint64_t pages_merged = 0;
+  uint64_t frames_freed = 0;
+  // Fraction of scanned pages that merged — the "dedup hit rate" health signal.
+  double HitRate() const {
+    return pages_scanned == 0
+               ? 0.0
+               : static_cast<double>(pages_merged) /
+                     static_cast<double>(pages_scanned);
+  }
+};
+
 class PhysicalHost {
  public:
   explicit PhysicalHost(const PhysicalHostConfig& config);
+  ~PhysicalHost();
+
+  // Registers cold-path probes for this host (live VMs, private pages, memory
+  // via the frame allocator, dedup totals) under `prefix` (e.g. "host0").
+  // Probes are keyed by this host and removed on destruction.
+  void ExportMetrics(MetricRegistry* registry, const std::string& prefix);
 
   HostId id() const { return config_.id; }
   const std::string& name() const { return config_.name; }
@@ -81,6 +103,16 @@ class PhysicalHost {
   // Aggregate private (delta) pages across live VMs.
   uint64_t TotalPrivatePages() const;
 
+  // Called by DeduplicatePages after each pass.
+  void AccumulateDedup(uint64_t pages_scanned, uint64_t pages_merged,
+                       uint64_t frames_freed) {
+    ++dedup_totals_.passes;
+    dedup_totals_.pages_scanned += pages_scanned;
+    dedup_totals_.pages_merged += pages_merged;
+    dedup_totals_.frames_freed += frames_freed;
+  }
+  const DedupTotals& dedup_totals() const { return dedup_totals_; }
+
   // Iteration support for telemetry.
   template <typename Fn>
   void ForEachVm(Fn&& fn) {
@@ -108,6 +140,8 @@ class PhysicalHost {
   uint64_t total_created_ = 0;
   uint64_t total_failures_ = 0;
   uint64_t total_destroyed_ = 0;
+  DedupTotals dedup_totals_;
+  MetricRegistry* export_registry_ = nullptr;
 };
 
 }  // namespace potemkin

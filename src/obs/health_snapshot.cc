@@ -1,0 +1,130 @@
+#include "src/obs/health_snapshot.h"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "src/base/log.h"
+
+namespace potemkin {
+
+namespace {
+
+// Same escaping/formatting rules as bench/report.cc, so the snapshot JSON and
+// the BENCH reports stay byte-level comparable for tools that read both.
+void AppendJsonString(std::string& out, const std::string& value) {
+  out += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+void AppendJsonNumber(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    out += buffer;
+    return;
+  }
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out += buffer;
+}
+
+}  // namespace
+
+std::string HealthSnapshot::ToJson() const {
+  std::string out = "{\n  \"snapshot\": ";
+  AppendJsonString(out, source);
+  out += ",\n  \"schema_version\": ";
+  AppendJsonNumber(out, static_cast<double>(kSchemaVersion));
+  out += ",\n  \"sequence\": ";
+  AppendJsonNumber(out, static_cast<double>(sequence));
+  out += ",\n  \"time_ns\": ";
+  AppendJsonNumber(out, static_cast<double>(time_ns));
+  out += ",\n  \"metrics\": [";
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"metric\": ";
+    AppendJsonString(out, metrics[i].name);
+    out += ", \"value\": ";
+    AppendJsonNumber(out, metrics[i].value);
+    out += ", \"unit\": ";
+    AppendJsonString(out, metrics[i].unit);
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool HealthSnapshot::WriteJson(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return false;
+  }
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  return written == json.size();
+}
+
+HealthMonitor::HealthMonitor(EventLoop* loop, MetricRegistry* registry,
+                             std::string source)
+    : loop_(loop), registry_(registry), source_(std::move(source)) {
+  PK_CHECK(loop_ != nullptr) << "HealthMonitor needs an event loop";
+  PK_CHECK(registry_ != nullptr) << "HealthMonitor needs a registry";
+}
+
+HealthMonitor::~HealthMonitor() { Stop(); }
+
+void HealthMonitor::Start(Duration interval) {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  periodic_ = loop_->SchedulePeriodic(interval, [this] { SampleNow(); });
+}
+
+void HealthMonitor::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  loop_->Cancel(periodic_);
+  periodic_ = EventHandle{};
+}
+
+const HealthSnapshot& HealthMonitor::SampleNow() {
+  HealthSnapshot snapshot;
+  snapshot.source = source_;
+  snapshot.time_ns = loop_->Now().nanos();
+  snapshot.sequence = next_sequence_++;
+  snapshot.metrics = registry_->Collect();
+  history_.push_back(std::move(snapshot));
+  while (history_.size() > kMaxHistory) {
+    history_.pop_front();
+  }
+  if (sink_) {
+    sink_(history_.back());
+  }
+  return history_.back();
+}
+
+}  // namespace potemkin

@@ -1,0 +1,194 @@
+#include "src/obs/metric_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "src/base/log.h"
+
+namespace potemkin {
+
+namespace {
+// Shared sinks for default-constructed handles: recording into an unregistered
+// handle is harmless instead of a null deref, and the hot path needs no branch.
+std::atomic<uint64_t> g_counter_sink{0};
+std::atomic<int64_t> g_gauge_sink{0};
+std::atomic<uint64_t> g_histogram_sink[2]{};
+const double g_histogram_sink_bound[1] = {0.0};
+}  // namespace
+
+Counter::Counter() : cell_(&g_counter_sink) {}
+Gauge::Gauge() : cell_(&g_gauge_sink) {}
+FixedHistogram::FixedHistogram()
+    : bounds_(g_histogram_sink_bound), num_bounds_(1), counts_(g_histogram_sink) {}
+
+uint64_t FixedHistogram::count() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i <= num_bounds_; ++i) {
+    total += counts_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<double> LinearBuckets(double start, double width, size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(start + width * static_cast<double>(i));
+  }
+  return bounds;
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor, size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+Counter MetricRegistry::RegisterCounter(const std::string& name,
+                                        const std::string& unit) {
+  for (CounterSlot& slot : counters_) {
+    if (slot.name == name) {
+      return Counter(&slot.value);
+    }
+  }
+  counters_.emplace_back();
+  CounterSlot& slot = counters_.back();
+  slot.name = name;
+  slot.unit = unit;
+  return Counter(&slot.value);
+}
+
+Gauge MetricRegistry::RegisterGauge(const std::string& name,
+                                    const std::string& unit) {
+  for (GaugeSlot& slot : gauges_) {
+    if (slot.name == name) {
+      return Gauge(&slot.value);
+    }
+  }
+  gauges_.emplace_back();
+  GaugeSlot& slot = gauges_.back();
+  slot.name = name;
+  slot.unit = unit;
+  return Gauge(&slot.value);
+}
+
+FixedHistogram MetricRegistry::RegisterHistogram(const std::string& name,
+                                                 const std::string& unit,
+                                                 std::vector<double> bounds) {
+  PK_CHECK(!bounds.empty()) << "histogram " << name << " needs bucket bounds";
+  PK_CHECK(std::is_sorted(bounds.begin(), bounds.end()))
+      << "histogram " << name << " bounds must be increasing";
+  for (HistogramSlot& slot : histograms_) {
+    if (slot.name == name) {
+      PK_CHECK(slot.bounds == bounds)
+          << "histogram " << name << " re-registered with different bounds";
+      return FixedHistogram(slot.bounds.data(), slot.bounds.size(),
+                            &slot.counts[0]);
+    }
+  }
+  histograms_.emplace_back();
+  HistogramSlot& slot = histograms_.back();
+  slot.name = name;
+  slot.unit = unit;
+  slot.bounds = std::move(bounds);
+  // std::deque<atomic> cannot resize (atomics are not movable); grow in place.
+  for (size_t i = 0; i <= slot.bounds.size(); ++i) {
+    slot.counts.emplace_back(0);
+  }
+  return FixedHistogram(slot.bounds.data(), slot.bounds.size(), &slot.counts[0]);
+}
+
+void MetricRegistry::RegisterProbe(const void* owner, const std::string& name,
+                                   const std::string& unit,
+                                   std::function<double()> probe) {
+  probes_.push_back(ProbeSlot{owner, name, unit, std::move(probe)});
+}
+
+void MetricRegistry::RemoveProbes(const void* owner) {
+  std::erase_if(probes_, [owner](const ProbeSlot& p) { return p.owner == owner; });
+}
+
+std::vector<MetricRegistry::Sample> MetricRegistry::Collect() const {
+  std::vector<Sample> out;
+  out.reserve(counters_.size() + gauges_.size() + 4 * histograms_.size() +
+              probes_.size());
+  for (const CounterSlot& slot : counters_) {
+    out.push_back({slot.name,
+                   static_cast<double>(slot.value.load(std::memory_order_relaxed)),
+                   slot.unit});
+  }
+  for (const GaugeSlot& slot : gauges_) {
+    out.push_back({slot.name,
+                   static_cast<double>(slot.value.load(std::memory_order_relaxed)),
+                   slot.unit});
+  }
+  for (const HistogramSlot& slot : histograms_) {
+    uint64_t total = 0;
+    for (const auto& cell : slot.counts) {
+      total += cell.load(std::memory_order_relaxed);
+    }
+    auto quantile = [&](double q) -> double {
+      if (total == 0) {
+        return 0.0;
+      }
+      // Rank of the q-quantile element (0-based): for q=1 this is the last
+      // sample, so the scan stops at the highest non-empty bucket instead of
+      // falling through to the overall last bound.
+      const uint64_t rank = static_cast<uint64_t>(
+                                std::ceil(q * static_cast<double>(total))) -
+                            1;
+      uint64_t seen = 0;
+      for (size_t i = 0; i < slot.counts.size(); ++i) {
+        seen += slot.counts[i].load(std::memory_order_relaxed);
+        if (seen > rank) {
+          // Upper bound of the bucket; the overflow bucket reports its lower
+          // bound (the largest registered bound) — fixed buckets trade tail
+          // resolution for a zero-cost record.
+          return slot.bounds[std::min(i, slot.bounds.size() - 1)];
+        }
+      }
+      return slot.bounds.back();
+    };
+    out.push_back({slot.name + "_count", static_cast<double>(total), "count"});
+    out.push_back({slot.name + "_p50", quantile(0.50), slot.unit});
+    out.push_back({slot.name + "_p99", quantile(0.99), slot.unit});
+    out.push_back({slot.name + "_max", quantile(1.0), slot.unit});
+  }
+  // Probes: registration order, later same-name registrations replace earlier
+  // samples in place (the newest live instance wins).
+  std::unordered_map<std::string, size_t> probe_at;
+  for (const ProbeSlot& slot : probes_) {
+    const Sample sample{slot.name, slot.probe(), slot.unit};
+    auto [it, inserted] = probe_at.emplace(slot.name, out.size());
+    if (inserted) {
+      out.push_back(sample);
+    } else {
+      out[it->second] = sample;
+    }
+  }
+  return out;
+}
+
+double MetricRegistry::ValueOf(const std::string& name) const {
+  for (const Sample& sample : Collect()) {
+    if (sample.name == name) {
+      return sample.value;
+    }
+  }
+  return 0.0;
+}
+
+MetricRegistry& MetricRegistry::Default() {
+  // Leaked for the same reason as PacketPool::Default(): handles may be used
+  // from destructors of statics during teardown.
+  static MetricRegistry* const registry = new MetricRegistry();
+  return *registry;
+}
+
+}  // namespace potemkin

@@ -1,0 +1,180 @@
+// Farm-wide metric registry: the single telemetry surface every component
+// reports through, designed so that instrumenting a hot path costs one relaxed
+// atomic add and nothing else.
+//
+// The registry separates *registration* (cold: may allocate, happens once per
+// component construction) from *recording* (hot: zero allocations, zero locks,
+// no branches on registry internals). Registration hands back a small handle —
+// `Counter`, `Gauge`, or `FixedHistogram` — that points directly at atomic
+// storage owned by the registry; the handle's increment methods compile down to
+// a single `fetch_add(std::memory_order_relaxed)` on a pre-resolved address.
+// Storage lives in deques, whose elements never move, so handles stay valid for
+// the registry's lifetime no matter how many metrics register after them.
+//
+// Three metric kinds cover the farm:
+//   * Counter        — monotone event count (packets delivered, clones done)
+//   * Gauge          — instantaneous signed level (queue depth)
+//   * FixedHistogram — distribution over fixed, registration-time bucket
+//                      bounds (batch bin sizes, frame bytes); recording scans
+//                      a handful of bounds and does one atomic add
+//
+// plus *probes*: named callbacks sampled only when a snapshot is taken, for
+// components that already keep their own counters (binding-table load factor,
+// pool occupancy, containment verdicts). A probe costs its owner nothing on the
+// packet path. Probes capture component pointers, so owners MUST call
+// `RemoveProbes(owner)` from their destructor (the instrumented components in
+// this repo all do).
+//
+// Registering the same name twice returns a handle to the same storage —
+// multiple instances of a component (common in tests sharing the process-wide
+// default registry) aggregate rather than collide.
+#ifndef SRC_OBS_METRIC_REGISTRY_H_
+#define SRC_OBS_METRIC_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace potemkin {
+
+class MetricRegistry;
+
+// Handle to a monotone counter. Default-constructed handles target a shared
+// sink cell, so an uninstrumented component never branches or faults.
+class Counter {
+ public:
+  Counter();
+  void Inc(uint64_t n = 1) { cell_->fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return cell_->load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricRegistry;
+  explicit Counter(std::atomic<uint64_t>* cell) : cell_(cell) {}
+  std::atomic<uint64_t>* cell_;
+};
+
+// Handle to an instantaneous signed level.
+class Gauge {
+ public:
+  Gauge();
+  void Set(int64_t v) { cell_->store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { cell_->fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return cell_->load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricRegistry;
+  explicit Gauge(std::atomic<int64_t>* cell) : cell_(cell) {}
+  std::atomic<int64_t>* cell_;
+};
+
+// Handle to a histogram over fixed bucket bounds. `Record` places the value in
+// the first bucket whose upper bound admits it (the last bucket is unbounded)
+// with a short linear scan over the registration-time bounds — bounded work,
+// no allocation, one relaxed atomic add.
+class FixedHistogram {
+ public:
+  FixedHistogram();
+  void Record(double value) {
+    size_t i = 0;
+    while (i < num_bounds_ && value > bounds_[i]) {
+      ++i;
+    }
+    counts_[i].fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t count() const;
+
+ private:
+  friend class MetricRegistry;
+  FixedHistogram(const double* bounds, size_t num_bounds,
+                 std::atomic<uint64_t>* counts)
+      : bounds_(bounds), num_bounds_(num_bounds), counts_(counts) {}
+  const double* bounds_;
+  size_t num_bounds_;
+  std::atomic<uint64_t>* counts_;  // num_bounds_ + 1 cells
+};
+
+// Convenience bucket-bound builders for RegisterHistogram.
+std::vector<double> LinearBuckets(double start, double width, size_t count);
+std::vector<double> ExponentialBuckets(double start, double factor, size_t count);
+
+class MetricRegistry {
+ public:
+  struct Sample {
+    std::string name;
+    double value = 0.0;
+    std::string unit;
+  };
+
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  // ---- Registration (cold path; may allocate) ----
+  Counter RegisterCounter(const std::string& name, const std::string& unit);
+  Gauge RegisterGauge(const std::string& name, const std::string& unit);
+  // `bounds` must be strictly increasing; an implicit overflow bucket is added.
+  FixedHistogram RegisterHistogram(const std::string& name,
+                                   const std::string& unit,
+                                   std::vector<double> bounds);
+  // Registers a callback sampled at Collect() time. `owner` keys removal; the
+  // callback must stay valid until RemoveProbes(owner).
+  void RegisterProbe(const void* owner, const std::string& name,
+                     const std::string& unit, std::function<double()> probe);
+  // Drops every probe registered under `owner` (called from owner destructors).
+  void RemoveProbes(const void* owner);
+
+  // ---- Collection (snapshot path; never taken per packet) ----
+  // Counters and gauges emit one sample each; histograms emit `<name>_count`,
+  // `<name>_p50`, `<name>_p99`, and `<name>_max` (bucket-upper-bound
+  // estimates); probes emit their sampled value. Duplicate probe names keep
+  // the most recent registration. Order is registration order.
+  std::vector<Sample> Collect() const;
+
+  // Cold lookup of a single collected value by name (tests, benches).
+  // Returns 0.0 when absent.
+  double ValueOf(const std::string& name) const;
+
+  size_t counter_count() const { return counters_.size(); }
+  size_t probe_count() const { return probes_.size(); }
+
+  // Process-wide registry used by components not wired to an explicit one.
+  static MetricRegistry& Default();
+
+ private:
+  struct CounterSlot {
+    std::string name;
+    std::string unit;
+    std::atomic<uint64_t> value{0};
+  };
+  struct GaugeSlot {
+    std::string name;
+    std::string unit;
+    std::atomic<int64_t> value{0};
+  };
+  struct HistogramSlot {
+    std::string name;
+    std::string unit;
+    std::vector<double> bounds;
+    std::deque<std::atomic<uint64_t>> counts;  // bounds.size() + 1, stable
+  };
+  struct ProbeSlot {
+    const void* owner;
+    std::string name;
+    std::string unit;
+    std::function<double()> probe;
+  };
+
+  // Deques: element addresses are stable across growth, which is what keeps
+  // previously handed-out handles valid.
+  std::deque<CounterSlot> counters_;
+  std::deque<GaugeSlot> gauges_;
+  std::deque<HistogramSlot> histograms_;
+  std::vector<ProbeSlot> probes_;
+};
+
+}  // namespace potemkin
+
+#endif  // SRC_OBS_METRIC_REGISTRY_H_

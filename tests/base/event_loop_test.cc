@@ -166,6 +166,35 @@ TEST(EventLoopTest, PeriodicCancelledFromOwnCallbackStops) {
   EXPECT_TRUE(loop.Empty());
 }
 
+TEST(EventLoopTest, PeriodicSelfCancelFreesSlotWithoutRearming) {
+  // The footgun: a periodic callback cancelling its own handle mid-fire. The
+  // series must not re-arm, the slot must be reclaimed (not leaked), and a new
+  // event scheduled from the same callback may legally reuse that slot without
+  // the dead series resurrecting through it.
+  EventLoop loop;
+  int periodic_fired = 0;
+  int replacement_fired = 0;
+  EventHandle handle;
+  handle = loop.SchedulePeriodic(Duration::Nanos(10), [&] {
+    ++periodic_fired;
+    EXPECT_TRUE(loop.Cancel(handle));
+    EXPECT_FALSE(loop.Cancel(handle));  // second cancel must be a no-op
+    // Reuses the just-freed slot; the old series' re-arm check must see the
+    // bumped generation and leave this replacement alone.
+    loop.SchedulePeriodic(Duration::Nanos(10), [&] {
+      if (++replacement_fired == 3) {
+        loop.Cancel(handle);  // stale handle: must not kill the replacement
+      }
+    });
+  });
+  EXPECT_EQ(loop.slab_slots(), 1u);
+  loop.RunFor(Duration::Nanos(100));
+  EXPECT_EQ(periodic_fired, 1);       // cancelled mid-fire: never re-armed
+  EXPECT_GE(replacement_fired, 5);    // survived the stale-handle cancel
+  EXPECT_EQ(loop.slab_slots(), 1u);   // slot recycled, not leaked
+  EXPECT_EQ(loop.pending_events(), 1u);
+}
+
 TEST(EventLoopTest, StaleHandleCannotCancelRecycledSlot) {
   EventLoop loop;
   bool second_ran = false;

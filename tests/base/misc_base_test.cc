@@ -81,6 +81,60 @@ TEST(TokenBucketTest, AvailableAtPredictsRefill) {
   EXPECT_NEAR((when - now).seconds(), 0.5, 1e-6);
 }
 
+TEST(TokenBucketTest, ZeroRateNeverRefills) {
+  TokenBucket bucket(0.0, 2.0);
+  TimePoint now;
+  EXPECT_TRUE(bucket.TryConsume(now));
+  EXPECT_TRUE(bucket.TryConsume(now));
+  EXPECT_FALSE(bucket.TryConsume(now));
+  now += Duration::Hours(1000);
+  EXPECT_FALSE(bucket.TryConsume(now));
+  EXPECT_EQ(bucket.AvailableAt(now, 1.0), TimePoint::Max());
+}
+
+TEST(TokenBucketTest, ZeroBurstNeverAdmits) {
+  TokenBucket bucket(100.0, 0.0);
+  TimePoint now;
+  EXPECT_FALSE(bucket.TryConsume(now));
+  now += Duration::Hours(1);
+  EXPECT_FALSE(bucket.TryConsume(now));
+  EXPECT_NEAR(bucket.available(now), 0.0, 1e-12);
+}
+
+TEST(TokenBucketTest, RequestAboveBurstIsNeverSatisfiable) {
+  TokenBucket bucket(10.0, 5.0);
+  TimePoint now;
+  // A finite AvailableAt here would name a time at which refills (capped at
+  // the burst) still could not cover the request.
+  EXPECT_EQ(bucket.AvailableAt(now, 6.0), TimePoint::Max());
+  EXPECT_FALSE(bucket.TryConsume(now, 6.0));
+}
+
+TEST(TokenBucketTest, LargeTimeJumpSaturatesAtBurst) {
+  TokenBucket bucket(1e9, 4.0);
+  TimePoint now;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(bucket.TryConsume(now));
+  }
+  // Centuries of virtual time at a gigatoken rate: the refill math must not
+  // overflow or go non-finite, just clamp to the burst.
+  now += Duration::Hours(24.0 * 365 * 200);
+  EXPECT_NEAR(bucket.available(now), 4.0, 1e-9);
+  EXPECT_TRUE(bucket.TryConsume(now, 4.0));
+  EXPECT_FALSE(bucket.TryConsume(now));
+}
+
+TEST(TokenBucketTest, TimeGoingBackwardsDoesNotRefill) {
+  TokenBucket bucket(10.0, 5.0);
+  TimePoint now = TimePoint::FromNanos(1000000000);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(bucket.TryConsume(now));
+  }
+  // An out-of-order (earlier) timestamp must not mint tokens.
+  EXPECT_FALSE(bucket.TryConsume(TimePoint::FromNanos(0)));
+  EXPECT_FALSE(bucket.TryConsume(now));
+}
+
 TEST(FlagsTest, ParsesAllForms) {
   const char* argv[] = {"prog",      "--alpha=1", "--beta",      "2",
                         "--gamma",   "--no-delta", "positional", "--rate=2.5"};

@@ -25,6 +25,7 @@
 #include "src/gateway/gateway.h"
 #include "src/net/checksum.h"
 #include "src/net/packet_pool.h"
+#include "src/obs/observability.h"
 
 namespace {
 std::atomic<uint64_t> g_heap_allocations{0};
@@ -109,8 +110,13 @@ class DropBackend : public GatewayBackend {
 TEST(ZeroAllocTest, SteadyStateHitPathDoesNotTouchTheHeap) {
   EventLoop loop;
   DropBackend backend;
+  // Metrics explicitly enabled: the observability layer's hot-path recording
+  // (counter increments, histogram buckets) must preserve the zero-allocation
+  // invariant, not just "metrics off" configurations.
+  Observability obs;
   GatewayConfig config;
   config.farm_prefix = kFarm;
+  config.obs = &obs;
   Gateway gateway(&loop, config, &backend);
 
   constexpr uint32_t kBindings = 64;
@@ -129,6 +135,14 @@ TEST(ZeroAllocTest, SteadyStateHitPathDoesNotTouchTheHeap) {
   }
   ASSERT_EQ(backend.delivered_, 4096u);
 
+  // Registry baselines first: ValueOf() walks a Collect() snapshot, which
+  // allocates — it must stay outside the measured window.
+  const uint64_t rx_before =
+      static_cast<uint64_t>(obs.metrics.ValueOf("gateway.rx.packets"));
+  const uint64_t hit_before =
+      static_cast<uint64_t>(obs.metrics.ValueOf("gateway.rx.hit"));
+  const uint64_t frames_before =
+      static_cast<uint64_t>(obs.metrics.ValueOf("gateway.rx.frame_bytes_count"));
   const uint64_t heap_before = g_heap_allocations.load();
   const PacketPool::Stats pool_before = PacketPool::Default().stats();
   constexpr uint32_t kMeasured = 4096;
@@ -140,6 +154,18 @@ TEST(ZeroAllocTest, SteadyStateHitPathDoesNotTouchTheHeap) {
 
   EXPECT_EQ(heap_after - heap_before, 0u)
       << "steady-state hit path allocated on the heap";
+  // The registry saw every packet exactly once on each instrument it crossed
+  // (ValueOf itself allocates, which is why it sits outside the window).
+  EXPECT_EQ(static_cast<uint64_t>(obs.metrics.ValueOf("gateway.rx.packets")) -
+                rx_before,
+            kMeasured);
+  EXPECT_EQ(static_cast<uint64_t>(obs.metrics.ValueOf("gateway.rx.hit")) -
+                hit_before,
+            kMeasured);
+  EXPECT_EQ(static_cast<uint64_t>(
+                obs.metrics.ValueOf("gateway.rx.frame_bytes_count")) -
+                frames_before,
+            kMeasured);
   // Every frame came from (and went back to) the pool freelists.
   EXPECT_EQ(pool_after.allocations, pool_before.allocations);
   EXPECT_EQ(pool_after.pool_hits - pool_before.pool_hits, kMeasured);

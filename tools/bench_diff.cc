@@ -1,11 +1,13 @@
 // Compares two BENCH_<name>.json perf-trajectory reports (see bench/report.h)
-// metric by metric and prints the deltas. Exit status encodes the verdict so
-// CI can distinguish "slower" from "broken":
+// or two HealthSnapshot JSON files (see src/obs/health_snapshot.h) metric by
+// metric and prints the deltas. Exit status encodes the verdict so CI can
+// distinguish "slower" from "broken":
 //
 //   0  every shared metric within threshold (or improved)
 //   1  at least one metric regressed beyond the threshold
-//   2  schema mismatch: unreadable file, missing report keys, no metrics, or
-//      a baseline metric absent from the candidate
+//   2  schema mismatch: unreadable file, missing report keys, no metrics, an
+//      unsupported snapshot schema_version, or a baseline metric absent from
+//      the candidate
 //
 // Usage:
 //   bench_diff [--threshold=0.10] baseline.json candidate.json
@@ -24,6 +26,11 @@
 
 namespace potemkin {
 namespace {
+
+// HealthSnapshot JSON layout version this tool understands (must match
+// HealthSnapshot::kSchemaVersion; duplicated here so the tool stays a single
+// dependency-free translation unit).
+constexpr int kSnapshotSchemaVersion = 1;
 
 struct Metric {
   std::string name;
@@ -88,11 +95,28 @@ bool ParseReport(const char* path, Report* out) {
     std::fprintf(stderr, "bench_diff: cannot read %s\n", path);
     return false;
   }
-  out->benchmark = FindStringValue(text, "benchmark", 0, text.size());
   const size_t metrics = text.find("\"metrics\"");
+  const size_t header = metrics == std::string::npos ? text.size() : metrics;
+  // A BENCH report names itself with "benchmark"; a HealthSnapshot with
+  // "snapshot". Both carry the same flat metric-row array.
+  out->benchmark = FindStringValue(text, "benchmark", 0, header);
+  if (out->benchmark.empty()) {
+    out->benchmark = FindStringValue(text, "snapshot", 0, header);
+    if (!out->benchmark.empty()) {
+      const double version = FindNumberValue(text, "schema_version", 0, header);
+      if (!(version == static_cast<double>(kSnapshotSchemaVersion))) {
+        std::fprintf(stderr,
+                     "bench_diff: %s has unsupported snapshot schema_version "
+                     "%g (understood: %d)\n",
+                     path, version, kSnapshotSchemaVersion);
+        return false;
+      }
+    }
+  }
   if (out->benchmark.empty() || metrics == std::string::npos) {
-    std::fprintf(stderr, "bench_diff: %s is not a BENCH report (missing "
-                 "\"benchmark\"/\"metrics\")\n", path);
+    std::fprintf(stderr, "bench_diff: %s is not a BENCH report or health "
+                 "snapshot (missing \"benchmark\"/\"snapshot\"/\"metrics\")\n",
+                 path);
     return false;
   }
   for (size_t open = text.find('{', metrics); open != std::string::npos;

@@ -1,0 +1,216 @@
+// Dumps a versioned farm HealthSnapshot (see src/obs/health_snapshot.h).
+//
+// With no file argument it runs a small deterministic demo farm — a /24 across
+// two hosts, a burst of first-contact probes, repeat traffic, and an idle-out
+// period so the recycler fires — then prints the final snapshot. Given a file,
+// it pretty-prints an existing snapshot JSON instead. Exit status:
+//
+//   0  snapshot produced / parsed and printed
+//   2  file unreadable, not a HealthSnapshot, or unsupported schema_version
+//
+// Usage:
+//   metrics_dump [--json] [--out=PATH] [snapshot.json]
+//
+//   --json       emit the raw versioned JSON on stdout instead of the table
+//   --out=PATH   additionally write the snapshot JSON to PATH
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/base/flags.h"
+#include "src/base/strings.h"
+#include "src/base/table.h"
+#include "src/core/honeyfarm.h"
+#include "src/obs/health_snapshot.h"
+
+namespace potemkin {
+namespace {
+
+std::string FormatValue(double value) {
+  if (std::floor(value) == value && std::fabs(value) < 1e15) {
+    return StrFormat("%.0f", value);
+  }
+  return StrFormat("%.6g", value);
+}
+
+void PrintSnapshot(const HealthSnapshot& snapshot) {
+  std::printf("snapshot: %s  (schema v%d, sequence %llu, t=%.3fs virtual)\n",
+              snapshot.source.c_str(), HealthSnapshot::kSchemaVersion,
+              static_cast<unsigned long long>(snapshot.sequence),
+              static_cast<double>(snapshot.time_ns) / 1e9);
+  Table table({"metric", "value", "unit"});
+  for (const auto& sample : snapshot.metrics) {
+    table.AddRow({sample.name, FormatValue(sample.value), sample.unit});
+  }
+  std::printf("%s", table.ToAscii().c_str());
+  std::printf("%zu metrics\n", snapshot.metrics.size());
+}
+
+// ---- Existing-file mode: the same deliberate string scan as bench_diff ----
+
+std::string ReadAll(const char* path) {
+  std::FILE* file = std::fopen(path, "rb");
+  if (file == nullptr) {
+    return "";
+  }
+  std::string text;
+  char buffer[4096];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, got);
+  }
+  std::fclose(file);
+  return text;
+}
+
+std::string FindStringValue(const std::string& text, const std::string& key,
+                            size_t from, size_t until) {
+  const std::string needle = "\"" + key + "\"";
+  const size_t at = text.find(needle, from);
+  if (at == std::string::npos || at >= until) {
+    return "";
+  }
+  size_t cursor = text.find('"', text.find(':', at + needle.size()));
+  if (cursor == std::string::npos || cursor >= until) {
+    return "";
+  }
+  std::string value;
+  for (++cursor; cursor < until && text[cursor] != '"'; ++cursor) {
+    value += text[cursor];
+  }
+  return value;
+}
+
+double FindNumberValue(const std::string& text, const std::string& key,
+                       size_t from, size_t until) {
+  const std::string needle = "\"" + key + "\"";
+  const size_t at = text.find(needle, from);
+  if (at == std::string::npos || at >= until) {
+    return std::strtod("nan", nullptr);
+  }
+  const size_t colon = text.find(':', at + needle.size());
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+int PrintSnapshotFile(const char* path) {
+  const std::string text = ReadAll(path);
+  if (text.empty()) {
+    std::fprintf(stderr, "metrics_dump: cannot read %s\n", path);
+    return 2;
+  }
+  const size_t metrics_at = text.find("\"metrics\"");
+  const size_t header = metrics_at == std::string::npos ? text.size() : metrics_at;
+  HealthSnapshot snapshot;
+  snapshot.source = FindStringValue(text, "snapshot", 0, header);
+  if (snapshot.source.empty() || metrics_at == std::string::npos) {
+    std::fprintf(stderr, "metrics_dump: %s is not a HealthSnapshot (missing "
+                 "\"snapshot\"/\"metrics\")\n", path);
+    return 2;
+  }
+  const double version = FindNumberValue(text, "schema_version", 0, header);
+  if (!(version == static_cast<double>(HealthSnapshot::kSchemaVersion))) {
+    std::fprintf(stderr,
+                 "metrics_dump: %s has unsupported snapshot schema_version %g "
+                 "(understood: %d)\n",
+                 path, version, HealthSnapshot::kSchemaVersion);
+    return 2;
+  }
+  const double sequence = FindNumberValue(text, "sequence", 0, header);
+  const double time_ns = FindNumberValue(text, "time_ns", 0, header);
+  snapshot.sequence = sequence == sequence ? static_cast<uint64_t>(sequence) : 0;
+  snapshot.time_ns = time_ns == time_ns ? static_cast<int64_t>(time_ns) : 0;
+  for (size_t open = text.find('{', metrics_at); open != std::string::npos;
+       open = text.find('{', open + 1)) {
+    const size_t close = text.find('}', open);
+    if (close == std::string::npos) {
+      break;
+    }
+    MetricRegistry::Sample sample;
+    sample.name = FindStringValue(text, "metric", open, close);
+    sample.value = FindNumberValue(text, "value", open, close);
+    sample.unit = FindStringValue(text, "unit", open, close);
+    if (sample.name.empty() || sample.value != sample.value) {
+      std::fprintf(stderr, "metrics_dump: malformed metric entry in %s\n", path);
+      return 2;
+    }
+    snapshot.metrics.push_back(std::move(sample));
+    open = close;
+  }
+  PrintSnapshot(snapshot);
+  return 0;
+}
+
+// ---- Demo-farm mode ----
+
+Packet Probe(Ipv4Address src, Ipv4Address dst, uint16_t port) {
+  PacketSpec spec;
+  spec.src_mac = MacAddress::FromId(0xbad);
+  spec.dst_mac = MacAddress::FromId(1);
+  spec.src_ip = src;
+  spec.dst_ip = dst;
+  spec.proto = IpProto::kTcp;
+  spec.src_port = 51234;
+  spec.dst_port = port;
+  spec.tcp_flags = TcpFlags::kSyn;
+  return BuildPacket(spec);
+}
+
+HealthSnapshot RunDemoFarm() {
+  const Ipv4Prefix prefix(Ipv4Address(10, 1, 0, 0), 24);
+  HoneyfarmConfig config =
+      MakeDefaultFarmConfig(prefix, /*num_hosts=*/2, /*host_memory_mb=*/512,
+                            ContentMode::kMetadataOnly);
+  config.gateway.recycle.idle_timeout = Duration::Seconds(5);
+  config.gateway.recycle.scan_interval = Duration::Seconds(1);
+
+  Honeyfarm farm(config);
+  farm.Start();
+  farm.StartHealthSnapshots(Duration::Seconds(1));
+
+  // First contacts on eight addresses: eight flash clones.
+  for (uint32_t i = 0; i < 8; ++i) {
+    farm.InjectInbound(Probe(Ipv4Address(198, 51, 100, static_cast<uint8_t>(10 + i)),
+                             prefix.AddressAt(i), 445));
+  }
+  farm.RunFor(Duration::Seconds(2));
+  // Repeat traffic to the now-live bindings: hit-path deliveries.
+  for (uint32_t i = 0; i < 8; ++i) {
+    farm.InjectInbound(Probe(Ipv4Address(198, 51, 100, static_cast<uint8_t>(10 + i)),
+                             prefix.AddressAt(i), 445));
+  }
+  // Idle out so the recycler retires every VM.
+  farm.RunFor(Duration::Seconds(10));
+  return farm.health().SampleNow();
+}
+
+int Run(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  if (!flags.positional().empty()) {
+    return PrintSnapshotFile(flags.positional()[0].c_str());
+  }
+
+  const HealthSnapshot snapshot = RunDemoFarm();
+  const std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    if (!snapshot.WriteJson(out)) {
+      std::fprintf(stderr, "metrics_dump: cannot write %s\n", out.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "metrics_dump: wrote %s\n", out.c_str());
+  }
+  if (flags.GetBool("json", false)) {
+    std::printf("%s", snapshot.ToJson().c_str());
+  } else {
+    PrintSnapshot(snapshot);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace potemkin
+
+int main(int argc, char** argv) {
+  return potemkin::Run(argc, argv);
+}
