@@ -14,7 +14,9 @@
 #include "src/net/flow.h"
 #include "src/net/packet.h"
 #include "src/net/packet_pool.h"
+#include "src/obs/event_ledger.h"
 #include "src/obs/observability.h"
+#include "src/obs/watchdog.h"
 
 namespace potemkin {
 namespace {
@@ -325,6 +327,52 @@ void BM_ObsHistogramRecord(benchmark::State& state) {
   benchmark::DoNotOptimize(histogram.count());
 }
 BENCHMARK(BM_ObsHistogramRecord);
+
+void BM_LedgerAppend(benchmark::State& state) {
+  // The forensic record every delivered packet pays: one in-place ring write.
+  // Runs long past capacity so the steady state measured is the wrapping
+  // (evicting) ring, exactly as on a loaded farm.
+  EventLedger ledger(8192);
+  int64_t now = 0;
+  uint32_t salt = 0;
+  for (auto _ : state) {
+    ++salt;
+    ledger.Append(LedgerEvent::kPacketDelivered,
+                  static_cast<SessionId>(1 + (salt & 0xff)), now += 50,
+                  0xc6330000u + salt, 418);
+  }
+  benchmark::DoNotOptimize(ledger.appended());
+}
+BENCHMARK(BM_LedgerAppend);
+
+void BM_WatchdogEvaluate(benchmark::State& state) {
+  // One full sweep of the starter rule set over a realistically sized
+  // snapshot. Paid once per health sample (1 Hz virtual), not per packet —
+  // this pins the trajectory of rule evaluation, which scans the metric rows
+  // per rule. Values sit inside every hysteresis band so no transition (and
+  // no ledger write) happens in the loop.
+  Watchdog dog;
+  dog.AddRules(DefaultFarmRules());
+  HealthSnapshot snapshot;
+  snapshot.source = "bench";
+  snapshot.metrics.push_back({"clone.latency_ms_p99", 40.0, "ms"});
+  snapshot.metrics.push_back({"farm.mem.frame_watermark", 0.4, "ratio"});
+  snapshot.metrics.push_back({"gateway.recycle.backlog", 3.0, "count"});
+  snapshot.metrics.push_back(
+      {"gateway.containment.escapes_from_infected", 0.0, "count"});
+  snapshot.metrics.push_back({"gateway.drops.total", 0.0, "count"});
+  for (uint32_t i = 0; i < 40; ++i) {  // filler rows the rules must skip past
+    snapshot.metrics.push_back(
+        {"farm.filler." + std::to_string(i), static_cast<double>(i), "count"});
+  }
+  int64_t t = 0;
+  for (auto _ : state) {
+    snapshot.time_ns = t += 1000000000;
+    dog.Evaluate(snapshot);
+  }
+  benchmark::DoNotOptimize(dog.evaluations());
+}
+BENCHMARK(BM_WatchdogEvaluate);
 
 void BM_ObsSpanBeginEnd(benchmark::State& state) {
   TraceRecorder recorder;

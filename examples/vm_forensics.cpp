@@ -1,7 +1,7 @@
 // Forensics workflow: catch a worm, archive the infected VM, resurrect it in a
 // lab for offline analysis.
 //
-//   ./forensics [--dir /tmp]
+//   ./vm_forensics [--dir /tmp]
 //
 // Steps shown:
 //   1. a farm (drop-all containment, forensics enabled) is probed and exploited

@@ -2,10 +2,17 @@
 // each containment policy does to it, live.
 //
 //   ./worm_outbreak [--policy open|drop|reflect] [--minutes 3] [--worm slammer|blaster|codered]
+//                   [--postmortem-dir DIR]
 //
 // With --policy reflect (the default) the worm's Internet-bound scans are folded
 // back into the farm, infecting fresh honeypots: the epidemic you watch is the
 // worm's *real* propagation behaviour, contained.
+//
+// With --postmortem-dir the farm flies instrumented: the SLO watchdog runs at
+// 1 Hz and the flight recorder is armed, so any containment breach (try
+// --policy open) drops a self-contained post-mortem JSON into DIR. The full
+// event ledger (ledger.jsonl) and final health snapshot (snapshot.json) land
+// there too for offline forensics.
 #include <cstdio>
 
 #include "src/base/flags.h"
@@ -19,6 +26,7 @@ int main(int argc, char** argv) {
   const std::string policy = flags.GetString("policy", "reflect");
   const double minutes = flags.GetDouble("minutes", 3.0);
   const std::string strain = flags.GetString("worm", "slammer");
+  const std::string postmortem_dir = flags.GetString("postmortem-dir", "");
 
   OutboundMode mode = OutboundMode::kReflect;
   if (policy == "open") {
@@ -38,8 +46,20 @@ int main(int argc, char** argv) {
   config.gateway.recycle.idle_timeout = Duration::Minutes(10);
   config.gateway.recycle.infected_hold = Duration::Minutes(30);
   config.gateway.recycle.max_lifetime = Duration::Zero();
+  if (!postmortem_dir.empty()) {
+    // Forensic flight: size the ledger for the whole outbreak so the exported
+    // JSONL holds every event, not just the tail of the default ring.
+    config.ledger_capacity = 1u << 18;
+  }
 
   Honeyfarm farm(config);
+  if (!postmortem_dir.empty()) {
+    farm.StartWatchdog(Duration::Seconds(1));
+    FlightRecorderConfig recorder_config;
+    recorder_config.output_dir = postmortem_dir;
+    recorder_config.prefix = "worm_outbreak";
+    farm.ArmFlightRecorder(recorder_config);
+  }
 
   // The worm believes it is scanning the whole Internet.
   const Ipv4Prefix internet(Ipv4Address(0, 0, 0, 0), 0);
@@ -90,5 +110,21 @@ int main(int argc, char** argv) {
               "real Internet (%s)\n",
               static_cast<unsigned long long>(c.escapes_from_infected),
               c.escapes_from_infected == 0 ? "CONTAINED" : "ESCAPED");
+
+  if (!postmortem_dir.empty()) {
+    farm.ledger().WriteJsonLines(postmortem_dir + "/ledger.jsonl");
+    farm.health().SampleNow().WriteJson(postmortem_dir + "/snapshot.json");
+    const FlightRecorder* recorder = farm.flight_recorder();
+    std::printf("\nforensics: %llu ledger events -> %s/ledger.jsonl\n",
+                static_cast<unsigned long long>(farm.ledger().appended()),
+                postmortem_dir.c_str());
+    if (recorder->dumps_written() > 0) {
+      std::printf("flight recorder tripped %llu time(s); last artifact: %s\n",
+                  static_cast<unsigned long long>(recorder->dumps_written()),
+                  recorder->last_path().c_str());
+    } else {
+      std::printf("flight recorder armed, never tripped (no breach/alert)\n");
+    }
+  }
   return 0;
 }

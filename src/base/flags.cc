@@ -35,6 +35,15 @@ Flags Flags::Parse(int argc, char** argv) {
 
 bool Flags::Has(const std::string& name) const { return values_.count(name) > 0; }
 
+std::vector<std::string> Flags::Names() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [name, value] : values_) {
+    names.push_back(name);  // std::map iteration is already sorted
+  }
+  return names;
+}
+
 std::string Flags::GetString(const std::string& name,
                              const std::string& default_value) const {
   auto it = values_.find(name);

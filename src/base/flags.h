@@ -27,6 +27,10 @@ class Flags {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  // Every flag name that was present on the command line, sorted. Lets tools
+  // reject unknown flags instead of silently ignoring typos.
+  std::vector<std::string> Names() const;
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
 
 namespace potemkin {
 
@@ -32,7 +33,15 @@ const char* Basename(const char* path) {
   return slash ? slash + 1 : path;
 }
 
+// Leaked so log sites in static destructors stay safe.
+LogHook& Hook() {
+  static LogHook* const hook = new LogHook();
+  return *hook;
+}
+
 }  // namespace
+
+void SetLogHook(LogHook hook) { Hook() = std::move(hook); }
 
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
@@ -41,6 +50,9 @@ LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 void LogMessage(LogLevel level, const char* file, int line, const std::string& message) {
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file), line,
                message.c_str());
+  if ((level == LogLevel::kWarning || level == LogLevel::kError) && Hook()) {
+    Hook()(level, file, line, /*fatal=*/false);
+  }
 }
 
 FatalStream::FatalStream(const char* file, int line, const char* condition)
@@ -49,6 +61,11 @@ FatalStream::FatalStream(const char* file, int line, const char* condition)
 FatalStream::~FatalStream() {
   std::fprintf(stderr, "[FATAL %s:%d] check failed: %s %s\n", Basename(file_), line_,
                condition_, stream_.str().c_str());
+  // Last chance for the flight recorder: a hooked ledger turns this into a
+  // kFatal event, whose trip dumps the post-mortem before the abort.
+  if (Hook()) {
+    Hook()(LogLevel::kError, file_, line_, /*fatal=*/true);
+  }
   std::abort();
 }
 

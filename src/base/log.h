@@ -7,6 +7,7 @@
 #ifndef SRC_BASE_LOG_H_
 #define SRC_BASE_LOG_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -26,6 +27,16 @@ LogLevel GetLogLevel();
 
 // Internal sink used by the macros.
 void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+// Structured-log hook: when installed, every emitted WARN/ERROR message (and
+// every fatal check, with fatal=true) is reported to the hook *after* printing
+// to stderr, in emission order — this is how free-form logs join the event
+// ledger's ordered forensic timeline (see EventLedger::InstallLogHook). `file`
+// is the log site's static __FILE__ literal; the hook may retain the pointer.
+using LogHook =
+    std::function<void(LogLevel level, const char* file, int line, bool fatal)>;
+// Replaces the current hook; an empty hook uninstalls.
+void SetLogHook(LogHook hook);
 
 class LogStream {
  public:

@@ -1,0 +1,27 @@
+// Attack-session identity.
+//
+// A SessionId names one attack session: the causal chain that starts when an
+// external source first touches an unbound farm address (the gateway mints the
+// id at that instant) and ends when the binding's VM is retired. The id rides
+// along the whole datapath — binding table, clone request, packet views handed
+// to the guest, containment verdicts — so the event ledger can stitch every
+// record that shares it back into one per-IP forensic timeline.
+//
+// The type lives in base (not obs) because every layer that touches packets
+// needs it, and obs links only against base.
+#ifndef SRC_BASE_SESSION_H_
+#define SRC_BASE_SESSION_H_
+
+#include <cstdint>
+
+namespace potemkin {
+
+using SessionId = uint32_t;
+
+// "No session": farm-internal traffic, packets to non-farm addresses, or
+// components running without a gateway in front of them.
+inline constexpr SessionId kNoSession = 0;
+
+}  // namespace potemkin
+
+#endif  // SRC_BASE_SESSION_H_

@@ -20,6 +20,13 @@ CloneServer::CloneServer(EventLoop* loop, const CloneServerConfig& config,
     images_.push_back(host_.RegisterImage(profile.image, profile.disk_blocks));
     guest_configs_.push_back(profile.guest);
   }
+  // Guests share the host's telemetry bundle so their ledger events land in the
+  // same ring as the gateway's and the clone engine's.
+  for (auto& guest_config : guest_configs_) {
+    if (guest_config.obs == nullptr) {
+      guest_config.obs = config_.engine.obs;
+    }
+  }
 }
 
 size_t CloneServer::SelectProfile(Ipv4Address ip) const {
@@ -38,13 +45,14 @@ size_t CloneServer::SelectProfile(Ipv4Address ip) const {
   return static_cast<size_t>(h % images_.size());
 }
 
-void CloneServer::SpawnVm(Ipv4Address ip, std::function<void(VmId)> done) {
+void CloneServer::SpawnVm(Ipv4Address ip, SessionId session,
+                          std::function<void(VmId)> done) {
   const size_t profile = SelectProfile(ip);
   const std::string name =
       StrFormat("%s/vm-%s", host_.name().c_str(), ip.ToString().c_str());
   const MacAddress mac =
       MacAddress::FromId((static_cast<uint64_t>(config_.host.id) << 40) | ip.value());
-  engine_.RequestClone(images_[profile], name, ip, mac,
+  engine_.RequestClone(images_[profile], name, ip, mac, session,
                        [this, ip, profile, done = std::move(done)](
                            VirtualMachine* vm, const CloneTiming&) {
                          OnCloneComplete(ip, profile, vm, done);

@@ -16,6 +16,7 @@
 
 #include "src/base/event_loop.h"
 #include "src/base/rng.h"
+#include "src/base/session.h"
 #include "src/guest/guest_os.h"
 #include "src/hv/clone_engine.h"
 #include "src/hv/cpu_model.h"
@@ -80,7 +81,12 @@ class CloneServer {
   bool CanAdmit() const { return host_.CanAdmit(images_[0], engine_.config().kind); }
   size_t LiveVms() const { return host_.live_vm_count(); }
   // Flash-clones a VM bound to `ip`; `done` receives kInvalidVm on failure.
-  void SpawnVm(Ipv4Address ip, std::function<void(VmId)> done);
+  // `session` is the forensic session of the triggering first contact
+  // (kNoSession for administratively spawned VMs); threaded to the engine.
+  void SpawnVm(Ipv4Address ip, SessionId session, std::function<void(VmId)> done);
+  void SpawnVm(Ipv4Address ip, std::function<void(VmId)> done) {
+    SpawnVm(ip, kNoSession, std::move(done));
+  }
   // Marks the VM dead immediately and schedules teardown through the engine.
   void RetireVm(VmId vm);
   // Delivers a packet to a VM's vNIC after the fabric latency. `view` is the

@@ -19,6 +19,9 @@ GatewayConfig WithPrefix(GatewayConfig config, Ipv4Prefix prefix, Observability*
 Honeyfarm::Honeyfarm(const HoneyfarmConfig& config)
     : config_(config),
       gateway_(&loop_, WithPrefix(config.gateway, config.prefix, &obs_), this) {
+  if (config_.ledger_capacity != obs_.ledger.capacity()) {
+    obs_.ledger.Reset(config_.ledger_capacity);
+  }
   servers_.reserve(config_.num_hosts);
   for (uint32_t i = 0; i < config_.num_hosts; ++i) {
     CloneServerConfig server_config = config_.server_template;
@@ -65,6 +68,18 @@ Honeyfarm::Honeyfarm(const HoneyfarmConfig& config)
   });
   m.RegisterProbe(this, "farm.egress.packets", "count",
                   [this] { return static_cast<double>(egress_packets_); });
+  // Fraction of machine frames in use across all hosts; the watchdog's
+  // frame_pool_watermark rule pages off this probe.
+  m.RegisterProbe(this, "farm.mem.frame_watermark", "ratio", [this] {
+    uint64_t used = 0;
+    uint64_t capacity = 0;
+    for (const auto& server : servers_) {
+      used += server->host().allocator().used_frames();
+      capacity += server->host().allocator().capacity_frames();
+    }
+    return capacity == 0 ? 0.0
+                         : static_cast<double>(used) / static_cast<double>(capacity);
+  });
   m.RegisterProbe(this, "packet_pool.cached_buffers", "buffers", [] {
     return static_cast<double>(PacketPool::Default().cached_buffers());
   });
@@ -76,11 +91,42 @@ Honeyfarm::Honeyfarm(const HoneyfarmConfig& config)
   });
 }
 
-Honeyfarm::~Honeyfarm() { obs_.metrics.RemoveProbes(this); }
+Honeyfarm::~Honeyfarm() {
+  if (log_hook_installed_) {
+    SetLogHook(nullptr);  // the hook captures this farm's ledger
+  }
+  obs_.metrics.RemoveProbes(this);
+}
+
+void Honeyfarm::StartWatchdog(Duration interval, std::vector<WatchdogRule> rules) {
+  if (watchdog_ == nullptr) {
+    watchdog_ = std::make_unique<Watchdog>(&obs_.ledger);
+    health_.set_watchdog(watchdog_.get());
+  }
+  watchdog_->AddRules(std::move(rules));
+  StartHealthSnapshots(interval);
+}
+
+FlightRecorder& Honeyfarm::ArmFlightRecorder(FlightRecorderConfig config) {
+  if (flight_recorder_ == nullptr) {
+    flight_recorder_ =
+        std::make_unique<FlightRecorder>(config, &obs_.ledger, &health_);
+    flight_recorder_->Arm();
+    // Route WARN/ERROR/fatal logs through the ledger so the post-mortem
+    // artifact carries the log trail; uninstalled in the destructor.
+    EventLedger::InstallLogHook(&obs_.ledger,
+                                [this] { return loop_.Now().nanos(); });
+    log_hook_installed_ = true;
+  }
+  return *flight_recorder_;
+}
 
 void Honeyfarm::OnInfection(GuestOs& guest, const PacketView& exploit) {
   const Ipv4Address victim = guest.vm()->ip();
   epidemic_.RecordInfection(loop_.Now(), guest.vm()->id(), victim, exploit.ip().src);
+  obs_.ledger.Append(LedgerEvent::kInfection, exploit.session(),
+                     loop_.Now().nanos(), victim.value(),
+                     exploit.ip().src.value());
   gateway_.NotifyInfected(victim);
   // Activate the strain whose exploit vector delivered this infection; fall back
   // to the sole attached strain when the vector is ambiguous.
@@ -289,9 +335,10 @@ size_t Honeyfarm::HostLiveVms(HostId host) const {
   return host < servers_.size() ? servers_[host]->LiveVms() : 0;
 }
 
-void Honeyfarm::SpawnVm(HostId host, Ipv4Address ip, std::function<void(VmId)> done) {
+void Honeyfarm::SpawnVm(HostId host, Ipv4Address ip, SessionId session,
+                        std::function<void(VmId)> done) {
   PK_CHECK(host < servers_.size());
-  servers_[host]->SpawnVm(ip, std::move(done));
+  servers_[host]->SpawnVm(ip, session, std::move(done));
 }
 
 void Honeyfarm::RetireVm(HostId host, VmId vm) {

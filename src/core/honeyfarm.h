@@ -19,8 +19,10 @@
 #include "src/malware/worm.h"
 #include "src/net/gre.h"
 #include "src/net/trace.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/health_snapshot.h"
 #include "src/obs/observability.h"
+#include "src/obs/watchdog.h"
 
 namespace potemkin {
 
@@ -32,6 +34,10 @@ struct HoneyfarmConfig {
   CloneServerConfig server_template;
   GatewayConfig gateway;
   uint64_t seed = 42;
+  // Ring size of the farm's event ledger. The default suits tests and short
+  // runs; long replays that want complete forensic timelines should size this
+  // to the expected event volume (~48 bytes/record).
+  size_t ledger_capacity = EventLedger::kDefaultCapacity;
 };
 
 // A farm-wide telemetry snapshot.
@@ -108,6 +114,20 @@ class Honeyfarm : public GatewayBackend {
   // Begins periodic versioned health snapshots (HealthMonitor over this farm's
   // registry). Independent of Start()'s FarmSample sampling.
   void StartHealthSnapshots(Duration interval) { health_.Start(interval); }
+  // Starts health snapshots with an SLO watchdog evaluating every sample.
+  // Alerts land in the ledger and in each snapshot's `alerts` section.
+  void StartWatchdog(Duration interval,
+                     std::vector<WatchdogRule> rules = DefaultFarmRules());
+  Watchdog* watchdog() { return watchdog_.get(); }
+  // Arms a post-mortem flight recorder: containment breaches, raised alerts and
+  // fatal logs each dump the recent ledger tail plus the last two health
+  // snapshots to a self-contained JSON artifact. Also routes WARN/ERROR logs
+  // into this farm's ledger for the artifact's benefit.
+  FlightRecorder& ArmFlightRecorder(FlightRecorderConfig config = {});
+  FlightRecorder* flight_recorder() { return flight_recorder_.get(); }
+
+  // The farm's causal event ledger (shared by gateway, engines and guests).
+  EventLedger& ledger() { return obs_.ledger; }
 
   // ---- Telemetry ----
   FarmSample SampleNow();
@@ -127,7 +147,8 @@ class Honeyfarm : public GatewayBackend {
   size_t NumHosts() const override { return servers_.size(); }
   bool HostCanAdmit(HostId host) const override;
   size_t HostLiveVms(HostId host) const override;
-  void SpawnVm(HostId host, Ipv4Address ip, std::function<void(VmId)> done) override;
+  void SpawnVm(HostId host, Ipv4Address ip, SessionId session,
+               std::function<void(VmId)> done) override;
   void RetireVm(HostId host, VmId vm) override;
   void DeliverToVm(HostId host, VmId vm, Packet packet,
                    const PacketView& view) override;
@@ -157,6 +178,9 @@ class Honeyfarm : public GatewayBackend {
 
   std::vector<WormRuntime*> worms_;
   std::vector<PendingSeed> pending_seeds_;
+  std::unique_ptr<Watchdog> watchdog_;
+  std::unique_ptr<FlightRecorder> flight_recorder_;
+  bool log_hook_installed_ = false;
   std::unique_ptr<GreTunnel> gre_;
   EpidemicTracker epidemic_;
   std::vector<FarmSample> samples_;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/base/flat_index.h"
+#include "src/base/session.h"
 #include "src/base/slab.h"
 #include "src/base/time_types.h"
 #include "src/hv/types.h"
@@ -37,6 +38,7 @@ struct Binding {
   TimePoint created;
   TimePoint last_activity;
   uint64_t inbound_packets = 0;
+  SessionId session = kNoSession;  // forensic session minted at first contact
   uint32_t pending_count = 0;  // packets queued out-of-line while kCloning
   BindingState state = BindingState::kCloning;
   bool infected = false;

@@ -81,6 +81,26 @@ Gateway::Gateway(EventLoop* loop, const GatewayConfig& config, GatewayBackend* b
   m.RegisterProbe(this, "gateway.recycle.emergency_reclaims", "vms", [this] {
     return static_cast<double>(stats_.emergency_reclaims);
   });
+  // Watchdog feed: bindings past their retire deadline but not yet swept (a
+  // growing backlog means the recycler is starved or wedged)...
+  m.RegisterProbe(this, "gateway.recycle.backlog", "vms", [this] {
+    const TimePoint now = loop_->Now();
+    size_t backlog = 0;
+    bindings_.ForEach([&](Binding& binding) {
+      if (ShouldRetire(binding, config_.recycle, now)) {
+        ++backlog;
+      }
+    });
+    return static_cast<double>(backlog);
+  });
+  // ...and every class of shed inbound packet, folded into one counter so a
+  // single rate rule can page on drop storms.
+  m.RegisterProbe(this, "gateway.drops.total", "count", [this] {
+    return static_cast<double>(
+        stats_.no_capacity_drops + stats_.inbound_dropped_cloning +
+        stats_.ttl_expired_drops + stats_.inbound_filtered_scanners +
+        bindings_.stats().pending_dropped);
+  });
 }
 
 Gateway::~Gateway() { obs_.metrics.RemoveProbes(this); }
@@ -136,12 +156,21 @@ void Gateway::DeliverToBinding(Binding& binding, Packet packet, PacketView& view
   // incremental update keeps `view` in sync, so the backend needs no re-parse).
   if (!DecrementTtl(packet, &view)) {
     ++stats_.ttl_expired_drops;
+    obs_.ledger.Append(LedgerEvent::kPacketDropped, binding.session,
+                       loop_->Now().nanos(), view.ip().src.value(),
+                       static_cast<uint64_t>(LedgerDropReason::kTtlExpired));
     return;
   }
   binding.last_activity = loop_->Now();
   ++binding.inbound_packets;
   ++stats_.inbound_delivered;
   m_rx_hit_.Inc();
+  // Stamp the session on the view so the guest layers can attribute their
+  // ledger events without a binding lookup of their own.
+  view.set_session(binding.session);
+  obs_.ledger.Append(LedgerEvent::kPacketDelivered, binding.session,
+                     loop_->Now().nanos(), view.ip().src.value(),
+                     packet.size());
   backend_->DeliverToVm(binding.host, binding.vm, std::move(packet), view);
 }
 
@@ -158,9 +187,21 @@ void Gateway::RouteToFarm(Packet packet, PacketView& view, bool via_reflection) 
       if (bindings_.QueuePending(*binding, std::move(packet))) {
         ++stats_.inbound_queued;
         m_rx_queued_.Inc();
+        obs_.ledger.Append(LedgerEvent::kPacketQueued, binding->session,
+                           loop_->Now().nanos(), view.ip().src.value(),
+                           binding->pending_count);
+      } else {
+        obs_.ledger.Append(
+            LedgerEvent::kPacketDropped, binding->session, loop_->Now().nanos(),
+            view.ip().src.value(),
+            static_cast<uint64_t>(LedgerDropReason::kQueueFull));
       }
     } else {
       ++stats_.inbound_dropped_cloning;
+      obs_.ledger.Append(
+          LedgerEvent::kPacketDropped, binding->session, loop_->Now().nanos(),
+          view.ip().src.value(),
+          static_cast<uint64_t>(LedgerDropReason::kNotQueueing));
     }
     binding->last_activity = loop_->Now();
     return;
@@ -170,6 +211,9 @@ void Gateway::RouteToFarm(Packet packet, PacketView& view, bool via_reflection) 
   HostId host = 0;
   if (!ChooseHost(&host)) {
     ++stats_.no_capacity_drops;
+    obs_.ledger.Append(LedgerEvent::kPacketDropped, kNoSession,
+                       loop_->Now().nanos(), view.ip().src.value(),
+                       static_cast<uint64_t>(LedgerDropReason::kNoCapacity));
     if (config_.recycle.emergency_reclaim_batch > 0) {
       EmergencyReclaim();
     }
@@ -177,17 +221,38 @@ void Gateway::RouteToFarm(Packet packet, PacketView& view, bool via_reflection) 
   }
   Binding& fresh = bindings_.CreatePending(dst, host, loop_->Now());
   fresh.reflected_origin = via_reflection;
+  // Mint the attack session here: the id every later layer (clone engine,
+  // guest, containment, retirement) stamps on its ledger events.
+  fresh.session = next_session_++;
   m_rx_first_contact_.Inc();
+  obs_.ledger.Append(LedgerEvent::kFirstContact, fresh.session,
+                     loop_->Now().nanos(), view.ip().src.value(),
+                     dst.value());
   if (config_.queue_while_cloning) {
     if (bindings_.QueuePending(fresh, std::move(packet))) {
       ++stats_.inbound_queued;
       m_rx_queued_.Inc();
+      obs_.ledger.Append(LedgerEvent::kPacketQueued, fresh.session,
+                         loop_->Now().nanos(), view.ip().src.value(),
+                         fresh.pending_count);
+    } else {
+      obs_.ledger.Append(
+          LedgerEvent::kPacketDropped, fresh.session, loop_->Now().nanos(),
+          view.ip().src.value(),
+          static_cast<uint64_t>(LedgerDropReason::kQueueFull));
     }
   } else {
     ++stats_.inbound_dropped_cloning;
+    obs_.ledger.Append(
+        LedgerEvent::kPacketDropped, fresh.session, loop_->Now().nanos(),
+        view.ip().src.value(),
+        static_cast<uint64_t>(LedgerDropReason::kNotQueueing));
   }
   ++stats_.clones_triggered;
-  backend_->SpawnVm(host, dst, [this, dst](VmId vm) { OnCloneDone(dst, vm); });
+  obs_.ledger.Append(LedgerEvent::kCloneRequested, fresh.session,
+                     loop_->Now().nanos(), dst.value(), host);
+  backend_->SpawnVm(host, dst, fresh.session,
+                    [this, dst](VmId vm) { OnCloneDone(dst, vm); });
 }
 
 void Gateway::OnCloneDone(Ipv4Address ip, VmId vm) {
@@ -203,10 +268,18 @@ void Gateway::OnCloneDone(Ipv4Address ip, VmId vm) {
   }
   if (vm == kInvalidVm) {
     ++stats_.clone_failures;
+    obs_.ledger.Append(LedgerEvent::kCloneFailed, binding->session,
+                       loop_->Now().nanos(), ip.value(), binding->host);
     bindings_.Remove(ip);
     return;
   }
   bindings_.Activate(ip, vm, loop_->Now());
+  // End-to-end flash-clone latency (first contact -> VM live), from the
+  // attack's point of view; the engine-side clone.latency_ms histogram covers
+  // the control-plane cost alone.
+  obs_.ledger.Append(LedgerEvent::kCloneDone, binding->session,
+                     loop_->Now().nanos(), vm,
+                     (loop_->Now() - binding->created).nanos());
   auto pending = bindings_.TakePending(*binding);
   for (auto& queued : pending) {
     // Pending packets were parsed at ingress but queued without their views
@@ -233,9 +306,22 @@ void Gateway::HandleInbound(Packet packet) {
   }
   const bool is_scanner =
       scan_detector_.Record(view->ip().src, view->ip().dst, loop_->Now());
+  if (scan_detector_.newly_flagged()) {
+    // Rare (once per source): attribute the flag to the targeted binding's
+    // session when one exists so it shows up in that attack's timeline.
+    const Binding* target = bindings_.Find(view->ip().dst);
+    obs_.ledger.Append(LedgerEvent::kScannerFlagged,
+                       target != nullptr ? target->session : kNoSession,
+                       loop_->Now().nanos(), view->ip().src.value(),
+                       config_.scan_detector.distinct_threshold);
+  }
   if (config_.filter_known_scanners && is_scanner &&
       bindings_.Find(view->ip().dst) == nullptr) {
     ++stats_.inbound_filtered_scanners;
+    obs_.ledger.Append(
+        LedgerEvent::kPacketDropped, kNoSession, loop_->Now().nanos(),
+        view->ip().src.value(),
+        static_cast<uint64_t>(LedgerDropReason::kScannerFiltered));
     return;
   }
   flows_.Record(*view, loop_->Now());
@@ -284,8 +370,18 @@ void Gateway::HandleInboundBatch(std::span<Packet> packets) {
       PacketView& view = batch_views_[idx];
       const bool is_scanner =
           scan_detector_.Record(view.ip().src, dst, loop_->Now());
+      if (scan_detector_.newly_flagged()) {
+        obs_.ledger.Append(LedgerEvent::kScannerFlagged,
+                           binding != nullptr ? binding->session : kNoSession,
+                           loop_->Now().nanos(), view.ip().src.value(),
+                           config_.scan_detector.distinct_threshold);
+      }
       if (config_.filter_known_scanners && is_scanner && binding == nullptr) {
         ++stats_.inbound_filtered_scanners;
+        obs_.ledger.Append(
+            LedgerEvent::kPacketDropped, kNoSession, loop_->Now().nanos(),
+            view.ip().src.value(),
+            static_cast<uint64_t>(LedgerDropReason::kScannerFiltered));
         continue;
       }
       flows_.Record(view, loop_->Now());
@@ -311,6 +407,9 @@ void Gateway::HandleDnsQuery(const PacketView& view, Binding* source_binding) {
     return;
   }
   const DnsResponse answer = dns_proxy_.Resolve(*query);
+  obs_.ledger.Append(LedgerEvent::kContainmentDnsProxy, source_binding->session,
+                     loop_->Now().nanos(), view.ip().dst.value(),
+                     view.dst_port());
   PacketSpec spec;
   spec.src_mac = MacAddress::FromId(0xd75);  // the gateway's own MAC
   spec.dst_mac = view.eth().src;
@@ -322,8 +421,9 @@ void Gateway::HandleDnsQuery(const PacketView& view, Binding* source_binding) {
   spec.payload = EncodeDnsResponse(answer);
   ++stats_.dns_responses;
   Packet response = BuildPacket(spec);
-  const auto response_view = PacketView::Parse(response);
+  auto response_view = PacketView::Parse(response);
   if (response_view) {
+    response_view->set_session(source_binding->session);
     backend_->DeliverToVm(source_binding->host, source_binding->vm,
                           std::move(response), *response_view);
   }
@@ -338,6 +438,9 @@ void Gateway::HandleOutbound(HostId host, VmId vm, Packet packet) {
   ++stats_.outbound_packets;
   m_tx_outbound_.Inc();
   Binding* source_binding = bindings_.Find(view->ip().src);
+  // Captured by value: RouteToFarm below can resize the binding slab.
+  const SessionId session =
+      source_binding != nullptr ? source_binding->session : kNoSession;
 
   // Farm-internal destination: forward inside, applying reflection reverse-NAT so
   // reflected conversations look like they involve the original external address.
@@ -373,6 +476,9 @@ void Gateway::HandleOutbound(HostId host, VmId vm, Packet packet) {
       ++stats_.icmp_errors_allowed_out;
       ++stats_.egress_packets;
       m_tx_egress_.Inc();
+      obs_.ledger.Append(LedgerEvent::kEgressResponse, session,
+                         loop_->Now().nanos(), view->ip().dst.value(),
+                         packet.size());
       if (egress_) {
         egress_(std::move(packet));
       }
@@ -390,6 +496,9 @@ void Gateway::HandleOutbound(HostId host, VmId vm, Packet packet) {
     ++stats_.responses_allowed_out;
     ++stats_.egress_packets;
     m_tx_egress_.Inc();
+    obs_.ledger.Append(LedgerEvent::kEgressResponse, session,
+                       loop_->Now().nanos(), view->ip().dst.value(),
+                       packet.size());
     if (egress_) {
       egress_(std::move(packet));
     }
@@ -405,12 +514,26 @@ void Gateway::HandleOutbound(HostId host, VmId vm, Packet packet) {
       flows_.Record(*view, loop_->Now());
       ++stats_.egress_packets;
       m_tx_egress_.Inc();
+      // An *infected* VM's packet leaving for the real Internet is the
+      // containment failure the paper is about — a breach event, which the
+      // armed flight recorder trips on.
+      obs_.ledger.Append(infected ? LedgerEvent::kContainmentBreach
+                                  : LedgerEvent::kContainmentAllow,
+                         session, loop_->Now().nanos(),
+                         view->ip().dst.value(), view->dst_port());
       if (egress_) {
         egress_(std::move(packet));
       }
       return;
     case OutboundAction::kDrop:
+      obs_.ledger.Append(LedgerEvent::kContainmentDrop, session,
+                         loop_->Now().nanos(), view->ip().dst.value(),
+                         view->dst_port());
+      return;
     case OutboundAction::kRateLimit:
+      obs_.ledger.Append(LedgerEvent::kContainmentRateLimit, session,
+                         loop_->Now().nanos(), view->ip().dst.value(),
+                         view->dst_port());
       return;
     case OutboundAction::kDnsProxy:
       HandleDnsQuery(*view, source_binding);
@@ -432,6 +555,9 @@ void Gateway::HandleOutbound(HostId host, VmId vm, Packet packet) {
       }
       reflect_slab_.At(nat_slot).external = external;
       ++stats_.reflections_injected;
+      obs_.ledger.Append(LedgerEvent::kContainmentReflect, session,
+                         loop_->Now().nanos(), external.value(),
+                         victim.value());
       // Not recorded in the flow table either (see the NAT branch above).
       RouteToFarm(std::move(packet), *view, /*via_reflection=*/true);
       return;
@@ -458,7 +584,8 @@ size_t Gateway::SweepOnce() {
     if (binding == nullptr) {
       continue;
     }
-    switch (ClassifyRetire(*binding, config_.recycle, now)) {
+    const RetireReason reason = ClassifyRetire(*binding, config_.recycle, now);
+    switch (reason) {
       case RetireReason::kIdle:
         ++stats_.retired_idle;
         break;
@@ -471,6 +598,8 @@ size_t Gateway::SweepOnce() {
       case RetireReason::kKeep:
         break;  // state changed between collect and retire; retire anyway
     }
+    obs_.ledger.Append(LedgerEvent::kVmRetired, binding->session, now.nanos(),
+                       binding->vm, static_cast<uint64_t>(reason));
     backend_->RetireVm(binding->host, binding->vm);
     bindings_.Remove(ip);
     ++stats_.vms_retired;
@@ -517,6 +646,9 @@ void Gateway::EmergencyReclaim() {
     if (binding == nullptr) {
       continue;
     }
+    // 0xff in `b` marks an emergency reclaim (vs a RetireReason value).
+    obs_.ledger.Append(LedgerEvent::kVmRetired, binding->session,
+                       loop_->Now().nanos(), binding->vm, 0xff);
     backend_->RetireVm(binding->host, binding->vm);
     bindings_.Remove(ip);
     ++stats_.vms_retired;

@@ -45,8 +45,11 @@ class GatewayBackend {
   virtual bool HostCanAdmit(HostId host) const = 0;
   virtual size_t HostLiveVms(HostId host) const = 0;
   // Flash-clones a VM bound to `ip` on `host`; calls `done` with the VM id, or
-  // kInvalidVm on failure. Completion happens in virtual time.
-  virtual void SpawnVm(HostId host, Ipv4Address ip,
+  // kInvalidVm on failure. Completion happens in virtual time. `session` is
+  // the forensic session minted for the first-contact packet that triggered
+  // the clone; backends thread it to the clone engine so the clone's ledger
+  // events join the attack's timeline.
+  virtual void SpawnVm(HostId host, Ipv4Address ip, SessionId session,
                        std::function<void(VmId)> done) = 0;
   virtual void RetireVm(HostId host, VmId vm) = 0;
   // MUST deliver asynchronously (via the event loop): the gateway assumes no
@@ -181,6 +184,9 @@ class Gateway {
   EgressSink egress_;
   GatewayStats stats_;
   HostId next_host_ = 0;
+  // Next forensic session id; minted per first contact. Starts at 1 so
+  // kNoSession (0) stays reserved for farm-internal traffic.
+  SessionId next_session_ = 1;
   bool recycling_started_ = false;
   // Reflection NAT: internal victim address -> external address it impersonates,
   // keyed per (victim, scanner) pair packed as victim << 32 | scanner. Flat

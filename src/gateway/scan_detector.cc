@@ -8,6 +8,7 @@ namespace potemkin {
 ScanDetector::ScanDetector(const ScanDetectorConfig& config) : config_(config) {}
 
 bool ScanDetector::Record(Ipv4Address source, Ipv4Address destination, TimePoint now) {
+  newly_flagged_ = false;
   uint32_t slot = index_.Find(source.value());
   if (slot == FlatIndex<uint32_t>::kNotFound) {
     slot = slab_.Alloc();
@@ -40,6 +41,7 @@ bool ScanDetector::Record(Ipv4Address source, Ipv4Address destination, TimePoint
   }
   if (!state.flagged && state.distinct_count >= config_.distinct_threshold) {
     state.flagged = true;
+    newly_flagged_ = true;
     ++scanners_flagged_;
   }
   return state.flagged;

@@ -38,6 +38,11 @@ class ScanDetector {
   // is currently classified as a scanner.
   bool Record(Ipv4Address source, Ipv4Address destination, TimePoint now);
 
+  // True iff the most recent Record() call is what flagged its source — the
+  // one-shot edge the gateway turns into a kScannerFlagged ledger event
+  // without re-deriving the transition from counters.
+  bool newly_flagged() const { return newly_flagged_; }
+
   bool IsScanner(Ipv4Address source) const;
   size_t tracked_sources() const { return slab_.live_count(); }
   uint64_t scanners_flagged() const { return scanners_flagged_; }
@@ -68,6 +73,7 @@ class ScanDetector {
   FlatIndex<uint32_t> index_;
   Slab<SourceState> slab_;
   uint64_t scanners_flagged_ = 0;
+  bool newly_flagged_ = false;
 };
 
 }  // namespace potemkin

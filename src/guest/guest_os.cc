@@ -5,7 +5,11 @@
 namespace potemkin {
 
 GuestOs::GuestOs(VirtualMachine* vm, const GuestOsConfig& config, Rng rng)
-    : vm_(vm), config_(config), rng_(rng), tcp_stack_(rng.Fork(0x7c9)) {}
+    : vm_(vm),
+      config_(config),
+      obs_(ObsOrDefault(config.obs)),
+      rng_(rng),
+      tcp_stack_(rng.Fork(0x7c9)) {}
 
 const ServiceConfig* GuestOs::FindService(IpProto proto, uint16_t port) const {
   for (const auto& service : config_.services) {
@@ -52,8 +56,11 @@ void GuestOs::SendTcpSegment(const PacketView& request, uint8_t flags, uint32_t 
   spec.tcp_flags = flags;
   spec.seq = seq;
   spec.ack = ack;
+  const size_t response_bytes = payload.size();
   spec.payload = std::move(payload);
   ++stats_.responses_sent;
+  obs_.ledger.Append(LedgerEvent::kGuestResponse, request.session(), now_.nanos(),
+                     request.dst_port(), response_bytes);
   vm_->Transmit(BuildPacket(spec));
 }
 
@@ -78,8 +85,11 @@ void GuestOs::SendUdpReply(const PacketView& request, std::vector<uint8_t> paylo
   spec.proto = IpProto::kUdp;
   spec.src_port = request.udp().dst_port;
   spec.dst_port = request.udp().src_port;
+  const size_t response_bytes = payload.size();
   spec.payload = std::move(payload);
   ++stats_.responses_sent;
+  obs_.ledger.Append(LedgerEvent::kGuestResponse, request.session(), now_.nanos(),
+                     request.udp().dst_port, response_bytes);
   vm_->Transmit(BuildPacket(spec));
 }
 
@@ -95,16 +105,22 @@ void GuestOs::SendIcmpEchoReply(const PacketView& request) {
   spec.icmp_seq = request.icmp().seq;
   spec.payload.assign(request.l4_payload().begin(), request.l4_payload().end());
   ++stats_.responses_sent;
+  obs_.ledger.Append(LedgerEvent::kGuestResponse, request.session(), now_.nanos(),
+                     0, spec.payload.size());
   vm_->Transmit(BuildPacket(spec));
 }
 
 void GuestOs::ServeRequest(const ServiceConfig& service, const PacketView& view) {
   ++stats_.requests_served;
+  obs_.ledger.Append(LedgerEvent::kGuestRequest, view.session(), now_.nanos(),
+                     view.dst_port(), view.l4_payload().size());
   TouchHeapPages(service.pages_touched_per_request);
   if (service.vulnerability &&
       service.vulnerability->Matches(view.ip().proto, view.dst_port(),
                                      view.l4_payload())) {
     ++stats_.exploits_received;
+    obs_.ledger.Append(LedgerEvent::kExploit, view.session(), now_.nanos(),
+                       view.ip().src.value(), view.dst_port());
     const bool newly_infected = !vm_->infected();
     vm_->set_infected(true);
     if (newly_infected && infection_observer_) {
@@ -176,6 +192,7 @@ void GuestOs::HandleFrame(const Packet& frame, const PacketView& parsed,
   }
   const PacketView* view = &parsed;
   ++stats_.packets_handled;
+  now_ = now;
   vm_->CountReceived();
   vm_->set_last_activity(now);
   TouchKernelPages();
@@ -243,6 +260,9 @@ void GuestOs::HandleFrame(const Packet& frame, const PacketView& parsed,
       unreachable.icmp_code = kIcmpCodePortUnreachable;
       unreachable.payload = IcmpQuoteOf(frame);
       ++stats_.responses_sent;
+      obs_.ledger.Append(LedgerEvent::kGuestResponse, view->session(),
+                         now_.nanos(), view->udp().dst_port,
+                         unreachable.payload.size());
       vm_->Transmit(BuildPacket(unreachable));
     }
     return;

@@ -19,11 +19,16 @@
 #include "src/guest/tcp_stack.h"
 #include "src/hv/vm.h"
 #include "src/net/packet.h"
+#include "src/obs/observability.h"
 
 namespace potemkin {
 
 struct GuestOsConfig {
   std::vector<ServiceConfig> services;
+  // Telemetry bundle; null falls back to Observability::Default(). Guest-level
+  // ledger events (request/response/exploit) are keyed by the session the
+  // delivering PacketView carries from the gateway.
+  Observability* obs = nullptr;
   // Pages dirtied in the kernel on every received packet (skbuffs, softirq state).
   uint32_t kernel_pages_per_packet = 1;
   // First guest page of the heap region that request handling dirties.
@@ -104,6 +109,7 @@ class GuestOs {
 
   VirtualMachine* vm_;
   GuestOsConfig config_;
+  Observability& obs_;
   Rng rng_;
   GuestStats stats_;
   uint32_t heap_cursor_ = 0;
@@ -112,6 +118,9 @@ class GuestOs {
   ClientPacketHandler client_handler_;
   GuestTcpStack tcp_stack_;
   uint32_t packets_since_expiry_ = 0;
+  // Virtual time of the frame currently being handled; stamps ledger events
+  // emitted from the send/serve helpers (which don't take `now` themselves).
+  TimePoint now_;
 };
 
 }  // namespace potemkin

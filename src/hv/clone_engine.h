@@ -13,8 +13,10 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <utility>
 
 #include "src/base/event_loop.h"
+#include "src/base/session.h"
 #include "src/base/stats.h"
 #include "src/hv/physical_host.h"
 #include "src/obs/observability.h"
@@ -53,8 +55,16 @@ class CloneEngine {
 
   // Enqueues a clone. The callback fires (in virtual time) when the clone engine
   // finishes; on success the VM is in kRunning state with `ip`/`mac` bound.
+  // `session` is the forensic session of the first-contact packet that
+  // triggered the clone (kNoSession for clones not driven by traffic); the
+  // engine stamps it on its ledger events so the clone's control-plane story
+  // joins the attack timeline.
   void RequestClone(ImageId image, const std::string& vm_name, Ipv4Address ip,
-                    MacAddress mac, CloneCallback callback);
+                    MacAddress mac, SessionId session, CloneCallback callback);
+  void RequestClone(ImageId image, const std::string& vm_name, Ipv4Address ip,
+                    MacAddress mac, CloneCallback callback) {
+    RequestClone(image, vm_name, ip, mac, kNoSession, std::move(callback));
+  }
 
   // Enqueues a teardown through the control plane.
   void RequestDestroy(VmId vm, std::function<void()> callback = nullptr);
@@ -79,6 +89,7 @@ class CloneEngine {
     std::string vm_name;
     Ipv4Address ip;
     MacAddress mac;
+    SessionId session = kNoSession;
     CloneCallback callback;
     // Destroy fields:
     VmId victim = kInvalidVm;
@@ -100,6 +111,7 @@ class CloneEngine {
   Counter m_completed_;
   Counter m_failed_;
   Counter m_destroyed_;
+  FixedHistogram m_latency_ms_;
   std::deque<Job> queue_;
   int busy_workers_ = 0;
   uint64_t clones_completed_ = 0;

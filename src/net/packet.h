@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/base/session.h"
 #include "src/net/ipv4.h"
 #include "src/net/packet_pool.h"
 
@@ -184,6 +185,13 @@ class PacketView {
     return data_ == packet.bytes().data() && size_ == packet.size();
   }
 
+  // Attack-session annotation. Not a wire field: the gateway stamps the id of
+  // the destination binding's session before handing the view down the farm
+  // side, so the guest/backend layers can attribute ledger events without a
+  // lookup of their own. Copies of the view carry the id along.
+  SessionId session() const { return session_; }
+  void set_session(SessionId session) { session_ = session; }
+
   // Human-readable one-liner, e.g. "TCP 1.2.3.4:80 > 10.0.0.1:1234 [S] len=0".
   std::string Describe() const;
 
@@ -201,6 +209,7 @@ class PacketView {
   std::span<const uint8_t> payload_;
   const uint8_t* data_ = nullptr;  // buffer identity, for ValidFor()
   size_t size_ = 0;
+  SessionId session_ = kNoSession;
 };
 
 // Declarative packet construction; checksums are computed during build.

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/base/log.h"
+#include "src/obs/watchdog.h"
 
 namespace potemkin {
 
@@ -59,6 +60,28 @@ std::string HealthSnapshot::ToJson() const {
   AppendJsonNumber(out, static_cast<double>(sequence));
   out += ",\n  \"time_ns\": ";
   AppendJsonNumber(out, static_cast<double>(time_ns));
+  // Alerts come BEFORE metrics: the string-scan consumers (bench_diff,
+  // metrics_dump) treat every {...} after "metrics" as a metric row.
+  out += ",\n  \"alerts_schema_version\": ";
+  AppendJsonNumber(out, static_cast<double>(kAlertsSchemaVersion));
+  out += ",\n  \"alerts\": [";
+  for (size_t i = 0; i < alerts.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"alert\": ";
+    AppendJsonString(out, alerts[i].rule);
+    out += ", \"metric\": ";
+    AppendJsonString(out, alerts[i].metric);
+    out += ", \"value\": ";
+    AppendJsonNumber(out, alerts[i].value);
+    out += ", \"threshold\": ";
+    AppendJsonNumber(out, alerts[i].threshold);
+    out += ", \"firing\": ";
+    out += alerts[i].firing ? "true" : "false";
+    out += ", \"since_ns\": ";
+    AppendJsonNumber(out, static_cast<double>(alerts[i].since_ns));
+    out += "}";
+  }
+  out += alerts.empty() ? "]" : "\n  ]";
   out += ",\n  \"metrics\": [";
   for (size_t i = 0; i < metrics.size(); ++i) {
     out += i == 0 ? "\n" : ",\n";
@@ -117,6 +140,10 @@ const HealthSnapshot& HealthMonitor::SampleNow() {
   snapshot.time_ns = loop_->Now().nanos();
   snapshot.sequence = next_sequence_++;
   snapshot.metrics = registry_->Collect();
+  if (watchdog_ != nullptr) {
+    watchdog_->Evaluate(snapshot);
+    watchdog_->AppendAlertSamples(&snapshot.alerts);
+  }
   history_.push_back(std::move(snapshot));
   while (history_.size() > kMaxHistory) {
     history_.pop_front();

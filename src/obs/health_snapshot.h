@@ -29,22 +29,43 @@
 
 namespace potemkin {
 
+class Watchdog;
+
+// One firing watchdog alert as exported in a snapshot's `alerts` section.
+struct AlertSample {
+  std::string rule;    // watchdog rule name, e.g. "clone_latency_p99"
+  std::string metric;  // snapshot metric the rule watches
+  double value = 0.0;  // observed value (or rate) at this snapshot
+  double threshold = 0.0;  // the rule's raise threshold
+  bool firing = true;
+  int64_t since_ns = 0;  // virtual time the alert raised
+};
+
 struct HealthSnapshot {
   // Bump on any incompatible change to the JSON layout; bench_diff and the CI
   // schema check pin the versions they understand.
   static constexpr int kSchemaVersion = 1;
+  // The `alerts` section carries its own version so alert-shape changes don't
+  // force a metrics-schema bump (and vice versa).
+  static constexpr int kAlertsSchemaVersion = 1;
 
   std::string source;  // which farm/component produced it, e.g. "honeyfarm"
   int64_t time_ns = 0;  // virtual time of the sample
   uint64_t sequence = 0;  // monotone per-monitor sample index
+  std::vector<AlertSample> alerts;  // watchdog rules firing at sample time
   std::vector<MetricRegistry::Sample> metrics;
 
-  // Versioned JSON:
+  // Versioned JSON. The `alerts` section deliberately precedes `metrics`:
+  // bench_diff/metrics_dump scan every {...} after the "metrics" key as a
+  // metric row, so alert objects must sit before it.
   //   {
   //     "snapshot": "<source>",
   //     "schema_version": 1,
   //     "sequence": 3,
   //     "time_ns": 5000000000,
+  //     "alerts_schema_version": 1,
+  //     "alerts": [ {"alert": "...", "metric": "...", "value": ...,
+  //                  "threshold": ..., "firing": true, "since_ns": ...}, ... ],
   //     "metrics": [ {"metric": "...", "value": ..., "unit": "..."}, ... ]
   //   }
   std::string ToJson() const;
@@ -75,6 +96,10 @@ class HealthMonitor {
   const HealthSnapshot& SampleNow();
 
   void set_sink(Sink sink) { sink_ = std::move(sink); }
+  // Attaches a watchdog: every sample is evaluated against its rules and the
+  // firing set is exported into the snapshot's `alerts` section. Not owned.
+  void set_watchdog(Watchdog* watchdog) { watchdog_ = watchdog; }
+  Watchdog* watchdog() const { return watchdog_; }
   const std::deque<HealthSnapshot>& history() const { return history_; }
   uint64_t samples_taken() const { return next_sequence_; }
 
@@ -87,6 +112,7 @@ class HealthMonitor {
   uint64_t next_sequence_ = 0;
   std::deque<HealthSnapshot> history_;
   Sink sink_;
+  Watchdog* watchdog_ = nullptr;
 };
 
 }  // namespace potemkin

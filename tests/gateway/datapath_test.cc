@@ -25,6 +25,7 @@
 #include "src/gateway/gateway.h"
 #include "src/net/checksum.h"
 #include "src/net/packet_pool.h"
+#include "src/obs/event_ledger.h"
 #include "src/obs/observability.h"
 
 namespace {
@@ -90,7 +91,7 @@ class DropBackend : public GatewayBackend {
   size_t NumHosts() const override { return 1; }
   bool HostCanAdmit(HostId) const override { return true; }
   size_t HostLiveVms(HostId) const override { return 0; }
-  void SpawnVm(HostId, Ipv4Address, std::function<void(VmId)> done) override {
+  void SpawnVm(HostId, Ipv4Address, SessionId, std::function<void(VmId)> done) override {
     done(next_vm_++);
   }
   void RetireVm(HostId, VmId) override {}
@@ -110,9 +111,10 @@ class DropBackend : public GatewayBackend {
 TEST(ZeroAllocTest, SteadyStateHitPathDoesNotTouchTheHeap) {
   EventLoop loop;
   DropBackend backend;
-  // Metrics explicitly enabled: the observability layer's hot-path recording
-  // (counter increments, histogram buckets) must preserve the zero-allocation
-  // invariant, not just "metrics off" configurations.
+  // Observability explicitly enabled: the hot-path recording — counter
+  // increments, histogram buckets, AND the forensic ledger append every
+  // delivered packet performs — must preserve the zero-allocation invariant,
+  // not just "metrics off" configurations.
   Observability obs;
   GatewayConfig config;
   config.farm_prefix = kFarm;
@@ -145,6 +147,7 @@ TEST(ZeroAllocTest, SteadyStateHitPathDoesNotTouchTheHeap) {
       static_cast<uint64_t>(obs.metrics.ValueOf("gateway.rx.frame_bytes_count"));
   const uint64_t heap_before = g_heap_allocations.load();
   const PacketPool::Stats pool_before = PacketPool::Default().stats();
+  const uint64_t ledger_before = obs.ledger.appended();
   constexpr uint32_t kMeasured = 4096;
   for (uint32_t i = 0; i < kMeasured; ++i) {
     inject(i);
@@ -166,6 +169,13 @@ TEST(ZeroAllocTest, SteadyStateHitPathDoesNotTouchTheHeap) {
                 obs.metrics.ValueOf("gateway.rx.frame_bytes_count")) -
                 frames_before,
             kMeasured);
+  // The forensic ledger recorded exactly one kPacketDelivered per measured
+  // packet INSIDE the zero-allocation window: appends land in the
+  // preallocated ring (the default 8K ring wraps mid-window, evicting the
+  // oldest records) without ever touching the heap.
+  EXPECT_EQ(obs.ledger.appended() - ledger_before, kMeasured);
+  EXPECT_GT(obs.ledger.dropped(), 0u)
+      << "expected the ledger ring to wrap during the measured window";
   // Every frame came from (and went back to) the pool freelists.
   EXPECT_EQ(pool_after.allocations, pool_before.allocations);
   EXPECT_EQ(pool_after.pool_hits - pool_before.pool_hits, kMeasured);
@@ -173,6 +183,22 @@ TEST(ZeroAllocTest, SteadyStateHitPathDoesNotTouchTheHeap) {
   EXPECT_EQ(pool_after.discards, pool_before.discards);
   EXPECT_EQ(backend.delivered_, 2u * 4096u);
   EXPECT_TRUE(backend.views_valid_);
+}
+
+TEST(ZeroAllocTest, LedgerAppendDoesNotTouchTheHeap) {
+  // The ledger in isolation: the ring is allocated once at construction; every
+  // append after that — including the wrap that evicts the oldest records —
+  // writes in place.
+  EventLedger ledger(1024);
+  const uint64_t heap_before = g_heap_allocations.load();
+  for (int64_t i = 0; i < 10000; ++i) {
+    ledger.Append(LedgerEvent::kPacketDelivered, /*session=*/7, /*time_ns=*/i,
+                  /*a=*/0xc6336417u, /*b=*/64);
+  }
+  EXPECT_EQ(g_heap_allocations.load() - heap_before, 0u)
+      << "ledger append allocated on the heap";
+  EXPECT_EQ(ledger.size(), 1024u);
+  EXPECT_EQ(ledger.dropped(), 10000u - 1024u);
 }
 
 // ---- Byte-for-byte equivalence with the seed's full-recompute datapath ----
@@ -249,7 +275,7 @@ class CaptureBackend : public GatewayBackend {
   size_t NumHosts() const override { return 1; }
   bool HostCanAdmit(HostId) const override { return true; }
   size_t HostLiveVms(HostId) const override { return 0; }
-  void SpawnVm(HostId, Ipv4Address ip, std::function<void(VmId)> done) override {
+  void SpawnVm(HostId, Ipv4Address ip, SessionId, std::function<void(VmId)> done) override {
     const VmId vm = next_vm_++;
     vm_by_ip_[ip.value()] = vm;
     done(vm);

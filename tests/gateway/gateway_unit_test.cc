@@ -28,7 +28,7 @@ class FakeBackend : public GatewayBackend {
     auto it = live_.find(host);
     return it == live_.end() ? 0 : it->second;
   }
-  void SpawnVm(HostId host, Ipv4Address ip,
+  void SpawnVm(HostId host, Ipv4Address ip, SessionId,
                std::function<void(VmId)> done) override {
     ++spawns_;
     spawn_hosts_.push_back(host);

@@ -20,7 +20,7 @@ class ScriptedBackend : public GatewayBackend {
   size_t NumHosts() const override { return 1; }
   bool HostCanAdmit(HostId) const override { return true; }
   size_t HostLiveVms(HostId) const override { return 0; }
-  void SpawnVm(HostId, Ipv4Address ip, std::function<void(VmId)> done) override {
+  void SpawnVm(HostId, Ipv4Address ip, SessionId, std::function<void(VmId)> done) override {
     const VmId vm = next_vm_++;
     vm_by_ip_[ip.value()] = vm;
     done(vm);  // instant clone

@@ -1,0 +1,167 @@
+// Tests for the causal event ledger: ring bounding, session stitching, trip
+// handlers, JSON exports, and the base-log hook routing.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/base/log.h"
+#include "src/obs/event_ledger.h"
+
+namespace potemkin {
+namespace {
+
+TEST(EventLedgerTest, AppendAssignsMonotoneSequence) {
+  EventLedger ledger(16);
+  ledger.Append(LedgerEvent::kFirstContact, 1, 100, 0xAABB, 0xCCDD);
+  ledger.Append(LedgerEvent::kCloneRequested, 1, 200);
+  const auto events = ledger.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[0].time_ns, 100);
+  EXPECT_EQ(events[0].a, 0xAABBu);
+  EXPECT_EQ(events[0].b, 0xCCDDu);
+  EXPECT_EQ(events[0].session, 1u);
+  EXPECT_EQ(events[0].type, LedgerEvent::kFirstContact);
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(ledger.appended(), 2u);
+  EXPECT_EQ(ledger.dropped(), 0u);
+}
+
+TEST(EventLedgerTest, RingOverflowEvictsOldestKeepsOrder) {
+  EventLedger ledger(4);
+  for (int64_t i = 0; i < 10; ++i) {
+    ledger.Append(LedgerEvent::kPacketDelivered, 1, i * 10, static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(ledger.size(), 4u);
+  EXPECT_EQ(ledger.appended(), 10u);
+  EXPECT_EQ(ledger.dropped(), 6u);
+  const auto events = ledger.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest retained is seq 6; order is oldest -> newest.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].seq, 6 + i);
+    EXPECT_EQ(events[i].a, 6 + i);
+  }
+}
+
+TEST(EventLedgerTest, EventsForSessionStitchesOneTimeline) {
+  EventLedger ledger(32);
+  ledger.Append(LedgerEvent::kFirstContact, 7, 100);
+  ledger.Append(LedgerEvent::kFirstContact, 8, 110);
+  ledger.Append(LedgerEvent::kCloneDone, 7, 200);
+  ledger.Append(LedgerEvent::kGuestRequest, 8, 210);
+  ledger.Append(LedgerEvent::kContainmentReflect, 7, 300);
+  const auto seven = ledger.EventsForSession(7);
+  ASSERT_EQ(seven.size(), 3u);
+  EXPECT_EQ(seven[0].type, LedgerEvent::kFirstContact);
+  EXPECT_EQ(seven[1].type, LedgerEvent::kCloneDone);
+  EXPECT_EQ(seven[2].type, LedgerEvent::kContainmentReflect);
+  EXPECT_TRUE(ledger.EventsForSession(99).empty());
+}
+
+TEST(EventLedgerTest, TripFiresOnlyForMaskedTypes) {
+  EventLedger ledger(16);
+  std::vector<EventLedger::Record> tripped;
+  ledger.SetTrip(EventLedger::TripBit(LedgerEvent::kContainmentBreach) |
+                     EventLedger::TripBit(LedgerEvent::kFatal),
+                 [&](const EventLedger::Record& r) { tripped.push_back(r); });
+  ledger.Append(LedgerEvent::kPacketDelivered, 1, 10);
+  ledger.Append(LedgerEvent::kContainmentBreach, 1, 20, 42, 445);
+  ledger.Append(LedgerEvent::kContainmentAllow, 1, 30);
+  ASSERT_EQ(tripped.size(), 1u);
+  EXPECT_EQ(tripped[0].type, LedgerEvent::kContainmentBreach);
+  EXPECT_EQ(tripped[0].a, 42u);
+  ledger.ClearTrip();
+  ledger.Append(LedgerEvent::kContainmentBreach, 1, 40);
+  EXPECT_EQ(tripped.size(), 1u);  // disarmed
+}
+
+TEST(EventLedgerTest, JsonLinesSchemaValidAfterOverflow) {
+  EventLedger ledger(4);
+  for (int64_t i = 0; i < 9; ++i) {
+    ledger.Append(LedgerEvent::kPacketDelivered, 3, i, 1, 2);
+  }
+  const std::string jsonl = ledger.ToJsonLines();
+  // Meta line first, with honest append/drop accounting.
+  EXPECT_EQ(jsonl.find("{\"ledger\":\"potemkin\",\"schema_version\":1,"
+                       "\"appended\":9,\"dropped\":5}\n"),
+            0u);
+  // One record line per retained record, each carrying the required keys.
+  size_t lines = 0;
+  for (char c : jsonl) {
+    lines += c == '\n';
+  }
+  EXPECT_EQ(lines, 1u + 4u);
+  EXPECT_NE(jsonl.find("\"type\":\"packet_delivered\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"session\":3"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"seq\":8"), std::string::npos);  // newest survived
+  EXPECT_EQ(jsonl.find("\"seq\":4,"), std::string::npos);  // oldest evicted
+}
+
+TEST(EventLedgerTest, ChromeJsonHasPerSessionTracks) {
+  EventLedger ledger(16);
+  ledger.Append(LedgerEvent::kVmRetired, kNoSession, 50, 1, 0);
+  ledger.Append(LedgerEvent::kFirstContact, 5, 100);
+  const std::string json = ledger.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"farm\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"session 5\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  // Microsecond timestamps: 100 ns -> 0.100 us.
+  EXPECT_NE(json.find("\"ts\":0.100"), std::string::npos);
+}
+
+TEST(EventLedgerTest, ResetReallocatesAndClears) {
+  EventLedger ledger(4);
+  for (int i = 0; i < 6; ++i) {
+    ledger.Append(LedgerEvent::kPacketDelivered, 1, i);
+  }
+  ledger.Reset(8);
+  EXPECT_EQ(ledger.capacity(), 8u);
+  EXPECT_EQ(ledger.size(), 0u);
+  EXPECT_EQ(ledger.appended(), 0u);
+  EXPECT_EQ(ledger.dropped(), 0u);
+  ledger.Append(LedgerEvent::kFirstContact, 2, 10);
+  EXPECT_EQ(ledger.Events().size(), 1u);
+}
+
+TEST(EventLedgerTest, LogHookRoutesWarningsIntoLedger) {
+  EventLedger ledger(16);
+  int64_t clock_ns = 777;
+  EventLedger::InstallLogHook(&ledger, [&] { return clock_ns; });
+  PK_WARN << "watch out";
+  PK_INFO << "not captured";  // info stays out of the ledger
+  clock_ns = 888;
+  PK_ERROR << "bad";
+  EventLedger::InstallLogHook(nullptr, nullptr);
+  PK_WARN << "after uninstall";  // must not land
+
+  const auto events = ledger.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, LedgerEvent::kLogWarning);
+  EXPECT_EQ(events[0].time_ns, 777);
+  EXPECT_EQ(events[1].type, LedgerEvent::kLogError);
+  EXPECT_EQ(events[1].time_ns, 888);
+  // The site decodes into the JSONL as file:line.
+  const std::string jsonl = ledger.ToJsonLines();
+  EXPECT_NE(jsonl.find("\"site\":\"event_ledger_test.cc:"), std::string::npos);
+}
+
+TEST(EventLedgerTest, LogHookPreservesStderrOrdering) {
+  // The hook must run in the log macro itself (after the fprintf), so ledger
+  // order matches stderr order: warn, then error.
+  EventLedger ledger(16);
+  EventLedger::InstallLogHook(&ledger, [] { return int64_t{0}; });
+  PK_WARN << "first";
+  PK_ERROR << "second";
+  EventLedger::InstallLogHook(nullptr, nullptr);
+  const auto events = ledger.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_EQ(events[0].type, LedgerEvent::kLogWarning);
+  EXPECT_EQ(events[1].type, LedgerEvent::kLogError);
+}
+
+}  // namespace
+}  // namespace potemkin

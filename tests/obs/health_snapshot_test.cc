@@ -99,6 +99,43 @@ TEST(HealthMonitorTest, HistoryIsBounded) {
   EXPECT_EQ(monitor.history().front().sequence, 10u);
 }
 
+TEST(HealthMonitorTest, HistoryBoundKeepsJsonSchemaValid) {
+  EventLoop loop;
+  MetricRegistry registry;
+  Counter c = registry.RegisterCounter("events", "count");
+  HealthMonitor monitor(&loop, &registry, "bounded");
+  for (uint64_t i = 0; i < HealthMonitor::kMaxHistory + 25; ++i) {
+    c.Inc();
+    monitor.SampleNow();
+  }
+  ASSERT_EQ(monitor.history().size(), HealthMonitor::kMaxHistory);
+  // Every survivor still renders the full versioned layout — eviction must
+  // never leave a snapshot that consumers (bench_diff, the flight recorder)
+  // would reject.
+  for (const HealthSnapshot& snapshot : {monitor.history().front(),
+                                         monitor.history().back()}) {
+    const std::string json = snapshot.ToJson();
+    EXPECT_NE(json.find("\"snapshot\": \"bounded\""), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"alerts_schema_version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"metrics\": ["), std::string::npos);
+    EXPECT_NE(json.find("{\"metric\": \"events\""), std::string::npos);
+    // Alerts precede metrics (string-scan consumers depend on the order).
+    EXPECT_LT(json.find("\"alerts\""), json.find("\"metrics\""));
+    int depth = 0;
+    for (char ch : json) {
+      depth += ch == '{';
+      depth -= ch == '}';
+      ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+  }
+  // The retained window is the newest samples, values intact.
+  EXPECT_EQ(monitor.history().front().sequence, 25u);
+  EXPECT_DOUBLE_EQ(monitor.history().back().metrics[0].value,
+                   static_cast<double>(HealthMonitor::kMaxHistory + 25));
+}
+
 TEST(HealthMonitorTest, StartIsIdempotentWhileRunning) {
   EventLoop loop;
   MetricRegistry registry;

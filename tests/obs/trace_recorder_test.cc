@@ -82,6 +82,39 @@ TEST(TraceRecorderTest, ChromeJsonShapeAndMicrosecondUnits) {
   EXPECT_NE(json.find("\"dur\":3.000"), std::string::npos);
 }
 
+TEST(TraceRecorderTest, OverflowedRingExportsSchemaValidJson) {
+  TraceRecorder recorder;
+  const TraceRecorder::TrackId track = recorder.RegisterTrack("tiny", 8);
+  // Fill well past capacity; only the newest 8 spans survive.
+  for (int64_t i = 0; i < 50; ++i) {
+    recorder.RecordSpan(track, "span", At(i * 100), At(i * 100 + 50));
+  }
+  EXPECT_EQ(recorder.span_count(track), 8u);
+  EXPECT_EQ(recorder.dropped(track), 42u);
+  const std::string json = recorder.ToChromeJson();
+  // Envelope still well-formed after eviction.
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Exactly 8 "X" events (plus one metadata event), oldest retained first.
+  size_t complete_events = 0;
+  for (size_t at = json.find("\"ph\":\"X\""); at != std::string::npos;
+       at = json.find("\"ph\":\"X\"", at + 1)) {
+    ++complete_events;
+  }
+  EXPECT_EQ(complete_events, 8u);
+  // Span 42 begins at 4200 ns = 4.200 us: the oldest retained after eviction.
+  EXPECT_NE(json.find("\"ts\":4.200"), std::string::npos);
+  EXPECT_EQ(json.find("\"ts\":4.100"), std::string::npos);  // span 41: evicted
+  // Structurally balanced.
+  int depth = 0;
+  for (char c : json) {
+    depth += c == '{';
+    depth -= c == '}';
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
 TEST(TraceRecorderTest, DeterministicJsonForDeterministicRuns) {
   const auto render = [] {
     TraceRecorder recorder;

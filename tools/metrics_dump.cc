@@ -13,6 +13,9 @@
 //
 //   --json       emit the raw versioned JSON on stdout instead of the table
 //   --out=PATH   additionally write the snapshot JSON to PATH
+//
+// Unknown flags and unwritable --out paths are usage errors (exit 2) — a typoed
+// flag silently running the demo farm once cost someone an afternoon.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -185,14 +188,52 @@ HealthSnapshot RunDemoFarm() {
   return farm.health().SampleNow();
 }
 
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: metrics_dump [--json] [--out=PATH] [snapshot.json]\n"
+               "  --json       emit raw versioned JSON instead of the table\n"
+               "  --out=PATH   additionally write the snapshot JSON to PATH\n");
+}
+
 int Run(int argc, char** argv) {
   const Flags flags = Flags::Parse(argc, argv);
+  for (const std::string& name : flags.Names()) {
+    if (name != "json" && name != "out") {
+      std::fprintf(stderr, "metrics_dump: unknown flag --%s\n", name.c_str());
+      PrintUsage();
+      return 2;
+    }
+  }
+  const std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    // Check writability up front: discovering the path is bad only after the
+    // demo farm ran (or the input parsed) wastes the work and hides the error.
+    std::FILE* probe = std::fopen(out.c_str(), "ab");
+    if (probe == nullptr) {
+      std::fprintf(stderr, "metrics_dump: cannot write %s\n", out.c_str());
+      PrintUsage();
+      return 2;
+    }
+    std::fclose(probe);
+  }
   if (!flags.positional().empty()) {
-    return PrintSnapshotFile(flags.positional()[0].c_str());
+    const int status = PrintSnapshotFile(flags.positional()[0].c_str());
+    if (status == 0 && !out.empty()) {
+      // File mode honors --out too: copy the (validated) snapshot through.
+      const std::string text = ReadAll(flags.positional()[0].c_str());
+      std::FILE* file = std::fopen(out.c_str(), "wb");
+      if (file == nullptr) {
+        std::fprintf(stderr, "metrics_dump: cannot write %s\n", out.c_str());
+        return 2;
+      }
+      std::fwrite(text.data(), 1, text.size(), file);
+      std::fclose(file);
+      std::fprintf(stderr, "metrics_dump: wrote %s\n", out.c_str());
+    }
+    return status;
   }
 
   const HealthSnapshot snapshot = RunDemoFarm();
-  const std::string out = flags.GetString("out", "");
   if (!out.empty()) {
     if (!snapshot.WriteJson(out)) {
       std::fprintf(stderr, "metrics_dump: cannot write %s\n", out.c_str());
