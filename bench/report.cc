@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
+#include <thread>
 #include <utility>
 
 namespace potemkin {
@@ -92,6 +93,11 @@ std::string BenchReport::ToJson() const {
   AppendJsonNumber(out, static_cast<double>(seed_));
   out += ",\n  \"git_sha\": ";
   AppendJsonString(out, GitSha());
+  out += ",\n  \"shards\": ";
+  AppendJsonNumber(out, static_cast<double>(shards_));
+  out += ",\n  \"host_threads\": ";
+  AppendJsonNumber(out,
+                   static_cast<double>(std::thread::hardware_concurrency()));
   out += ",\n  \"metrics\": [";
   for (size_t i = 0; i < metrics_.size(); ++i) {
     out += i == 0 ? "\n" : ",\n";

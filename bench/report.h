@@ -9,6 +9,8 @@
 //     "benchmark": "vm_scaling",
 //     "seed": 42,
 //     "git_sha": "97e6328",
+//     "shards": 1,
+//     "host_threads": 8,
 //     "metrics": [
 //       {"metric": "peak_live_vms_timeout_5s", "value": 533, "unit": "vms"}
 //     ]
@@ -32,6 +34,10 @@ class BenchReport {
 
   void Add(std::string metric, double value, std::string unit);
   void set_seed(uint64_t seed) { seed_ = seed; }
+  // Gateway shard count the run used (1 for unsharded benches). Stamped into
+  // the JSON alongside `host_threads` (the machine's hardware concurrency) so
+  // a diff can tell a code regression from a topology or host change.
+  void set_shards(uint32_t shards) { shards_ = shards; }
 
   // Serializes the report (stable key order, trailing newline).
   std::string ToJson() const;
@@ -54,6 +60,7 @@ class BenchReport {
 
   std::string benchmark_;
   uint64_t seed_ = 0;
+  uint32_t shards_ = 1;
   std::vector<Metric> metrics_;
 };
 

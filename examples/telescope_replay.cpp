@@ -4,6 +4,7 @@
 //
 //   ./telescope_replay [--prefix 10.1.0.0/18] [--minutes 30] [--pps 40]
 //                      [--timeout-s 5] [--save trace.pkt | --load trace.pkt]
+//                      [--shards N]   (power of two; partitions the gateway)
 #include <cstdio>
 #include <memory>
 
@@ -62,8 +63,14 @@ int main(int argc, char** argv) {
   config.server_template.engine.control_plane_workers = 8;
   config.gateway.recycle.idle_timeout = Duration::Seconds(timeout_s);
   config.gateway.recycle.max_lifetime = Duration::Zero();
+  // Gateway sharding (deterministic shared-loop mode): the default of 1
+  // reproduces the pre-sharding farm byte for byte.
+  config.gateway_shards = static_cast<uint32_t>(flags.GetUint("shards", 1));
 
   Honeyfarm farm(config);
+  if (config.gateway_shards > 1) {
+    std::printf("(gateway partitioned across %u shards)\n", config.gateway_shards);
+  }
   farm.Start(/*sample_interval=*/Duration::Seconds(10));
 
   if (flags.GetBool("gre", false)) {
@@ -111,11 +118,14 @@ int main(int argc, char** argv) {
   std::printf("mean live VMs:        %.1f\n", mean);
   std::printf("clones completed:     %s\n",
               WithCommas(farm.total_clones_completed()).c_str());
-  std::printf("VMs recycled:         %s\n",
-              WithCommas(farm.gateway().stats().vms_retired).c_str());
-  std::printf("distinct scanners:    %s flagged\n",
-              WithCommas(farm.gateway().scan_detector().scanners_flagged()).c_str());
+  const GatewayStats gw = farm.sharded_gateway().AggregateStats();
+  uint64_t scanners = 0;
+  for (uint32_t s = 0; s < farm.sharded_gateway().shard_count(); ++s) {
+    scanners += farm.sharded_gateway().shard(s).scan_detector().scanners_flagged();
+  }
+  std::printf("VMs recycled:         %s\n", WithCommas(gw.vms_retired).c_str());
+  std::printf("distinct scanners:    %s flagged\n", WithCommas(scanners).c_str());
   std::printf("capacity drops:       %s\n",
-              WithCommas(farm.gateway().stats().no_capacity_drops).c_str());
+              WithCommas(gw.no_capacity_drops).c_str());
   return 0;
 }

@@ -243,6 +243,11 @@ void EventLoop::Execute(const Item& item) {
   }
 }
 
+TimePoint EventLoop::NextEventTime() {
+  Item* tip = PeekLive();
+  return tip == nullptr ? TimePoint::Max() : tip->when;
+}
+
 bool EventLoop::Step() {
   Item* tip = PeekLive();
   if (tip == nullptr) {

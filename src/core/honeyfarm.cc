@@ -14,11 +14,19 @@ GatewayConfig WithPrefix(GatewayConfig config, Ipv4Prefix prefix, Observability*
   return config;
 }
 
+ShardedGatewayConfig FarmGatewayConfig(const HoneyfarmConfig& config,
+                                       Observability* obs) {
+  ShardedGatewayConfig sharded;
+  sharded.gateway = WithPrefix(config.gateway, config.prefix, obs);
+  sharded.shard_count = config.gateway_shards;
+  return sharded;
+}
+
 }  // namespace
 
 Honeyfarm::Honeyfarm(const HoneyfarmConfig& config)
     : config_(config),
-      gateway_(&loop_, WithPrefix(config.gateway, config.prefix, &obs_), this) {
+      gateway_(&loop_, FarmGatewayConfig(config, &obs_), this) {
   if (config_.ledger_capacity != obs_.ledger.capacity()) {
     obs_.ledger.Reset(config_.ledger_capacity);
   }
@@ -281,7 +289,7 @@ void Honeyfarm::ScheduleSampling(Duration interval) {
 FarmSample Honeyfarm::SampleNow() {
   FarmSample sample;
   sample.time = loop_.Now();
-  sample.live_bindings = gateway_.bindings().size();
+  sample.live_bindings = gateway_.live_bindings();
   sample.live_vms = TotalLiveVms();
   sample.used_frames = TotalUsedFrames();
   sample.private_pages = TotalPrivatePages();

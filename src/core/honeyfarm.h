@@ -15,6 +15,7 @@
 #include "src/base/stats.h"
 #include "src/core/clone_server.h"
 #include "src/gateway/gateway.h"
+#include "src/gateway/sharded_gateway.h"
 #include "src/malware/epidemic.h"
 #include "src/malware/worm.h"
 #include "src/net/gre.h"
@@ -33,6 +34,11 @@ struct HoneyfarmConfig {
   // Per-host template; host ids/names/seeds are filled in per instance.
   CloneServerConfig server_template;
   GatewayConfig gateway;
+  // Gateway shard count (power of two). 1 — the default — is byte-identical
+  // to the pre-sharding farm. N > 1 partitions the gateway's tables by
+  // destination address across N shard instances on the farm's single event
+  // loop (still deterministic); cross-shard traffic rides the handoff rings.
+  uint32_t gateway_shards = 1;
   uint64_t seed = 42;
   // Ring size of the farm's event ledger. The default suits tests and short
   // runs; long replays that want complete forensic timelines should size this
@@ -63,7 +69,12 @@ class Honeyfarm : public GatewayBackend {
   // against it, so concurrent farms (tests, sweeps) never share metric storage.
   Observability& obs() { return obs_; }
   HealthMonitor& health() { return health_; }
-  Gateway& gateway() { return gateway_; }
+  // The sharded gateway facade every packet crosses.
+  ShardedGateway& sharded_gateway() { return gateway_; }
+  // Shard 0's Gateway — the whole gateway for the default 1-shard farm, which
+  // keeps every pre-sharding caller source-compatible. Multi-shard callers
+  // that want farm-wide state should use sharded_gateway() instead.
+  Gateway& gateway() { return gateway_.shard(0); }
   CloneServer& server(size_t i) { return *servers_[i]; }
   size_t server_count() const { return servers_.size(); }
   EpidemicTracker& epidemic() { return epidemic_; }
@@ -163,7 +174,7 @@ class Honeyfarm : public GatewayBackend {
   // destroyed after them, so component destructors can still remove probes.
   Observability obs_;
   HealthMonitor health_{&loop_, &obs_.metrics, "honeyfarm"};
-  Gateway gateway_;
+  ShardedGateway gateway_;
   std::vector<std::unique_ptr<CloneServer>> servers_;
   // In-flight handshake seeds, matched against egress SYN|ACKs.
   struct PendingSeed {

@@ -75,6 +75,11 @@ class BindingTable {
     return slot == FlatIndex<uint32_t>::kNotFound ? nullptr : &slab_.At(slot);
   }
 
+  // Pre-sizes the address index for an expected live-binding load. The sharded
+  // gateway calls this with its partition's share of the farm prefix so a
+  // populate burst never rehashes mid-flight.
+  void Reserve(size_t expected_bindings) { index_.Reserve(expected_bindings); }
+
   // Queues a packet on a cloning binding, enforcing the queue cap.
   // Returns false (and counts a drop) when full.
   bool QueuePending(Binding& binding, Packet packet);

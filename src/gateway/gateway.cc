@@ -17,7 +17,23 @@ Gateway::Gateway(EventLoop* loop, const GatewayConfig& config, GatewayBackend* b
       dns_proxy_(config.farm_prefix, config.seed),
       scan_detector_(config.scan_detector),
       flows_(config.flow_idle_timeout) {
+  next_session_ = 1 + config.shard_id;
   MetricRegistry& m = obs_.metrics;
+  // Counters keep their farm-wide names even when sharded: same-name
+  // registration shares one atomic cell, so N shards recording into
+  // "gateway.rx.packets" aggregate for free. Probes cannot share (duplicate
+  // names shadow), so a sharded gateway publishes its probes under
+  // "gateway.s<i>." and ShardedGateway re-registers farm-wide sums under the
+  // original names. A 1-shard gateway keeps the exact historical names, so
+  // nothing downstream (watchdog rules, metric dumps, goldens) changes.
+  const std::string ns =
+      config.shard_count > 1
+          ? "gateway.s" + std::to_string(config.shard_id) + "."
+          : "gateway.";
+  if (config.shard_count > 1) {
+    m_handoff_out_ = m.RegisterCounter("gateway.handoff.out", "count");
+    m_handoff_in_ = m.RegisterCounter("gateway.handoff.in", "count");
+  }
   m_rx_packets_ = m.RegisterCounter("gateway.rx.packets", "count");
   m_rx_hit_ = m.RegisterCounter("gateway.rx.hit", "count");
   m_rx_first_contact_ = m.RegisterCounter("gateway.rx.first_contact", "count");
@@ -32,58 +48,58 @@ Gateway::Gateway(EventLoop* loop, const GatewayConfig& config, GatewayBackend* b
   // Cold-path state (binding table, containment verdicts, scan detector,
   // recycler churn) is exported via probes: sampled only when a snapshot is
   // taken, costing the packet path nothing.
-  m.RegisterProbe(this, "gateway.bindings.live", "vms",
+  m.RegisterProbe(this, ns + "bindings.live", "vms",
                   [this] { return static_cast<double>(bindings_.size()); });
-  m.RegisterProbe(this, "gateway.bindings.load_factor", "ratio",
+  m.RegisterProbe(this, ns + "bindings.load_factor", "ratio",
                   [this] { return bindings_.load_factor(); });
-  m.RegisterProbe(this, "gateway.bindings.peak_live", "vms", [this] {
+  m.RegisterProbe(this, ns + "bindings.peak_live", "vms", [this] {
     return static_cast<double>(bindings_.stats().peak_live);
   });
-  m.RegisterProbe(this, "gateway.containment.allowed", "count", [this] {
+  m.RegisterProbe(this, ns + "containment.allowed", "count", [this] {
     return static_cast<double>(containment_.stats().allowed);
   });
-  m.RegisterProbe(this, "gateway.containment.dropped", "count", [this] {
+  m.RegisterProbe(this, ns + "containment.dropped", "count", [this] {
     return static_cast<double>(containment_.stats().dropped);
   });
-  m.RegisterProbe(this, "gateway.containment.reflected", "count", [this] {
+  m.RegisterProbe(this, ns + "containment.reflected", "count", [this] {
     return static_cast<double>(containment_.stats().reflected);
   });
-  m.RegisterProbe(this, "gateway.containment.rate_limited", "count", [this] {
+  m.RegisterProbe(this, ns + "containment.rate_limited", "count", [this] {
     return static_cast<double>(containment_.stats().rate_limited);
   });
-  m.RegisterProbe(this, "gateway.containment.dns_proxied", "count", [this] {
+  m.RegisterProbe(this, ns + "containment.dns_proxied", "count", [this] {
     return static_cast<double>(containment_.stats().dns_proxied);
   });
-  m.RegisterProbe(this, "gateway.containment.escapes_from_infected", "count",
+  m.RegisterProbe(this, ns + "containment.escapes_from_infected", "count",
                   [this] {
                     return static_cast<double>(
                         containment_.stats().escapes_from_infected);
                   });
-  m.RegisterProbe(this, "gateway.scan.tracked_sources", "sources", [this] {
+  m.RegisterProbe(this, ns + "scan.tracked_sources", "sources", [this] {
     return static_cast<double>(scan_detector_.tracked_sources());
   });
-  m.RegisterProbe(this, "gateway.scan.scanners_flagged", "count", [this] {
+  m.RegisterProbe(this, ns + "scan.scanners_flagged", "count", [this] {
     return static_cast<double>(scan_detector_.scanners_flagged());
   });
-  m.RegisterProbe(this, "gateway.recycle.retired", "vms", [this] {
+  m.RegisterProbe(this, ns + "recycle.retired", "vms", [this] {
     return static_cast<double>(stats_.vms_retired);
   });
-  m.RegisterProbe(this, "gateway.recycle.retired_idle", "vms", [this] {
+  m.RegisterProbe(this, ns + "recycle.retired_idle", "vms", [this] {
     return static_cast<double>(stats_.retired_idle);
   });
-  m.RegisterProbe(this, "gateway.recycle.retired_lifetime", "vms", [this] {
+  m.RegisterProbe(this, ns + "recycle.retired_lifetime", "vms", [this] {
     return static_cast<double>(stats_.retired_lifetime);
   });
-  m.RegisterProbe(this, "gateway.recycle.retired_infected_expired", "vms",
+  m.RegisterProbe(this, ns + "recycle.retired_infected_expired", "vms",
                   [this] {
                     return static_cast<double>(stats_.retired_infected_expired);
                   });
-  m.RegisterProbe(this, "gateway.recycle.emergency_reclaims", "vms", [this] {
+  m.RegisterProbe(this, ns + "recycle.emergency_reclaims", "vms", [this] {
     return static_cast<double>(stats_.emergency_reclaims);
   });
   // Watchdog feed: bindings past their retire deadline but not yet swept (a
   // growing backlog means the recycler is starved or wedged)...
-  m.RegisterProbe(this, "gateway.recycle.backlog", "vms", [this] {
+  m.RegisterProbe(this, ns + "recycle.backlog", "vms", [this] {
     const TimePoint now = loop_->Now();
     size_t backlog = 0;
     bindings_.ForEach([&](Binding& binding) {
@@ -95,7 +111,7 @@ Gateway::Gateway(EventLoop* loop, const GatewayConfig& config, GatewayBackend* b
   });
   // ...and every class of shed inbound packet, folded into one counter so a
   // single rate rule can page on drop storms.
-  m.RegisterProbe(this, "gateway.drops.total", "count", [this] {
+  m.RegisterProbe(this, ns + "drops.total", "count", [this] {
     return static_cast<double>(
         stats_.no_capacity_drops + stats_.inbound_dropped_cloning +
         stats_.ttl_expired_drops + stats_.inbound_filtered_scanners +
@@ -176,6 +192,20 @@ void Gateway::DeliverToBinding(Binding& binding, Packet packet, PacketView& view
 
 void Gateway::RouteToFarm(Packet packet, PacketView& view, bool via_reflection) {
   const Ipv4Address dst = view.ip().dst;
+  // Shard ownership gate. Inbound traffic is pre-binned by the dispatcher, so
+  // on the hit path this is one always-false predictable comparison; the
+  // branch fires only for reflected / farm-internal traffic whose rewritten
+  // destination hashes to a different shard, which crosses via the handoff
+  // ring instead of touching this shard's tables.
+  if (config_.shard_count > 1) {
+    const uint32_t owner = ShardOf(dst);
+    if (owner != config_.shard_id && handoff_) {
+      ++stats_.handoffs_out;
+      m_handoff_out_.Inc();
+      handoff_(std::move(packet), owner, via_reflection);
+      return;
+    }
+  }
   Binding* binding = bindings_.Find(dst);
   if (binding != nullptr) {
     if (binding->state == BindingState::kActive) {
@@ -222,8 +252,10 @@ void Gateway::RouteToFarm(Packet packet, PacketView& view, bool via_reflection) 
   Binding& fresh = bindings_.CreatePending(dst, host, loop_->Now());
   fresh.reflected_origin = via_reflection;
   // Mint the attack session here: the id every later layer (clone engine,
-  // guest, containment, retirement) stamps on its ledger events.
-  fresh.session = next_session_++;
+  // guest, containment, retirement) stamps on its ledger events. The stride
+  // keeps ids farm-unique across shards (see next_session_ in the header).
+  fresh.session = next_session_;
+  next_session_ += config_.shard_count;
   m_rx_first_contact_.Inc();
   obs_.ledger.Append(LedgerEvent::kFirstContact, fresh.session,
                      loop_->Now().nanos(), view.ip().src.value(),
@@ -397,6 +429,21 @@ void Gateway::HandleInboundBatch(std::span<Packet> packets) {
     }
     i = j;
   }
+}
+
+void Gateway::HandleHandoff(Packet packet, bool via_reflection) {
+  // The packet was classified (containment verdict, NAT rewrite, flow
+  // accounting) on the shard that produced it; this side only re-parses — the
+  // origin's PacketView died with its stack frame — and routes into its own
+  // partition. No flow re-record: the flow table entry, if any, lives where
+  // the traffic originated.
+  auto view = PacketView::Parse(packet);
+  if (!view) {
+    return;
+  }
+  ++stats_.handoffs_in;
+  m_handoff_in_.Inc();
+  RouteToFarm(std::move(packet), *view, via_reflection);
 }
 
 void Gateway::HandleDnsQuery(const PacketView& view, Binding* source_binding) {

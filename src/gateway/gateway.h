@@ -73,6 +73,17 @@ struct GatewayConfig {
   // first-contact packets no longer spawn VMs (packets to already-live VMs still
   // flow). Trades coverage of aggressive scanners for clone-engine headroom.
   bool filter_known_scanners = false;
+  // Shard topology. A sharded deployment runs `shard_count` Gateway instances,
+  // each owning the farm addresses whose low bits equal `shard_id`
+  // (shard_count must be a power of two). The defaults make a standalone
+  // gateway a 1-shard deployment with every shard branch compiled out of the
+  // hit path behind a single predictable comparison. When shard_count > 1 the
+  // gateway hands packets it does not own to the handoff sink (see
+  // set_shard_handoff) instead of routing them, and mints session ids on a
+  // per-shard stride so ids stay farm-unique without cross-shard coordination:
+  // session s belongs to shard (s - 1) % shard_count.
+  uint32_t shard_id = 0;
+  uint32_t shard_count = 1;
   size_t pending_queue_cap = 64;
   Duration flow_idle_timeout = Duration::Minutes(2);
   uint64_t seed = 42;
@@ -106,12 +117,20 @@ struct GatewayStats {
   uint64_t retired_idle = 0;
   uint64_t retired_lifetime = 0;
   uint64_t retired_infected_expired = 0;
+  // Cross-shard traffic (zero in a 1-shard deployment).
+  uint64_t handoffs_out = 0;  // packets passed to the handoff sink
+  uint64_t handoffs_in = 0;   // packets received via HandleHandoff
 };
 
 class Gateway {
  public:
   // Sink for packets the gateway releases to the real Internet.
   using EgressSink = std::function<void(Packet)>;
+  // Sink for packets whose farm destination belongs to another shard. The
+  // sharded gateway wires this to the SPSC handoff ring toward `dst_shard`;
+  // `via_reflection` preserves the routing context across the handoff.
+  using ShardHandoff =
+      std::function<void(Packet packet, uint32_t dst_shard, bool via_reflection)>;
 
   Gateway(EventLoop* loop, const GatewayConfig& config, GatewayBackend* backend);
   ~Gateway();
@@ -124,6 +143,17 @@ class Gateway {
   // address order (deterministic). Packets are consumed (moved from).
   void HandleInboundBatch(std::span<Packet> packets);
   void set_egress_sink(EgressSink sink) { egress_ = std::move(sink); }
+
+  // ---- Shard fabric ----
+  void set_shard_handoff(ShardHandoff handoff) { handoff_ = std::move(handoff); }
+  // Entry point for packets another shard handed off to this one: the frame
+  // was already classified there (containment, NAT rewrite, flow accounting),
+  // so this parses and routes into this shard's partition only.
+  void HandleHandoff(Packet packet, bool via_reflection);
+  // Owning shard of a farm destination under this gateway's topology.
+  uint32_t ShardOf(Ipv4Address ip) const {
+    return ip.value() & (config_.shard_count - 1);
+  }
 
   // ---- Farm side ----
   // Called by the clone servers for every packet a VM transmits.
@@ -174,6 +204,10 @@ class Gateway {
   Counter m_rx_queued_;
   Counter m_tx_outbound_;
   Counter m_tx_egress_;
+  // Registered only when shard_count > 1; default handles hit the registry's
+  // shared sink so a 1-shard gateway pays nothing for the sharding seams.
+  Counter m_handoff_out_;
+  Counter m_handoff_in_;
   FixedHistogram m_batch_bin_packets_;
   FixedHistogram m_rx_frame_bytes_;
   BindingTable bindings_;
@@ -182,10 +216,14 @@ class Gateway {
   ScanDetector scan_detector_;
   FlowTable flows_;
   EgressSink egress_;
+  ShardHandoff handoff_;
   GatewayStats stats_;
   HostId next_host_ = 0;
-  // Next forensic session id; minted per first contact. Starts at 1 so
-  // kNoSession (0) stays reserved for farm-internal traffic.
+  // Next forensic session id; minted per first contact. Shard s starts at
+  // 1 + s and strides by shard_count, so ids stay farm-unique with no
+  // cross-shard coordination and kNoSession (0) stays reserved for
+  // farm-internal traffic. A 1-shard gateway mints 1, 2, 3, ... exactly as
+  // before sharding existed.
   SessionId next_session_ = 1;
   bool recycling_started_ = false;
   // Reflection NAT: internal victim address -> external address it impersonates,

@@ -1,0 +1,498 @@
+#include "src/gateway/sharded_gateway.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "src/base/log.h"
+
+namespace potemkin {
+
+namespace {
+
+bool IsPowerOfTwo(uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+ShardedGateway::ShardedGateway(EventLoop* loop,
+                               const ShardedGatewayConfig& config,
+                               GatewayBackend* backend)
+    : mode_(Mode::kSharedLoop) {
+  PK_CHECK(IsPowerOfTwo(config.shard_count))
+      << "shard_count must be a power of two, got " << config.shard_count;
+  shared_loop_ = loop;
+  BuildShards(config, loop, backend, {});
+  if (shard_count() > 1) {
+    RegisterAggregateProbes(ObsOrDefault(config.gateway.obs).metrics);
+  }
+}
+
+ShardedGateway::ShardedGateway(const ShardedGatewayConfig& config,
+                               std::vector<GatewayBackend*> backends)
+    : mode_(Mode::kPartitioned) {
+  PK_CHECK(IsPowerOfTwo(config.shard_count))
+      << "shard_count must be a power of two, got " << config.shard_count;
+  PK_CHECK(backends.size() == config.shard_count)
+      << "partitioned mode needs one backend per shard";
+  BuildShards(config, nullptr, nullptr, backends);
+}
+
+ShardedGateway::~ShardedGateway() {
+  if (aggregate_registry_ != nullptr) {
+    aggregate_registry_->RemoveProbes(this);
+  }
+  // Member destruction runs in reverse declaration order, which would destroy
+  // the per-shard obs bundles before the Gateways whose destructors
+  // deregister probes from them; tear the shards down first explicitly.
+  shards_.clear();
+}
+
+void ShardedGateway::BuildShards(const ShardedGatewayConfig& config,
+                                 EventLoop* shared_loop,
+                                 GatewayBackend* shared_backend,
+                                 const std::vector<GatewayBackend*>& backends) {
+  const uint32_t n = config.shard_count;
+  rings_.reserve(static_cast<size_t>(n) * n);
+  for (size_t i = 0; i < static_cast<size_t>(n) * n; ++i) {
+    rings_.push_back(
+        std::make_unique<SpscRing<Handoff>>(config.handoff_ring_capacity));
+  }
+  shards_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    GatewayConfig shard_config = config.gateway;
+    shard_config.shard_id = i;
+    shard_config.shard_count = n;
+    EventLoop* loop = shared_loop;
+    GatewayBackend* backend = shared_backend;
+    if (mode_ == Mode::kPartitioned) {
+      loops_.push_back(std::make_unique<EventLoop>());
+      obs_.push_back(std::make_unique<Observability>());
+      pools_.push_back(std::make_unique<PacketPool>());
+      shard_config.obs = obs_.back().get();
+      loop = loops_.back().get();
+      backend = backends[i];
+    }
+    shards_.push_back(std::make_unique<Gateway>(loop, shard_config, backend));
+    if (config.reserve_bindings_per_shard > 0) {
+      shards_.back()->bindings().Reserve(config.reserve_bindings_per_shard);
+    }
+  }
+  if (n > 1) {
+    for (uint32_t i = 0; i < n; ++i) {
+      InstallHandoff(i);
+    }
+  }
+}
+
+void ShardedGateway::InstallHandoff(uint32_t from) {
+  if (mode_ == Mode::kSharedLoop) {
+    shards_[from]->set_shard_handoff(
+        [this, from](Packet packet, uint32_t to, bool via_reflection) {
+          in_flight_.fetch_add(1);
+          Handoff handoff{std::move(packet), via_reflection};
+          if (!RingTo(from, to).TryPush(std::move(handoff))) {
+            // Ring full: deliver inline. Depth is bounded at one hop — once
+            // handed off, the destination is owned and cannot hand off again.
+            in_flight_.fetch_sub(1);
+            shards_[to]->HandleHandoff(std::move(handoff.packet),
+                                       handoff.via_reflection);
+            return;
+          }
+          // Drain immediately so shared-loop execution order is a pure
+          // function of the traffic (no-op when a pump is already running).
+          PumpHandoffs();
+        });
+    return;
+  }
+  shards_[from]->set_shard_handoff(
+      [this, from](Packet packet, uint32_t to, bool via_reflection) {
+        in_flight_.fetch_add(1);
+        Handoff handoff{std::move(packet), via_reflection};
+        while (!RingTo(from, to).TryPush(std::move(handoff))) {
+          if (parallel_active_.load(std::memory_order_relaxed)) {
+            // Backpressure without deadlock: the peer may itself be blocked
+            // pushing toward us, so make progress on our own inbox and retry.
+            DrainIncoming(from);
+            std::this_thread::yield();
+          } else {
+            // Single-threaded partitioned driver: deliver inline (same
+            // one-hop bound as above).
+            in_flight_.fetch_sub(1);
+            shards_[to]->HandleHandoff(std::move(handoff.packet),
+                                       handoff.via_reflection);
+            return;
+          }
+        }
+      });
+}
+
+size_t ShardedGateway::DrainIncoming(uint32_t to) {
+  size_t delivered = 0;
+  const uint32_t n = shard_count();
+  for (uint32_t from = 0; from < n; ++from) {
+    if (from == to) {
+      continue;
+    }
+    Handoff handoff;
+    while (RingTo(from, to).TryPop(&handoff)) {
+      if (mode_ == Mode::kPartitioned) {
+        // Adopt into the consuming shard's pool so the eventual Release never
+        // races another thread's freelist.
+        handoff.packet.set_pool(pools_[to].get());
+      }
+      shards_[to]->HandleHandoff(std::move(handoff.packet),
+                                 handoff.via_reflection);
+      in_flight_.fetch_sub(1);
+      ++delivered;
+    }
+  }
+  return delivered;
+}
+
+size_t ShardedGateway::PumpHandoffs() {
+  if (pumping_) {
+    return 0;  // the outermost pump will pick up anything we enqueued
+  }
+  pumping_ = true;
+  size_t total = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (uint32_t to = 0; to < shard_count(); ++to) {
+      const size_t delivered = DrainIncoming(to);
+      if (delivered > 0) {
+        total += delivered;
+        progress = true;  // deliveries may have produced fresh handoffs
+      }
+    }
+  }
+  pumping_ = false;
+  return total;
+}
+
+void ShardedGateway::HandleInbound(Packet packet) {
+  if (shard_count() == 1) {
+    shards_[0]->HandleInbound(std::move(packet));
+    return;
+  }
+  const auto dst = PeekIpv4Dst(packet);
+  // Un-peekable frames go to shard 0, whose full parse rejects them exactly
+  // as an unsharded gateway would.
+  const uint32_t s = dst.has_value() ? ShardOf(*dst) : 0;
+  shards_[s]->HandleInbound(std::move(packet));
+  PumpHandoffs();
+}
+
+void ShardedGateway::HandleInboundBatch(std::span<Packet> packets) {
+  if (shard_count() == 1) {
+    shards_[0]->HandleInboundBatch(packets);
+    return;
+  }
+  const uint32_t n = shard_count();
+  batch_bins_.resize(n);
+  for (auto& bin : batch_bins_) {
+    bin.clear();  // capacity retained: steady-state bursts allocate nothing
+  }
+  for (auto& packet : packets) {
+    const auto dst = PeekIpv4Dst(packet);
+    const uint32_t s = dst.has_value() ? ShardOf(*dst) : 0;
+    batch_bins_[s].push_back(std::move(packet));
+  }
+  for (uint32_t s = 0; s < n; ++s) {
+    if (!batch_bins_[s].empty()) {
+      shards_[s]->HandleInboundBatch(batch_bins_[s]);
+    }
+  }
+  PumpHandoffs();
+}
+
+void ShardedGateway::HandleOutbound(HostId host, VmId vm, Packet packet) {
+  if (shard_count() == 1) {
+    shards_[0]->HandleOutbound(host, vm, std::move(packet));
+    return;
+  }
+  // Outbound shards by source: that is the transmitting VM's address, and its
+  // binding (infection flag, session) lives on the shard that owns it.
+  const auto src = PeekIpv4Src(packet);
+  const uint32_t s = src.has_value() ? ShardOf(*src) : 0;
+  shards_[s]->HandleOutbound(host, vm, std::move(packet));
+  PumpHandoffs();
+}
+
+void ShardedGateway::NotifyInfected(Ipv4Address vm_ip) {
+  shards_[ShardOf(vm_ip)]->NotifyInfected(vm_ip);
+}
+
+void ShardedGateway::StartRecycling() {
+  for (auto& shard : shards_) {
+    shard->StartRecycling();
+  }
+}
+
+size_t ShardedGateway::SweepOnce() {
+  size_t retired = 0;
+  for (auto& shard : shards_) {
+    retired += shard->SweepOnce();
+  }
+  PumpHandoffs();
+  return retired;
+}
+
+void ShardedGateway::set_egress_sink(Gateway::EgressSink sink) {
+  for (auto& shard : shards_) {
+    shard->set_egress_sink(sink);
+  }
+}
+
+EventLoop& ShardedGateway::shard_loop(uint32_t i) {
+  PK_CHECK(mode_ == Mode::kPartitioned);
+  return *loops_[i];
+}
+
+Observability& ShardedGateway::shard_obs(uint32_t i) {
+  PK_CHECK(mode_ == Mode::kPartitioned);
+  return *obs_[i];
+}
+
+PacketPool& ShardedGateway::shard_pool(uint32_t i) {
+  PK_CHECK(mode_ == Mode::kPartitioned);
+  return *pools_[i];
+}
+
+void ShardedGateway::RunUntilIdle() {
+  PK_CHECK(mode_ == Mode::kPartitioned);
+  for (;;) {
+    PumpHandoffs();
+    // Globally earliest pending event wins; shard id breaks ties, so the
+    // merged schedule is total-ordered and the run is deterministic.
+    TimePoint best = TimePoint::Max();
+    uint32_t who = 0;
+    for (uint32_t i = 0; i < shard_count(); ++i) {
+      const TimePoint t = loops_[i]->NextEventTime();
+      if (t < best) {
+        best = t;
+        who = i;
+      }
+    }
+    if (best == TimePoint::Max()) {
+      break;  // every loop idle; rings were just drained
+    }
+    loops_[who]->Step();
+  }
+}
+
+ShardedGateway::DrainResult ShardedGateway::DrainParallel(
+    std::vector<std::vector<Packet>>* per_shard, size_t burst) {
+  PK_CHECK(mode_ == Mode::kPartitioned);
+  PK_CHECK(per_shard != nullptr && per_shard->size() == shards_.size());
+  PK_CHECK(burst > 0);
+  const uint32_t n = shard_count();
+  DrainResult result;
+  for (const auto& input : *per_shard) {
+    result.packets_fed += input.size();
+  }
+  const uint64_t handoffs_before = AggregateStats().handoffs_in;
+  std::atomic<uint32_t> active_producers{n};
+  parallel_active_.store(true);
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    workers.emplace_back([this, s, burst, per_shard, &active_producers] {
+      std::vector<Packet>& input = (*per_shard)[s];
+      PacketPool* pool = pools_[s].get();
+      size_t pos = 0;
+      bool producing = true;
+      for (;;) {
+        if (pos < input.size()) {
+          const size_t count = std::min(burst, input.size() - pos);
+          // Workload frames were built on the driver thread; adopt them here
+          // so their eventual release recycles into this shard's pool.
+          for (size_t i = 0; i < count; ++i) {
+            input[pos + i].set_pool(pool);
+          }
+          shards_[s]->HandleInboundBatch(
+              std::span<Packet>(&input[pos], count));
+          pos += count;
+        } else if (producing) {
+          producing = false;
+          active_producers.fetch_sub(1);
+        }
+        DrainIncoming(s);
+        if (!producing && active_producers.load() == 0 &&
+            in_flight_.load() == 0) {
+          // No input left anywhere, nothing enqueued, nothing mid-delivery
+          // (in_flight_ only reaches 0 after the consuming HandleHandoff
+          // returned, so no thread can still mint new handoffs).
+          break;
+        }
+        if (!producing) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  parallel_active_.store(false);
+  result.handoffs = AggregateStats().handoffs_in - handoffs_before;
+  return result;
+}
+
+GatewayStats ShardedGateway::AggregateStats() const {
+  GatewayStats total;
+  for (const auto& shard : shards_) {
+    const GatewayStats& s = shard->stats();
+    total.inbound_packets += s.inbound_packets;
+    total.inbound_nonfarm += s.inbound_nonfarm;
+    total.inbound_delivered += s.inbound_delivered;
+    total.inbound_queued += s.inbound_queued;
+    total.inbound_dropped_cloning += s.inbound_dropped_cloning;
+    total.inbound_filtered_scanners += s.inbound_filtered_scanners;
+    total.clones_triggered += s.clones_triggered;
+    total.clone_failures += s.clone_failures;
+    total.no_capacity_drops += s.no_capacity_drops;
+    total.outbound_packets += s.outbound_packets;
+    total.responses_allowed_out += s.responses_allowed_out;
+    total.icmp_errors_allowed_out += s.icmp_errors_allowed_out;
+    total.ttl_expired_drops += s.ttl_expired_drops;
+    total.emergency_reclaims += s.emergency_reclaims;
+    total.internal_forwards += s.internal_forwards;
+    total.reflections_injected += s.reflections_injected;
+    total.dns_responses += s.dns_responses;
+    total.egress_packets += s.egress_packets;
+    total.vms_retired += s.vms_retired;
+    total.retired_idle += s.retired_idle;
+    total.retired_lifetime += s.retired_lifetime;
+    total.retired_infected_expired += s.retired_infected_expired;
+    total.handoffs_out += s.handoffs_out;
+    total.handoffs_in += s.handoffs_in;
+  }
+  return total;
+}
+
+size_t ShardedGateway::live_bindings() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->bindings().size();
+  }
+  return total;
+}
+
+void ShardedGateway::RegisterAggregateProbes(MetricRegistry& m) {
+  aggregate_registry_ = &m;
+  // Shards publish their probes under "gateway.s<i>."; these rollups restore
+  // the unsharded names so watchdog rules, health snapshots, and dashboards
+  // see one gateway regardless of shard count.
+  m.RegisterProbe(this, "gateway.bindings.live", "vms", [this] {
+    return static_cast<double>(live_bindings());
+  });
+  m.RegisterProbe(this, "gateway.bindings.load_factor", "ratio", [this] {
+    // Worst shard: the probe is a probe-length health signal, and the hottest
+    // table is the one that pages.
+    double worst = 0.0;
+    for (auto& g : shards_) {
+      worst = std::max(worst, g->bindings().load_factor());
+    }
+    return worst;
+  });
+  m.RegisterProbe(this, "gateway.bindings.peak_live", "vms", [this] {
+    uint64_t total = 0;
+    for (auto& g : shards_) {
+      total += g->bindings().stats().peak_live;
+    }
+    return static_cast<double>(total);
+  });
+  m.RegisterProbe(this, "gateway.containment.allowed", "count", [this] {
+    uint64_t total = 0;
+    for (auto& g : shards_) total += g->containment().stats().allowed;
+    return static_cast<double>(total);
+  });
+  m.RegisterProbe(this, "gateway.containment.dropped", "count", [this] {
+    uint64_t total = 0;
+    for (auto& g : shards_) total += g->containment().stats().dropped;
+    return static_cast<double>(total);
+  });
+  m.RegisterProbe(this, "gateway.containment.reflected", "count", [this] {
+    uint64_t total = 0;
+    for (auto& g : shards_) total += g->containment().stats().reflected;
+    return static_cast<double>(total);
+  });
+  m.RegisterProbe(this, "gateway.containment.rate_limited", "count", [this] {
+    uint64_t total = 0;
+    for (auto& g : shards_) total += g->containment().stats().rate_limited;
+    return static_cast<double>(total);
+  });
+  m.RegisterProbe(this, "gateway.containment.dns_proxied", "count", [this] {
+    uint64_t total = 0;
+    for (auto& g : shards_) total += g->containment().stats().dns_proxied;
+    return static_cast<double>(total);
+  });
+  m.RegisterProbe(
+      this, "gateway.containment.escapes_from_infected", "count", [this] {
+        uint64_t total = 0;
+        for (auto& g : shards_) {
+          total += g->containment().stats().escapes_from_infected;
+        }
+        return static_cast<double>(total);
+      });
+  m.RegisterProbe(this, "gateway.scan.tracked_sources", "sources", [this] {
+    uint64_t total = 0;
+    for (auto& g : shards_) total += g->scan_detector().tracked_sources();
+    return static_cast<double>(total);
+  });
+  m.RegisterProbe(this, "gateway.scan.scanners_flagged", "count", [this] {
+    uint64_t total = 0;
+    for (auto& g : shards_) total += g->scan_detector().scanners_flagged();
+    return static_cast<double>(total);
+  });
+  m.RegisterProbe(this, "gateway.recycle.retired", "vms", [this] {
+    uint64_t total = 0;
+    for (auto& g : shards_) total += g->stats().vms_retired;
+    return static_cast<double>(total);
+  });
+  m.RegisterProbe(this, "gateway.recycle.retired_idle", "vms", [this] {
+    uint64_t total = 0;
+    for (auto& g : shards_) total += g->stats().retired_idle;
+    return static_cast<double>(total);
+  });
+  m.RegisterProbe(this, "gateway.recycle.retired_lifetime", "vms", [this] {
+    uint64_t total = 0;
+    for (auto& g : shards_) total += g->stats().retired_lifetime;
+    return static_cast<double>(total);
+  });
+  m.RegisterProbe(
+      this, "gateway.recycle.retired_infected_expired", "vms", [this] {
+        uint64_t total = 0;
+        for (auto& g : shards_) total += g->stats().retired_infected_expired;
+        return static_cast<double>(total);
+      });
+  m.RegisterProbe(this, "gateway.recycle.emergency_reclaims", "vms", [this] {
+    uint64_t total = 0;
+    for (auto& g : shards_) total += g->stats().emergency_reclaims;
+    return static_cast<double>(total);
+  });
+  m.RegisterProbe(this, "gateway.recycle.backlog", "vms", [this] {
+    const TimePoint now = shared_loop_->Now();
+    size_t backlog = 0;
+    for (auto& g : shards_) {
+      g->bindings().ForEach([&](Binding& binding) {
+        if (ShouldRetire(binding, g->config().recycle, now)) {
+          ++backlog;
+        }
+      });
+    }
+    return static_cast<double>(backlog);
+  });
+  m.RegisterProbe(this, "gateway.drops.total", "count", [this] {
+    uint64_t total = 0;
+    for (auto& g : shards_) {
+      const GatewayStats& s = g->stats();
+      total += s.no_capacity_drops + s.inbound_dropped_cloning +
+               s.ttl_expired_drops + s.inbound_filtered_scanners +
+               g->bindings().stats().pending_dropped;
+    }
+    return static_cast<double>(total);
+  });
+}
+
+}  // namespace potemkin

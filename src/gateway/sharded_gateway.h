@@ -1,0 +1,189 @@
+// Sharded gateway: N per-shard datapaths behind one gateway-shaped facade.
+//
+// The single-core gateway tops out when one thread must parse, look up, and
+// route every telescope packet. ShardedGateway breaks that ceiling by running
+// `shard_count` independent Gateway instances, each owning the farm addresses
+// whose low bits equal its shard id — binding table, flow table, containment
+// state, scan detector and reflection NAT are all partitioned, so the hit path
+// of one shard never takes a lock and never touches another shard's memory.
+// Traffic that crosses the partition (reflection and farm-internal forwards
+// whose rewritten destination hashes elsewhere) is enqueued on a bounded
+// lock-free SPSC ring per ordered shard pair instead of routed inline.
+//
+// Two deployment modes:
+//
+//  * Shared-loop (Honeyfarm): every shard runs on the caller's EventLoop,
+//    Observability, and backend — still strictly single-threaded and
+//    deterministic. Handoff rings are pumped inline in shard order, so the
+//    event schedule is a pure function of the input. With shard_count == 1
+//    this is a byte-identical passthrough to a bare Gateway: same metric
+//    names, same session ids, same stdout.
+//
+//  * Partitioned (benchmarks, parallel drains): each shard owns its own
+//    EventLoop, Observability bundle, and PacketPool, and the caller supplies
+//    one backend per shard. `RunUntilIdle` advances the shard loops in global
+//    virtual-time order (barrier merge) for deterministic single-thread
+//    execution; `DrainParallel` runs one real thread per shard for wall-clock
+//    scaling measurements. Packets crossing shards are re-targeted at the
+//    consumer's pool, so buffer recycling never races.
+//
+// Telemetry: counters keep their farm-wide names in both modes (same-name
+// registration shares one atomic cell, so shards aggregate for free). Probes
+// cannot share a name, so sharded-mode shards publish under "gateway.s<i>."
+// and this facade re-registers farm-wide rollups under the original names —
+// watchdog rules and health snapshots keep working unchanged.
+#ifndef SRC_GATEWAY_SHARDED_GATEWAY_H_
+#define SRC_GATEWAY_SHARDED_GATEWAY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/base/event_loop.h"
+#include "src/base/spsc_ring.h"
+#include "src/gateway/gateway.h"
+#include "src/net/packet_pool.h"
+#include "src/obs/observability.h"
+
+namespace potemkin {
+
+struct ShardedGatewayConfig {
+  // Per-shard template; shard_id/shard_count (and, in partitioned mode, obs)
+  // are overwritten for each instance.
+  GatewayConfig gateway;
+  // Must be a power of two (address bits partition evenly).
+  uint32_t shard_count = 1;
+  // Capacity of each directed (producer, consumer) handoff ring, in packets.
+  size_t handoff_ring_capacity = 4096;
+  // Optional: pre-size each shard's binding index for an expected load so a
+  // populate burst never rehashes mid-measurement.
+  size_t reserve_bindings_per_shard = 0;
+};
+
+class ShardedGateway {
+ public:
+  // Shared-loop mode: all shards share `loop`, `backend`, and the template's
+  // Observability. Deterministic; what the Honeyfarm embeds.
+  ShardedGateway(EventLoop* loop, const ShardedGatewayConfig& config,
+                 GatewayBackend* backend);
+  // Partitioned mode: one backend per shard; this object owns a private
+  // EventLoop, Observability, and PacketPool per shard.
+  ShardedGateway(const ShardedGatewayConfig& config,
+                 std::vector<GatewayBackend*> backends);
+  ~ShardedGateway();
+  ShardedGateway(const ShardedGateway&) = delete;
+  ShardedGateway& operator=(const ShardedGateway&) = delete;
+
+  // ---- Datapath (gateway-shaped facade) ----
+  // Inbound dispatch peeks the destination straight out of the frame bytes
+  // (no full parse) to pick the owning shard.
+  void HandleInbound(Packet packet);
+  // Burst dispatch: bins the burst by owning shard (arrival order preserved
+  // within a shard), then feeds each shard's bin through its batched path.
+  void HandleInboundBatch(std::span<Packet> packets);
+  // Outbound traffic shards by the transmitting VM's address (the source),
+  // which is where its binding lives.
+  void HandleOutbound(HostId host, VmId vm, Packet packet);
+  void NotifyInfected(Ipv4Address vm_ip);
+  void StartRecycling();
+  size_t SweepOnce();
+  // The sink is copied to every shard. In DrainParallel it may be invoked
+  // concurrently from shard threads; single-threaded modes never do.
+  void set_egress_sink(Gateway::EgressSink sink);
+
+  // ---- Topology ----
+  uint32_t shard_count() const { return static_cast<uint32_t>(shards_.size()); }
+  uint32_t ShardOf(Ipv4Address ip) const {
+    return ip.value() & (shard_count() - 1);
+  }
+  Gateway& shard(uint32_t i) { return *shards_[i]; }
+  const Gateway& shard(uint32_t i) const { return *shards_[i]; }
+  // Partitioned-mode internals (checked: shared-loop mode has none).
+  EventLoop& shard_loop(uint32_t i);
+  Observability& shard_obs(uint32_t i);
+  PacketPool& shard_pool(uint32_t i);
+
+  // ---- Execution ----
+  // Drains every handoff ring from the calling thread (single-threaded modes
+  // only), delivering in (producer, consumer) shard order until all rings are
+  // empty. Returns packets delivered. Re-entrant calls no-op: the outermost
+  // pump finishes the job.
+  size_t PumpHandoffs();
+  // Partitioned barrier merge: repeatedly steps whichever shard loop holds the
+  // globally earliest event (ties broken by shard id), pumping handoffs
+  // between steps, until every loop is idle and every ring is empty. One
+  // thread, deterministic — the reference schedule the parallel drain is
+  // checked against.
+  void RunUntilIdle();
+
+  struct DrainResult {
+    uint64_t packets_fed = 0;  // workload packets consumed
+    uint64_t handoffs = 0;     // packets that crossed a shard boundary
+  };
+  // Parallel drain (partitioned mode): one thread per shard consumes
+  // (*per_shard)[s] — frames whose destination that shard owns — in
+  // `burst`-sized chunks through the batched path, draining its incoming
+  // handoff rings between chunks. Workload packets are re-targeted at the
+  // consuming shard's pool, so recycling stays thread-local. Blocks until all
+  // input is consumed and every ring is empty.
+  DrainResult DrainParallel(std::vector<std::vector<Packet>>* per_shard,
+                            size_t burst);
+
+  // ---- Telemetry ----
+  // Field-wise sum of every shard's GatewayStats.
+  GatewayStats AggregateStats() const;
+  // Farm-wide live binding count (what FarmSample reports).
+  size_t live_bindings() const;
+
+ private:
+  enum class Mode { kSharedLoop, kPartitioned };
+  struct Handoff {
+    Packet packet;
+    bool via_reflection = false;
+  };
+
+  void BuildShards(const ShardedGatewayConfig& config, EventLoop* shared_loop,
+                   GatewayBackend* shared_backend,
+                   const std::vector<GatewayBackend*>& backends);
+  void InstallHandoff(uint32_t from);
+  // Farm-wide rollup probes under the unsharded names (shared-loop, N > 1).
+  void RegisterAggregateProbes(MetricRegistry& m);
+  SpscRing<Handoff>& RingTo(uint32_t from, uint32_t to) {
+    return *rings_[from * shards_.size() + to];
+  }
+  // Pops everything queued for shard `to`, adopting each packet into the
+  // shard's pool (partitioned mode) before delivery. Caller must be the only
+  // consumer for `to` (its worker thread, or any single-threaded driver).
+  size_t DrainIncoming(uint32_t to);
+
+  Mode mode_;
+  // Shared-loop mode only: the caller's loop (aggregate probes read its clock).
+  EventLoop* shared_loop_ = nullptr;
+  std::vector<std::unique_ptr<Gateway>> shards_;
+  // Directed-pair rings, row-major [from][to]; the diagonal is never used
+  // (ownership is checked before a handoff is produced).
+  std::vector<std::unique_ptr<SpscRing<Handoff>>> rings_;
+  // Partitioned-mode per-shard environments (empty in shared-loop mode).
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::vector<std::unique_ptr<Observability>> obs_;
+  std::vector<std::unique_ptr<PacketPool>> pools_;
+  // Shared-loop mode: the registry aggregate probes were registered with.
+  MetricRegistry* aggregate_registry_ = nullptr;
+  // Handoffs produced but not yet consumed; the parallel drain's termination
+  // signal (a push increments before publication, a pop decrements after the
+  // packet is fully processed, so 0 means globally quiescent).
+  std::atomic<uint64_t> in_flight_{0};
+  // True while DrainParallel workers run: switches the full-ring fallback from
+  // inline delivery (single-thread) to drain-own-rings-and-retry.
+  std::atomic<bool> parallel_active_{false};
+  // Re-entrancy guard for PumpHandoffs (single-threaded modes only).
+  bool pumping_ = false;
+  // Retained scratch for HandleInboundBatch partitioning.
+  std::vector<std::vector<Packet>> batch_bins_;
+};
+
+}  // namespace potemkin
+
+#endif  // SRC_GATEWAY_SHARDED_GATEWAY_H_

@@ -237,6 +237,24 @@ std::string PacketView::Describe() const {
                    flags.empty() ? "" : "]", payload_.size());
 }
 
+std::optional<Ipv4Address> PeekIpv4Dst(const Packet& packet) {
+  const auto& b = packet.bytes();
+  if (b.size() < kEthernetHeaderSize + kIpv4MinHeaderSize ||
+      ReadU16(&b[12]) != kEthertypeIpv4) {
+    return std::nullopt;
+  }
+  return Ipv4Address(ReadU32(&b[kIpOffset + 16]));
+}
+
+std::optional<Ipv4Address> PeekIpv4Src(const Packet& packet) {
+  const auto& b = packet.bytes();
+  if (b.size() < kEthernetHeaderSize + kIpv4MinHeaderSize ||
+      ReadU16(&b[12]) != kEthertypeIpv4) {
+    return std::nullopt;
+  }
+  return Ipv4Address(ReadU32(&b[kIpOffset + 12]));
+}
+
 Packet BuildPacket(const PacketSpec& spec) {
   size_t l4_header;
   switch (spec.proto) {

@@ -89,6 +89,14 @@ class Packet {
   size_t size() const { return bytes_.size(); }
   bool empty() const { return bytes_.empty(); }
 
+  // Pool this packet's buffer recycles into on destruction (null = plain heap
+  // free). Pools are thread-affine: when a packet crosses a shard boundary the
+  // consumer re-targets it at its own pool with `set_pool`, so buffers always
+  // recycle into the pool owned by the thread that frees them. Buffers migrate
+  // between per-shard pools with the traffic — that is by design.
+  PacketPool* pool() const { return pool_; }
+  void set_pool(PacketPool* pool) { pool_ = pool; }
+
  private:
   void Recycle() {
     if (pool_ != nullptr) {
@@ -239,6 +247,14 @@ struct PacketSpec {
 };
 
 Packet BuildPacket(const PacketSpec& spec);
+
+// Reads the IPv4 destination address straight out of the frame bytes without a
+// full parse — the 4-byte peek the sharded gateway uses to pick the owning
+// shard before any per-shard work happens. Returns nullopt for frames too
+// short to carry an IPv4 header (a later full Parse would reject them too).
+std::optional<Ipv4Address> PeekIpv4Dst(const Packet& packet);
+// Same, for the source address (outbound traffic shards by the VM's address).
+std::optional<Ipv4Address> PeekIpv4Src(const Packet& packet);
 
 // In-place header mutation (used by the gateway for reflection / NAT); both update
 // the IPv4 header checksum and the TCP/UDP pseudo-header checksum via RFC 1624

@@ -9,8 +9,14 @@
 // Buffers are plain `std::vector<uint8_t>` so a pooled `Packet` is layout- and
 // behavior-compatible with the seed's vector-backed one: callers may resize or
 // even swap out the vector through `mutable_bytes()`; Release() re-classifies
-// by capacity on the way back in. The simulation is single-threaded, so the
-// pool takes no locks.
+// by capacity on the way back in.
+//
+// Thread model: pools are THREAD-AFFINE, not thread-safe. Each gateway shard
+// owns a pool touched only from that shard's thread; a packet that crosses a
+// shard boundary is re-targeted at the consumer's pool (Packet::set_pool)
+// before the consumer can free it, so Acquire/Release never race. The
+// process-wide Default() pool belongs to whichever single thread builds and
+// frees packets outside the sharded datapath (drivers, tests, examples).
 #ifndef SRC_NET_PACKET_POOL_H_
 #define SRC_NET_PACKET_POOL_H_
 

@@ -144,15 +144,21 @@ class MetricRegistry {
   static MetricRegistry& Default();
 
  private:
+  // The value cells are cache-line aligned so two counters that registered
+  // adjacently (and therefore sit in neighboring deque slots) never share a
+  // line: with per-shard gateway threads hammering different counters, false
+  // sharing would otherwise turn independent relaxed adds into a coherence
+  // ping-pong. Cold metadata (name/unit) may share the line; only the cell is
+  // written on the hot path.
   struct CounterSlot {
     std::string name;
     std::string unit;
-    std::atomic<uint64_t> value{0};
+    alignas(64) std::atomic<uint64_t> value{0};
   };
   struct GaugeSlot {
     std::string name;
     std::string unit;
-    std::atomic<int64_t> value{0};
+    alignas(64) std::atomic<int64_t> value{0};
   };
   struct HistogramSlot {
     std::string name;

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 namespace potemkin {
 namespace {
 
@@ -261,6 +263,33 @@ TEST(HoneyfarmTest, CapacityExhaustionDropsNewAddresses) {
   // A fresh address now fails admission up front.
   farm.InjectInbound(ProbeSyn(kFarm.AddressAt(100)));
   EXPECT_GT(farm.gateway().stats().no_capacity_drops, 0u);
+}
+
+TEST(HoneyfarmTest, ShardedFarmMatchesUnshardedTotals) {
+  // Same scenario at 1 and 4 gateway shards: the shared-loop sharded gateway
+  // is still single-threaded and deterministic, so farm-level outcomes must be
+  // identical — only the internal partitioning differs.
+  const auto run = [](uint32_t shards) {
+    HoneyfarmConfig config = SmallFarm();
+    config.gateway_shards = shards;
+    Honeyfarm farm(config);
+    farm.Start();
+    for (uint64_t i = 0; i < 10; ++i) {
+      farm.InjectInbound(ProbeSyn(kFarm.AddressAt(i)));
+    }
+    farm.RunFor(Duration::Seconds(8.0));
+    return std::pair<uint64_t, GatewayStats>(
+        farm.TotalLiveVms(), farm.sharded_gateway().AggregateStats());
+  };
+  const auto [vms1, stats1] = run(1);
+  const auto [vms4, stats4] = run(4);
+  EXPECT_EQ(vms4, 10u);
+  EXPECT_EQ(vms4, vms1);
+  EXPECT_EQ(stats4.inbound_packets, stats1.inbound_packets);
+  EXPECT_EQ(stats4.inbound_delivered, stats1.inbound_delivered);
+  EXPECT_EQ(stats4.clones_triggered, stats1.clones_triggered);
+  // Inbound probes go straight to their owning shard: no handoffs.
+  EXPECT_EQ(stats4.handoffs_out, 0u);
 }
 
 }  // namespace

@@ -10,18 +10,33 @@
 //      the candidate
 //
 // Usage:
-//   bench_diff [--threshold=0.10] baseline.json candidate.json
+//   bench_diff [--threshold=0.10] [--metric-threshold=name=frac ...]
+//       baseline.json candidate.json
+//
+// `--metric-threshold` overrides the global threshold for one metric and may
+// repeat (last occurrence of a name wins) — wall-clock throughput metrics
+// tolerate more noise than deterministic counts, so CI pins them individually.
 //
 // Direction is inferred from the metric's unit: rate units ("pkts/s", "MB/s",
 // anything ending in "/s") regress when they drop; everything else (ns, us,
 // bytes, ...) regresses when it grows. Metrics present only in the candidate
 // are listed as new and never fail the diff — reports are allowed to grow.
+//
+// Like-for-like guard: BENCH reports stamp the host's hardware concurrency
+// ("host_threads") and the shard topology they exercised ("shards"). When the
+// reports disagree on shards, or they disagree on host_threads and either ran
+// a parallel topology (shards > 1), the runs are not comparable — deltas are
+// still printed, but regressions are demoted to informational and the exit
+// status is 0. Single-threaded reports stay enforced across hosts: wall-clock
+// noise there is a threshold problem, not a topology problem.
+//
 // The parser is the same deliberate string scan as bench_to_json: the report
 // schema is flat and fixed, so scanning beats a JSON dependency.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace potemkin {
@@ -40,6 +55,11 @@ struct Metric {
 
 struct Report {
   std::string benchmark;
+  // hardware_concurrency of the producing host and the shard topology the run
+  // exercised; NaN when the report predates the stamps (or is a health
+  // snapshot, which has no host identity).
+  double host_threads = 0.0 / 0.0;
+  double shards = 0.0 / 0.0;
   std::vector<Metric> metrics;
 };
 
@@ -100,6 +120,8 @@ bool ParseReport(const char* path, Report* out) {
   // A BENCH report names itself with "benchmark"; a HealthSnapshot with
   // "snapshot". Both carry the same flat metric-row array.
   out->benchmark = FindStringValue(text, "benchmark", 0, header);
+  out->host_threads = FindNumberValue(text, "host_threads", 0, header);
+  out->shards = FindNumberValue(text, "shards", 0, header);
   if (out->benchmark.empty()) {
     out->benchmark = FindStringValue(text, "snapshot", 0, header);
     if (!out->benchmark.empty()) {
@@ -159,20 +181,43 @@ const Metric* Find(const Report& report, const std::string& name) {
 
 int Run(int argc, char** argv) {
   double threshold = 0.10;
+  std::vector<std::pair<std::string, double>> metric_thresholds;
   std::vector<const char*> paths;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
       threshold = std::strtod(argv[i] + 12, nullptr);
+    } else if (std::strncmp(argv[i], "--metric-threshold=", 19) == 0) {
+      const char* spec = argv[i] + 19;
+      const char* eq = std::strrchr(spec, '=');
+      if (eq == nullptr || eq == spec || eq[1] == '\0') {
+        std::fprintf(stderr,
+                     "bench_diff: bad --metric-threshold '%s' (want "
+                     "name=fraction)\n",
+                     spec);
+        return 2;
+      }
+      metric_thresholds.emplace_back(std::string(spec, eq - spec),
+                                     std::strtod(eq + 1, nullptr));
     } else {
       paths.push_back(argv[i]);
     }
   }
   if (paths.size() != 2) {
     std::fprintf(stderr,
-                 "usage: bench_diff [--threshold=0.10] baseline.json "
+                 "usage: bench_diff [--threshold=0.10] "
+                 "[--metric-threshold=name=frac ...] baseline.json "
                  "candidate.json\n");
     return 2;
   }
+  const auto threshold_for = [&](const std::string& name) {
+    double chosen = threshold;
+    for (const auto& [metric, frac] : metric_thresholds) {
+      if (metric == name) {
+        chosen = frac;  // last occurrence wins
+      }
+    }
+    return chosen;
+  };
 
   Report baseline;
   Report candidate;
@@ -183,6 +228,23 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "bench_diff: comparing different benchmarks (%s vs %s)\n",
                  baseline.benchmark.c_str(), candidate.benchmark.c_str());
     return 2;
+  }
+
+  // NaN != NaN and NaN > 1 is false, so a missing stamp on either side keeps
+  // the guard inert.
+  const bool shards_differ = baseline.shards == baseline.shards &&
+                             candidate.shards == candidate.shards &&
+                             baseline.shards != candidate.shards;
+  const bool parallel = baseline.shards > 1 || candidate.shards > 1;
+  const bool threads_differ = baseline.host_threads == baseline.host_threads &&
+                              candidate.host_threads == candidate.host_threads &&
+                              baseline.host_threads != candidate.host_threads;
+  const bool cross_host = shards_differ || (parallel && threads_differ);
+  if (cross_host) {
+    std::printf("note: not like-for-like (shards %g vs %g, host_threads %g vs "
+                "%g) — regressions reported but not enforced\n",
+                baseline.shards, candidate.shards, baseline.host_threads,
+                candidate.host_threads);
   }
 
   std::printf("%-44s %16s %16s %9s\n", "metric", "baseline", "candidate",
@@ -199,8 +261,9 @@ int Run(int argc, char** argv) {
     }
     const double delta =
         base.value != 0.0 ? (cand->value - base.value) / base.value : 0.0;
-    const bool worse = HigherIsBetter(base.unit) ? delta < -threshold
-                                                 : delta > threshold;
+    const double limit = threshold_for(base.name);
+    const bool worse = HigherIsBetter(base.unit) ? delta < -limit
+                                                 : delta > limit;
     std::printf("%-44s %16.4g %16.4g %+8.1f%%%s\n", base.name.c_str(),
                 base.value, cand->value, delta * 100.0,
                 worse ? "  REGRESSED" : "");
@@ -217,7 +280,7 @@ int Run(int argc, char** argv) {
                  "bench_diff: baseline metric(s) missing from candidate\n");
     return 2;
   }
-  return regressed ? 1 : 0;
+  return regressed && !cross_host ? 1 : 0;
 }
 
 }  // namespace
