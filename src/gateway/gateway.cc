@@ -190,7 +190,8 @@ void Gateway::DeliverToBinding(Binding& binding, Packet packet, PacketView& view
   backend_->DeliverToVm(binding.host, binding.vm, std::move(packet), view);
 }
 
-void Gateway::RouteToFarm(Packet packet, PacketView& view, bool via_reflection) {
+void Gateway::RouteToFarm(Packet packet, PacketView& view, bool via_reflection,
+                          uint64_t nat_key, Ipv4Address nat_external) {
   const Ipv4Address dst = view.ip().dst;
   // Shard ownership gate. Inbound traffic is pre-binned by the dispatcher, so
   // on the hit path this is one always-false predictable comparison; the
@@ -202,9 +203,16 @@ void Gateway::RouteToFarm(Packet packet, PacketView& view, bool via_reflection) 
     if (owner != config_.shard_id && handoff_) {
       ++stats_.handoffs_out;
       m_handoff_out_.Inc();
-      handoff_(std::move(packet), owner, via_reflection);
+      handoff_(std::move(packet), owner,
+               HandoffContext{via_reflection, nat_key, nat_external});
       return;
     }
+  }
+  // The destination routes here, so this shard owns the reflection victim:
+  // install the reverse-NAT entry on the same shard the victim's replies
+  // (which shard by source) will consult.
+  if (nat_key != 0) {
+    InstallReflectNat(nat_key, nat_external);
   }
   Binding* binding = bindings_.Find(dst);
   if (binding != nullptr) {
@@ -431,19 +439,31 @@ void Gateway::HandleInboundBatch(std::span<Packet> packets) {
   }
 }
 
-void Gateway::HandleHandoff(Packet packet, bool via_reflection) {
+void Gateway::HandleHandoff(Packet packet, const HandoffContext& ctx) {
   // The packet was classified (containment verdict, NAT rewrite, flow
   // accounting) on the shard that produced it; this side only re-parses — the
   // origin's PacketView died with its stack frame — and routes into its own
   // partition. No flow re-record: the flow table entry, if any, lives where
-  // the traffic originated.
+  // the traffic originated. A reverse-NAT install request rides along and is
+  // applied by RouteToFarm now that the victim-owning shard is executing.
   auto view = PacketView::Parse(packet);
   if (!view) {
     return;
   }
   ++stats_.handoffs_in;
   m_handoff_in_.Inc();
-  RouteToFarm(std::move(packet), *view, via_reflection);
+  RouteToFarm(std::move(packet), *view, ctx.via_reflection, ctx.nat_key,
+              ctx.nat_external);
+}
+
+void Gateway::InstallReflectNat(uint64_t nat_key, Ipv4Address external) {
+  uint32_t slot = reflect_index_.Find(nat_key);
+  if (slot == FlatIndex<uint64_t>::kNotFound) {
+    slot = reflect_slab_.Alloc();
+    reflect_slab_.At(slot).key = nat_key;
+    reflect_index_.Insert(nat_key, slot);
+  }
+  reflect_slab_.At(slot).external = external;
 }
 
 void Gateway::HandleDnsQuery(const PacketView& view, Binding* source_binding) {
@@ -591,22 +611,19 @@ void Gateway::HandleOutbound(HostId host, VmId vm, Packet packet) {
           containment_.ReflectTarget(external, view->ip().src);
       RewriteIpv4Dst(packet, victim, &*view);
       // Remember that `victim`'s replies to this scanner must impersonate
-      // `external`.
+      // `external`. The entry must live on the shard that owns `victim` (the
+      // reply's source), so RouteToFarm installs it locally or threads it
+      // through the handoff — never into this (scanner-owning) shard's table
+      // when the victim hashes elsewhere.
       const uint64_t nat_key = (static_cast<uint64_t>(victim.value()) << 32) |
                                view->ip().src.value();
-      uint32_t nat_slot = reflect_index_.Find(nat_key);
-      if (nat_slot == FlatIndex<uint64_t>::kNotFound) {
-        nat_slot = reflect_slab_.Alloc();
-        reflect_slab_.At(nat_slot).key = nat_key;
-        reflect_index_.Insert(nat_key, nat_slot);
-      }
-      reflect_slab_.At(nat_slot).external = external;
       ++stats_.reflections_injected;
       obs_.ledger.Append(LedgerEvent::kContainmentReflect, session,
                          loop_->Now().nanos(), external.value(),
                          victim.value());
       // Not recorded in the flow table either (see the NAT branch above).
-      RouteToFarm(std::move(packet), *view, /*via_reflection=*/true);
+      RouteToFarm(std::move(packet), *view, /*via_reflection=*/true, nat_key,
+                  external);
       return;
     }
     case OutboundAction::kInternal:

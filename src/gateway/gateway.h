@@ -126,11 +126,20 @@ class Gateway {
  public:
   // Sink for packets the gateway releases to the real Internet.
   using EgressSink = std::function<void(Packet)>;
+  // Routing context carried alongside a packet across a shard handoff. A
+  // nonzero `nat_key` is a reverse-NAT install request: the receiving shard
+  // owns the reflection victim, so *it* must hold the (victim, scanner) ->
+  // external mapping — the victim's replies shard by source and would never
+  // find an entry left on the producing shard.
+  struct HandoffContext {
+    bool via_reflection = false;
+    uint64_t nat_key = 0;      // victim << 32 | scanner; 0 = no install
+    Ipv4Address nat_external;  // address the victim's replies impersonate
+  };
   // Sink for packets whose farm destination belongs to another shard. The
-  // sharded gateway wires this to the SPSC handoff ring toward `dst_shard`;
-  // `via_reflection` preserves the routing context across the handoff.
-  using ShardHandoff =
-      std::function<void(Packet packet, uint32_t dst_shard, bool via_reflection)>;
+  // sharded gateway wires this to the SPSC handoff ring toward `dst_shard`.
+  using ShardHandoff = std::function<void(Packet packet, uint32_t dst_shard,
+                                          const HandoffContext& ctx)>;
 
   Gateway(EventLoop* loop, const GatewayConfig& config, GatewayBackend* backend);
   ~Gateway();
@@ -148,8 +157,9 @@ class Gateway {
   void set_shard_handoff(ShardHandoff handoff) { handoff_ = std::move(handoff); }
   // Entry point for packets another shard handed off to this one: the frame
   // was already classified there (containment, NAT rewrite, flow accounting),
-  // so this parses and routes into this shard's partition only.
-  void HandleHandoff(Packet packet, bool via_reflection);
+  // so this parses and routes into this shard's partition only — installing
+  // the reverse-NAT entry first when the context requests one.
+  void HandleHandoff(Packet packet, const HandoffContext& ctx);
   // Owning shard of a farm destination under this gateway's topology.
   uint32_t ShardOf(Ipv4Address ip) const {
     return ip.value() & (config_.shard_count - 1);
@@ -181,7 +191,14 @@ class Gateway {
   // `via_reflection` marks bindings created by reflected traffic. `view` is the
   // ingress parse of `packet`; it is threaded (and kept in sync by the rewrite
   // helpers) all the way to the backend instead of re-parsing per layer.
-  void RouteToFarm(Packet packet, PacketView& view, bool via_reflection);
+  // A nonzero `nat_key` is a reflection reverse-NAT install that must land
+  // wherever the destination (the victim) is routed: locally when this shard
+  // owns it, carried in the HandoffContext otherwise.
+  void RouteToFarm(Packet packet, PacketView& view, bool via_reflection,
+                   uint64_t nat_key = 0, Ipv4Address nat_external = {});
+  // Find-or-create the reverse-NAT entry for `nat_key`, pointing it at
+  // `external`.
+  void InstallReflectNat(uint64_t nat_key, Ipv4Address external);
   // Picks a host for a new binding; returns false if no host can admit.
   bool ChooseHost(HostId* out);
   void OnCloneDone(Ipv4Address ip, VmId vm);

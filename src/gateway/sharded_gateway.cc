@@ -44,6 +44,10 @@ ShardedGateway::~ShardedGateway() {
   // the per-shard obs bundles before the Gateways whose destructors
   // deregister probes from them; tear the shards down first explicitly.
   shards_.clear();
+  // Same hazard for the rings: pools_ is declared after rings_ (destroyed
+  // first), and an undrained Handoff still holds a Packet whose pool may be a
+  // per-shard pool — recycle those buffers while the pools are alive.
+  rings_.clear();
 }
 
 void ShardedGateway::BuildShards(const ShardedGatewayConfig& config,
@@ -61,6 +65,14 @@ void ShardedGateway::BuildShards(const ShardedGatewayConfig& config,
     GatewayConfig shard_config = config.gateway;
     shard_config.shard_id = i;
     shard_config.shard_count = n;
+    if (n > 1) {
+      // Each shard's detector only sees the distinct destinations the shard
+      // owns (~1/n of a farm-wide spray), so rescale the threshold to keep
+      // farm-wide flagging latency comparable to an unsharded gateway. See
+      // ShardedGatewayConfig::gateway for the trade-off.
+      shard_config.scan_detector.distinct_threshold = std::max<uint32_t>(
+          1, config.gateway.scan_detector.distinct_threshold / n);
+    }
     EventLoop* loop = shared_loop;
     GatewayBackend* backend = shared_backend;
     if (mode_ == Mode::kPartitioned) {
@@ -86,16 +98,19 @@ void ShardedGateway::BuildShards(const ShardedGatewayConfig& config,
 void ShardedGateway::InstallHandoff(uint32_t from) {
   if (mode_ == Mode::kSharedLoop) {
     shards_[from]->set_shard_handoff(
-        [this, from](Packet packet, uint32_t to, bool via_reflection) {
+        [this, from](Packet packet, uint32_t to,
+                     const Gateway::HandoffContext& ctx) {
           in_flight_.fetch_add(1);
-          Handoff handoff{std::move(packet), via_reflection};
-          if (!RingTo(from, to).TryPush(std::move(handoff))) {
-            // Ring full: deliver inline. Depth is bounded at one hop — once
-            // handed off, the destination is owned and cannot hand off again.
-            in_flight_.fetch_sub(1);
-            shards_[to]->HandleHandoff(std::move(handoff.packet),
-                                       handoff.via_reflection);
-            return;
+          Handoff handoff{std::move(packet), ctx};
+          while (!RingTo(from, to).TryPush(std::move(handoff))) {
+            // Ring full: drain the destination's inbox first so the
+            // overflowing packet keeps its per-pair FIFO position (inline
+            // delivery would let it jump ahead of packets already queued),
+            // then retry into the emptied ring. Single-threaded, and
+            // deliveries are one-hop bounded — once handed off, the
+            // destination is owned and cannot hand off again — so the drain
+            // frees slots and the retry terminates.
+            DrainIncoming(to);
           }
           // Drain immediately so shared-loop execution order is a pure
           // function of the traffic (no-op when a pump is already running).
@@ -104,9 +119,10 @@ void ShardedGateway::InstallHandoff(uint32_t from) {
     return;
   }
   shards_[from]->set_shard_handoff(
-      [this, from](Packet packet, uint32_t to, bool via_reflection) {
+      [this, from](Packet packet, uint32_t to,
+                   const Gateway::HandoffContext& ctx) {
         in_flight_.fetch_add(1);
-        Handoff handoff{std::move(packet), via_reflection};
+        Handoff handoff{std::move(packet), ctx};
         while (!RingTo(from, to).TryPush(std::move(handoff))) {
           if (parallel_active_.load(std::memory_order_relaxed)) {
             // Backpressure without deadlock: the peer may itself be blocked
@@ -114,12 +130,9 @@ void ShardedGateway::InstallHandoff(uint32_t from) {
             DrainIncoming(from);
             std::this_thread::yield();
           } else {
-            // Single-threaded partitioned driver: deliver inline (same
-            // one-hop bound as above).
-            in_flight_.fetch_sub(1);
-            shards_[to]->HandleHandoff(std::move(handoff.packet),
-                                       handoff.via_reflection);
-            return;
+            // Single-threaded partitioned driver owns every ring: drain the
+            // destination (preserving per-pair FIFO) and retry.
+            DrainIncoming(to);
           }
         }
       });
@@ -139,8 +152,7 @@ size_t ShardedGateway::DrainIncoming(uint32_t to) {
         // races another thread's freelist.
         handoff.packet.set_pool(pools_[to].get());
       }
-      shards_[to]->HandleHandoff(std::move(handoff.packet),
-                                 handoff.via_reflection);
+      shards_[to]->HandleHandoff(std::move(handoff.packet), handoff.ctx);
       in_flight_.fetch_sub(1);
       ++delivered;
     }

@@ -51,7 +51,13 @@ namespace potemkin {
 
 struct ShardedGatewayConfig {
   // Per-shard template; shard_id/shard_count (and, in partitioned mode, obs)
-  // are overwritten for each instance.
+  // are overwritten for each instance. When shard_count > 1 the scan
+  // detector's distinct_threshold is scaled down by the shard count (floor 1):
+  // each shard only sees the distinct destinations it owns, so a source
+  // spraying the farm accumulates ~1/N of its distinct-dst count per shard —
+  // without the rescale it would be flagged ~N× later than unsharded. The
+  // trade-off: a source targeting a single shard's addresses flags up to N×
+  // earlier (see DESIGN.md §10).
   GatewayConfig gateway;
   // Must be a power of two (address bits partition evenly).
   uint32_t shard_count = 1;
@@ -141,7 +147,9 @@ class ShardedGateway {
   enum class Mode { kSharedLoop, kPartitioned };
   struct Handoff {
     Packet packet;
-    bool via_reflection = false;
+    // Routing context, including any reverse-NAT install the consuming
+    // (victim-owning) shard must apply before routing.
+    Gateway::HandoffContext ctx;
   };
 
   void BuildShards(const ShardedGatewayConfig& config, EventLoop* shared_loop,

@@ -34,14 +34,21 @@ class InstantBackend : public GatewayBackend {
     done(vm);
   }
   void RetireVm(HostId, VmId) override {}
-  void DeliverToVm(HostId, VmId, Packet, const PacketView&) override {
+  void DeliverToVm(HostId, VmId vm, Packet, const PacketView& view) override {
     ++delivered_;
+    deliveries_.emplace_back(vm, view.ip().src);
   }
   uint64_t delivered() const { return delivered_; }
+  // (vm, frame source address) per delivery, in delivery order.
+  const std::vector<std::pair<VmId, Ipv4Address>>& deliveries() const {
+    return deliveries_;
+  }
+  void ClearDeliveries() { deliveries_.clear(); }
 
  private:
   VmId next_vm_ = 1;
   uint64_t delivered_ = 0;
+  std::vector<std::pair<VmId, Ipv4Address>> deliveries_;
   std::map<VmId, Ipv4Address> last_ip_for_vm_;
 };
 
@@ -204,6 +211,75 @@ TEST(ShardedGatewayTest, ReflectionHandsOffAcrossShards) {
   EXPECT_GT(victims, 1u);  // worm + at least one reflected victim
 }
 
+// The reply half of the reflection illusion: a victim on another shard
+// answers the reflected scan, and its reply must reach the worm impersonating
+// the external address the reflection replaced — which requires the
+// reverse-NAT entry to live on the *victim's* shard (replies shard by
+// source), not the scanner's shard that classified the outbound packet.
+TEST(ShardedGatewayTest, ReflectedReplyRewritesSourceAcrossShards) {
+  SharedFixture fx(4, OutboundMode::kReflect);
+  const Ipv4Address worm_ip = kFarm.AddressAt(3);
+  fx.gateway->HandleInbound(InboundSyn(worm_ip));
+  fx.loop.RunAll();
+  fx.gateway->NotifyInfected(worm_ip);
+  for (uint16_t i = 0; i < 32; ++i) {
+    fx.gateway->HandleOutbound(
+        0, 1, OutboundScan(worm_ip, Ipv4Address(77, 1, static_cast<uint8_t>(i), 9),
+                           static_cast<uint16_t>(30000 + i)));
+  }
+  fx.loop.RunAll();
+
+  // Pick a reflected victim that landed on a different shard than the worm.
+  const uint32_t worm_shard = fx.gateway->ShardOf(worm_ip);
+  const Binding* victim = nullptr;
+  for (uint32_t s = 0; s < 4 && victim == nullptr; ++s) {
+    if (s == worm_shard) {
+      continue;
+    }
+    fx.gateway->shard(s).bindings().ForEach([&](const Binding& binding) {
+      if (victim == nullptr && binding.reflected_origin &&
+          binding.state == BindingState::kActive) {
+        victim = &binding;
+      }
+    });
+  }
+  ASSERT_NE(victim, nullptr);  // 32 scans, ~3/4 cross-shard: must exist
+
+  fx.backend.ClearDeliveries();
+  fx.gateway->HandleOutbound(
+      victim->host, victim->vm,
+      OutboundScan(victim->ip, worm_ip, /*sport=*/445));
+  fx.loop.RunAll();
+
+  ASSERT_EQ(fx.backend.deliveries().size(), 1u);
+  const auto& [vm, reply_src] = fx.backend.deliveries()[0];
+  EXPECT_EQ(vm, 1u);  // the worm's VM received the reply
+  // Impersonation held: the source is one of the scanned externals, never the
+  // victim's internal farm address.
+  EXPECT_FALSE(kFarm.Contains(reply_src));
+  EXPECT_EQ(reply_src.value() >> 16, (77u << 8) | 1u);
+}
+
+// Sharding divides a spraying source's distinct destinations across shards;
+// the per-shard detector threshold is rescaled so farm-wide flagging latency
+// stays comparable to an unsharded gateway.
+TEST(ShardedGatewayTest, ScanThresholdRescalesWithShardCount) {
+  SharedFixture fx(4);
+  // Default farm-wide threshold 8 -> 2 per shard.
+  EXPECT_EQ(fx.gateway->shard(0).config().scan_detector.distinct_threshold, 2u);
+  // One source spraying 8 distinct addresses (2 per shard) is flagged, just
+  // as it would be at threshold 8 unsharded.
+  for (uint32_t i = 0; i < 8; ++i) {
+    fx.gateway->HandleInbound(InboundSyn(kFarm.AddressAt(i)));
+  }
+  fx.loop.RunAll();
+  bool flagged = false;
+  for (uint32_t s = 0; s < 4; ++s) {
+    flagged = flagged || fx.gateway->shard(s).scan_detector().IsScanner(kExternal);
+  }
+  EXPECT_TRUE(flagged);
+}
+
 TEST(ShardedGatewayTest, AggregateProbesKeepFarmWideNames) {
   SharedFixture fx(4);
   for (uint32_t i = 0; i < 8; ++i) {
@@ -226,7 +302,9 @@ struct PartitionedFixture {
   std::vector<std::unique_ptr<InstantBackend>> backends;
   std::unique_ptr<ShardedGateway> gateway;
 
-  explicit PartitionedFixture(uint32_t shards) {
+  explicit PartitionedFixture(uint32_t shards,
+                              OutboundMode mode = OutboundMode::kDropAll,
+                              size_t ring_capacity = 4096) {
     std::vector<GatewayBackend*> raw;
     for (uint32_t s = 0; s < shards; ++s) {
       backends.push_back(std::make_unique<InstantBackend>());
@@ -234,7 +312,9 @@ struct PartitionedFixture {
     }
     ShardedGatewayConfig config;
     config.gateway.farm_prefix = kFarm;
+    config.gateway.containment.mode = mode;
     config.shard_count = shards;
+    config.handoff_ring_capacity = ring_capacity;
     gateway = std::make_unique<ShardedGateway>(config, std::move(raw));
   }
 
@@ -316,6 +396,60 @@ TEST(ShardedGatewayTest, BatchDispatchBinsByOwningShard) {
   for (uint32_t s = 0; s < 4; ++s) {
     EXPECT_EQ(fx.gateway->shard(s).stats().inbound_packets, 8u);
   }
+}
+
+// A tiny ring forces the single-threaded full-ring fallback: it must drain
+// the destination's inbox (preserving per-pair FIFO) and then enqueue, so
+// every handoff still flows through the rings and none is lost.
+TEST(ShardedGatewayTest, FullRingFallbackDrainsAndPreservesDelivery) {
+  PartitionedFixture fx(4, OutboundMode::kReflect, /*ring_capacity=*/2);
+  fx.Populate(4);
+  const Ipv4Address worm_ip = kFarm.AddressAt(3);
+  fx.gateway->NotifyInfected(worm_ip);
+  const Binding* worm =
+      fx.gateway->shard(fx.gateway->ShardOf(worm_ip)).bindings().Find(worm_ip);
+  ASSERT_NE(worm, nullptr);
+  // Drive the shard directly (no facade pump between calls) so reflected
+  // handoffs pile into 2-slot rings and overflow.
+  for (uint16_t i = 0; i < 64; ++i) {
+    fx.gateway->shard(fx.gateway->ShardOf(worm_ip))
+        .HandleOutbound(worm->host, worm->vm,
+                        OutboundScan(worm_ip,
+                                     Ipv4Address(77, 2, static_cast<uint8_t>(i), 9),
+                                     static_cast<uint16_t>(31000 + i)));
+  }
+  fx.gateway->RunUntilIdle();
+  const GatewayStats stats = fx.gateway->AggregateStats();
+  EXPECT_EQ(stats.reflections_injected, 64u);
+  EXPECT_GT(stats.handoffs_out, 2u);                 // overflowed the ring
+  EXPECT_EQ(stats.handoffs_in, stats.handoffs_out);  // none lost or stuck
+}
+
+// Destroying the facade with handoffs still queued in the rings must recycle
+// their packets while the per-shard pools are alive (destruction-order
+// regression: rings_ is declared before pools_).
+TEST(ShardedGatewayTest, DestructionWithQueuedHandoffsIsSafe) {
+  PartitionedFixture fx(4, OutboundMode::kReflect);
+  fx.Populate(4);
+  const Ipv4Address worm_ip = kFarm.AddressAt(3);
+  const uint32_t worm_shard = fx.gateway->ShardOf(worm_ip);
+  fx.gateway->NotifyInfected(worm_ip);
+  const Binding* worm =
+      fx.gateway->shard(worm_shard).bindings().Find(worm_ip);
+  ASSERT_NE(worm, nullptr);
+  for (uint16_t i = 0; i < 16; ++i) {
+    Packet scan = OutboundScan(worm_ip,
+                               Ipv4Address(77, 3, static_cast<uint8_t>(i), 9),
+                               static_cast<uint16_t>(32000 + i));
+    // Mimic DrainParallel adoption: the frame belongs to a per-shard pool, so
+    // its eventual recycle dereferences that pool.
+    scan.set_pool(&fx.gateway->shard_pool(worm_shard));
+    // Direct shard call: reflected handoffs stay queued (no facade pump).
+    fx.gateway->shard(worm_shard).HandleOutbound(worm->host, worm->vm,
+                                                 std::move(scan));
+  }
+  // Destructor runs with non-empty rings; ASan/TSan jobs catch any
+  // use-after-free of the pools here.
 }
 
 TEST(ShardedGatewayTest, ShardCountMustBePowerOfTwo) {
