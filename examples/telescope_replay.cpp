@@ -4,7 +4,8 @@
 //
 //   ./telescope_replay [--prefix 10.1.0.0/18] [--minutes 30] [--pps 40]
 //                      [--timeout-s 5] [--save trace.pkt | --load trace.pkt]
-//                      [--shards N]   (power of two; partitions the gateway)
+//                      [--shards N]   (power of two; partitions the gateway.
+//                                      default: sized to the machine's cores)
 #include <cstdio>
 #include <memory>
 
@@ -63,9 +64,12 @@ int main(int argc, char** argv) {
   config.server_template.engine.control_plane_workers = 8;
   config.gateway.recycle.idle_timeout = Duration::Seconds(timeout_s);
   config.gateway.recycle.max_lifetime = Duration::Zero();
-  // Gateway sharding (deterministic shared-loop mode): the default of 1
-  // reproduces the pre-sharding farm byte for byte.
-  config.gateway_shards = static_cast<uint32_t>(flags.GetUint("shards", 1));
+  // Gateway sharding (deterministic shared-loop mode). The default sizes the
+  // topology to the machine — largest power of two <= core count, so a
+  // single-core host gets 1 shard and reproduces the pre-sharding farm byte
+  // for byte.
+  config.gateway_shards =
+      static_cast<uint32_t>(flags.GetUint("shards", DefaultGatewayShards()));
 
   Honeyfarm farm(config);
   if (config.gateway_shards > 1) {

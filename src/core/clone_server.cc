@@ -27,6 +27,9 @@ CloneServer::CloneServer(EventLoop* loop, const CloneServerConfig& config,
       guest_config.obs = config_.engine.obs;
     }
   }
+  // Pressure victims ride the normal retire path (forensics, guest teardown,
+  // worm deactivation) instead of the engine's bare quiesce-and-destroy.
+  engine_.set_pressure_reclaim_handler([this](VmId vm) { RetireVm(vm); });
 }
 
 size_t CloneServer::SelectProfile(Ipv4Address ip) const {
@@ -52,7 +55,9 @@ void CloneServer::SpawnVm(Ipv4Address ip, SessionId session,
       StrFormat("%s/vm-%s", host_.name().c_str(), ip.ToString().c_str());
   const MacAddress mac =
       MacAddress::FromId((static_cast<uint64_t>(config_.host.id) << 40) | ip.value());
-  engine_.RequestClone(images_[profile], name, ip, mac, session,
+  CloneOptions options = config_.clone_memory;
+  options.attack_class = static_cast<uint32_t>(profile);
+  engine_.RequestClone(images_[profile], name, ip, mac, session, options,
                        [this, ip, profile, done = std::move(done)](
                            VirtualMachine* vm, const CloneTiming&) {
                          OnCloneComplete(ip, profile, vm, done);

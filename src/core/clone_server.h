@@ -49,6 +49,11 @@ struct CloneServerConfig {
   // Additional personalities beyond the primary one.
   std::vector<ImageProfile> extra_profiles;
   ImageSelection image_selection = ImageSelection::kPrimaryOnly;
+  // Predictive-memory behavior for every clone this server spawns. The server
+  // stamps attack_class with the selected profile index, so each personality
+  // accumulates (and is predicted from) its own working-set profile. The zero
+  // value keeps the legacy demand-fault path.
+  CloneOptions clone_memory;
   // Fabric hop from the gateway to a VM on this host.
   Duration delivery_latency = Duration::Micros(50);
   // When set, infected VMs are snapshotted into this directory at retire time.

@@ -76,6 +76,8 @@ Honeyfarm::Honeyfarm(const HoneyfarmConfig& config)
   });
   m.RegisterProbe(this, "farm.egress.packets", "count",
                   [this] { return static_cast<double>(egress_packets_); });
+  m.RegisterProbe(this, "farm.pressure.reclaims", "count",
+                  [this] { return static_cast<double>(pressure_reclaims_); });
   // Fraction of machine frames in use across all hosts; the watchdog's
   // frame_pool_watermark rule pages off this probe.
   m.RegisterProbe(this, "farm.mem.frame_watermark", "ratio", [this] {
@@ -277,9 +279,31 @@ bool Honeyfarm::MaybeCompleteSeedHandshake(const Packet& packet) {
 
 void Honeyfarm::Start(Duration sample_interval) {
   gateway_.StartRecycling();
+  if (config_.server_template.host.pressure_high_watermark > 0.0 &&
+      !config_.pressure_check_interval.IsZero() &&
+      config_.pressure_reclaim_batch > 0) {
+    loop_.SchedulePeriodic(config_.pressure_check_interval,
+                           [this]() { PressureSweepOnce(); });
+  }
   if (!sample_interval.IsZero()) {
     ScheduleSampling(sample_interval);
   }
+}
+
+size_t Honeyfarm::PressureSweepOnce() {
+  bool under_pressure = false;
+  for (const auto& server : servers_) {
+    if (server->host().UnderMemoryPressure()) {
+      under_pressure = true;
+      break;
+    }
+  }
+  if (!under_pressure) {
+    return 0;
+  }
+  const size_t retired = gateway_.ReclaimMostIdle(config_.pressure_reclaim_batch);
+  pressure_reclaims_ += retired;
+  return retired;
 }
 
 void Honeyfarm::ScheduleSampling(Duration interval) {

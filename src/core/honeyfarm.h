@@ -39,6 +39,15 @@ struct HoneyfarmConfig {
   // destination address across N shard instances on the farm's single event
   // loop (still deterministic); cross-shard traffic rides the handoff rings.
   uint32_t gateway_shards = 1;
+  // Memory-pressure recycling. When the server template's host config sets a
+  // nonzero pressure_high_watermark, Start() schedules a periodic pressure
+  // sweep: whenever any host reports pressure, the gateway retires up to
+  // `pressure_reclaim_batch` of the farm's most-idle VMs (through the normal
+  // retire path, so forensics and worm deactivation still run). With the
+  // default watermark of 0 the sweep is never scheduled — legacy farms are
+  // untouched.
+  Duration pressure_check_interval = Duration::Seconds(1.0);
+  uint32_t pressure_reclaim_batch = 16;
   uint64_t seed = 42;
   // Ring size of the farm's event ledger. The default suits tests and short
   // runs; long replays that want complete forensic timelines should size this
@@ -147,6 +156,11 @@ class Honeyfarm : public GatewayBackend {
   uint64_t TotalUsedFrames() const;
   uint64_t TotalPrivatePages() const;
   uint64_t total_clones_completed() const;
+  // VMs retired by the periodic memory-pressure sweep (see HoneyfarmConfig).
+  uint64_t pressure_reclaims() const { return pressure_reclaims_; }
+  // One pressure check, immediately: if any host is over its high watermark,
+  // retire up to pressure_reclaim_batch most-idle VMs. Returns VMs retired.
+  size_t PressureSweepOnce();
 
   // Packets the gateway released to the real Internet (escape monitoring).
   void set_egress_monitor(std::function<void(const Packet&)> monitor) {
@@ -197,6 +211,7 @@ class Honeyfarm : public GatewayBackend {
   std::vector<FarmSample> samples_;
   std::function<void(const Packet&)> egress_monitor_;
   uint64_t egress_packets_ = 0;
+  uint64_t pressure_reclaims_ = 0;
 };
 
 // Convenience constructors for common experiment setups.

@@ -687,6 +687,10 @@ size_t Gateway::SweepOnce() {
 }
 
 void Gateway::EmergencyReclaim() {
+  ReclaimMostIdle(config_.recycle.emergency_reclaim_batch);
+}
+
+size_t Gateway::ReclaimMostIdle(size_t batch) {
   // Collect active bindings ordered by idleness (oldest activity first).
   std::vector<const Binding*> candidates;
   bindings_.ForEach([&](Binding& binding) {
@@ -698,8 +702,7 @@ void Gateway::EmergencyReclaim() {
             [](const Binding* a, const Binding* b) {
               return a->last_activity < b->last_activity;
             });
-  const size_t batch =
-      std::min<size_t>(config_.recycle.emergency_reclaim_batch, candidates.size());
+  batch = std::min(batch, candidates.size());
   std::vector<Ipv4Address> victims;
   victims.reserve(batch);
   for (size_t i = 0; i < batch; ++i) {
@@ -718,6 +721,7 @@ void Gateway::EmergencyReclaim() {
     ++stats_.vms_retired;
     ++stats_.emergency_reclaims;
   }
+  return victims.size();
 }
 
 void Gateway::ScheduleSweep() {

@@ -177,6 +177,10 @@ class Gateway {
   void StartRecycling();
   // One sweep, immediately. Returns how many VMs were retired.
   size_t SweepOnce();
+  // Retires up to `batch` of the most-idle active VMs immediately (the
+  // emergency-reclaim path, callable by the farm's memory-pressure sweep).
+  // Returns the number retired.
+  size_t ReclaimMostIdle(size_t batch);
 
   BindingTable& bindings() { return bindings_; }
   const GatewayStats& stats() const { return stats_; }

@@ -13,6 +13,15 @@ bool IsPowerOfTwo(uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
 
 }  // namespace
 
+uint32_t DefaultGatewayShards() {
+  const uint32_t cores = std::max(1u, std::thread::hardware_concurrency());
+  uint32_t shards = 1;
+  while (shards * 2 <= std::min(cores, 8u)) {
+    shards *= 2;
+  }
+  return shards;
+}
+
 ShardedGateway::ShardedGateway(EventLoop* loop,
                                const ShardedGatewayConfig& config,
                                GatewayBackend* backend)
@@ -244,6 +253,21 @@ size_t ShardedGateway::SweepOnce() {
   size_t retired = 0;
   for (auto& shard : shards_) {
     retired += shard->SweepOnce();
+  }
+  PumpHandoffs();
+  return retired;
+}
+
+size_t ShardedGateway::ReclaimMostIdle(size_t batch) {
+  if (batch == 0) {
+    return 0;
+  }
+  // Ceil-divide so the farm-wide total is at least `batch` when the load is
+  // spread; a shard with fewer idle VMs than its share just retires fewer.
+  const size_t per_shard = (batch + shards_.size() - 1) / shards_.size();
+  size_t retired = 0;
+  for (auto& shard : shards_) {
+    retired += shard->ReclaimMostIdle(per_shard);
   }
   PumpHandoffs();
   return retired;

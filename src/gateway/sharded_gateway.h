@@ -68,6 +68,13 @@ struct ShardedGatewayConfig {
   size_t reserve_bindings_per_shard = 0;
 };
 
+// The shard count examples and soaks default to: the largest power of two
+// <= hardware_concurrency(), capped at 8 (shard scaling flattens past the
+// core count; see BENCH_gateway_shard_scaling.json). Single-core hosts get 1,
+// which keeps the deterministic stdout of every example byte-identical to the
+// unsharded farm.
+uint32_t DefaultGatewayShards();
+
 class ShardedGateway {
  public:
   // Shared-loop mode: all shards share `loop`, `backend`, and the template's
@@ -95,6 +102,10 @@ class ShardedGateway {
   void NotifyInfected(Ipv4Address vm_ip);
   void StartRecycling();
   size_t SweepOnce();
+  // Retires up to `batch` most-idle VMs farm-wide, splitting the batch evenly
+  // across shards (each shard ranks idleness within its own partition).
+  // Returns the number retired.
+  size_t ReclaimMostIdle(size_t batch);
   // The sink is copied to every shard. In DrainParallel it may be invoked
   // concurrently from shard threads; single-threaded modes never do.
   void set_egress_sink(Gateway::EgressSink sink);

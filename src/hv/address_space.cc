@@ -21,6 +21,19 @@ void AddressSpace::MapSharedCow(Gpfn gpfn, FrameId frame) {
   ++shared_pages_;
 }
 
+void AddressSpace::MapSharedCowRun(Gpfn first_gpfn,
+                                   std::span<const FrameId> frames) {
+  const uint32_t count = static_cast<uint32_t>(frames.size());
+  PK_CHECK(first_gpfn + count <= ptes_.size()) << "run maps outside address space";
+  for (uint32_t i = 0; i < count; ++i) {
+    Pte& pte = ptes_[first_gpfn + i];
+    PK_CHECK(!pte.present) << "run map over live mapping";
+    allocator_->Ref(frames[i]);
+    pte = Pte{frames[i], true, true};
+  }
+  shared_pages_ += count;
+}
+
 void AddressSpace::MapPrivateOwned(Gpfn gpfn, FrameId frame) {
   PK_CHECK(gpfn < ptes_.size()) << "map outside address space";
   Unmap(gpfn);
@@ -51,6 +64,12 @@ void AddressSpace::Unmap(Gpfn gpfn) {
 bool AddressSpace::MakeWritable(Gpfn gpfn, MemAccessResult* result) {
   Pte& pte = ptes_[gpfn];
   if (pte.present && !pte.cow) {
+    if (pte.prefetched) {
+      // First real guest write to a speculatively materialised page: the
+      // working-set predictor got this one right.
+      pte.prefetched = false;
+      ++stats_.prefetch_hits;
+    }
     return true;
   }
   if (!pte.present) {
@@ -64,6 +83,7 @@ bool AddressSpace::MakeWritable(Gpfn gpfn, MemAccessResult* result) {
     pte = Pte{frame, true, false};
     ++private_pages_;
     ++stats_.zero_fills;
+    RecordTouch(gpfn);
     return true;
   }
   // CoW break: copy the shared frame into a private one.
@@ -79,8 +99,104 @@ bool AddressSpace::MakeWritable(Gpfn gpfn, MemAccessResult* result) {
   pte = Pte{copy, true, false};
   ++private_pages_;
   ++stats_.cow_faults;
+  RecordTouch(gpfn);
   *result = MemAccessResult::kCowBreak;
   return true;
+}
+
+MemAccessResult AddressSpace::FaultRangeInternal(Gpfn first_gpfn, uint32_t count,
+                                                 bool prefetch) {
+  if (first_gpfn + count > ptes_.size()) {
+    return MemAccessResult::kBadAddress;
+  }
+  ++stats_.batch_faults;
+  // Pass 1: classify the run. Already-private pages need nothing; the rest
+  // split into CoW breaks (clone the shared source) and zero fills.
+  scratch_cow_gpfns_.clear();
+  scratch_cow_src_.clear();
+  scratch_zf_gpfns_.clear();
+  for (uint32_t i = 0; i < count; ++i) {
+    const Pte& pte = ptes_[first_gpfn + i];
+    if (pte.present && !pte.cow) {
+      continue;
+    }
+    if (pte.present) {
+      scratch_cow_gpfns_.push_back(first_gpfn + i);
+      scratch_cow_src_.push_back(pte.frame);
+    } else {
+      scratch_zf_gpfns_.push_back(first_gpfn + i);
+    }
+  }
+  const uint32_t cow_count = static_cast<uint32_t>(scratch_cow_gpfns_.size());
+  const uint32_t zf_count = static_cast<uint32_t>(scratch_zf_gpfns_.size());
+  if (cow_count + zf_count == 0) {
+    return MemAccessResult::kOk;
+  }
+  // Pass 2: one reservation for the whole run. Clone first, then zero-fill;
+  // if the second leg is denied, roll the clones back so the range is
+  // untouched (all-or-nothing, mirroring the allocator's batch contract).
+  scratch_cow_new_.resize(cow_count);
+  scratch_zf_new_.resize(zf_count);
+  if (cow_count > 0 &&
+      allocator_->CloneFrameBatch(scratch_cow_src_, scratch_cow_new_.data()) !=
+          FrameAllocStatus::kOk) {
+    ++stats_.failed_cow_breaks;
+    return MemAccessResult::kOutOfMemory;
+  }
+  if (zf_count > 0 &&
+      allocator_->AllocateBatch(zf_count, scratch_zf_new_.data()) !=
+          FrameAllocStatus::kOk) {
+    if (cow_count > 0) {
+      allocator_->UnrefBatch(scratch_cow_new_);
+    }
+    ++stats_.failed_cow_breaks;
+    return MemAccessResult::kOutOfMemory;
+  }
+  // Pass 3: flip the PTEs and settle bookkeeping once for the run. The old
+  // shared frames drop their references as a batch.
+  for (uint32_t i = 0; i < cow_count; ++i) {
+    Pte& pte = ptes_[scratch_cow_gpfns_[i]];
+    pte.frame = scratch_cow_new_[i];
+    pte.cow = false;
+    pte.prefetched = prefetch;
+    if (track_dirty_) {
+      MarkDirty(scratch_cow_gpfns_[i]);
+    }
+    if (!prefetch) {
+      RecordTouch(scratch_cow_gpfns_[i]);
+    }
+  }
+  for (uint32_t i = 0; i < zf_count; ++i) {
+    Pte& pte = ptes_[scratch_zf_gpfns_[i]];
+    pte = Pte{scratch_zf_new_[i], true, false};
+    pte.prefetched = prefetch;
+    if (track_dirty_) {
+      MarkDirty(scratch_zf_gpfns_[i]);
+    }
+    if (!prefetch) {
+      RecordTouch(scratch_zf_gpfns_[i]);
+    }
+  }
+  if (cow_count > 0) {
+    allocator_->UnrefBatch(scratch_cow_src_);
+    PK_CHECK(shared_pages_ >= cow_count);
+    shared_pages_ -= cow_count;
+  }
+  private_pages_ += cow_count + zf_count;
+  stats_.cow_faults += cow_count;
+  stats_.zero_fills += zf_count;
+  if (prefetch) {
+    stats_.prefetched_pages += cow_count + zf_count;
+  }
+  return cow_count > 0 ? MemAccessResult::kCowBreak : MemAccessResult::kOk;
+}
+
+MemAccessResult AddressSpace::FaultRange(Gpfn first_gpfn, uint32_t count) {
+  return FaultRangeInternal(first_gpfn, count, /*prefetch=*/false);
+}
+
+MemAccessResult AddressSpace::PrefetchRange(Gpfn first_gpfn, uint32_t count) {
+  return FaultRangeInternal(first_gpfn, count, /*prefetch=*/true);
 }
 
 MemAccessResult AddressSpace::WriteGuest(uint64_t gpaddr,
@@ -144,6 +260,33 @@ MemAccessResult AddressSpace::TouchPages(Gpfn first_gpfn, uint32_t count) {
     }
   }
   return MemAccessResult::kOk;
+}
+
+MemAccessResult AddressSpace::TouchPagesBatched(Gpfn first_gpfn, uint32_t count) {
+  if (first_gpfn + count > ptes_.size()) {
+    return MemAccessResult::kBadAddress;
+  }
+  const MemAccessResult faulted = FaultRange(first_gpfn, count);
+  if (faulted == MemAccessResult::kOutOfMemory) {
+    return faulted;
+  }
+  // Same per-page markers as TouchPages, but every page is already private so
+  // the writes cannot fault.
+  for (uint32_t i = 0; i < count; ++i) {
+    const Gpfn gpfn = first_gpfn + i;
+    const uint8_t marker = static_cast<uint8_t>(0xd1 + i);
+    ++stats_.writes;
+    Pte& pte = ptes_[gpfn];
+    if (pte.prefetched) {
+      pte.prefetched = false;
+      ++stats_.prefetch_hits;
+    }
+    if (track_dirty_) {
+      MarkDirty(gpfn);
+    }
+    allocator_->Write(pte.frame, 0, std::span(&marker, 1));
+  }
+  return faulted;
 }
 
 bool AddressSpace::IsMapped(Gpfn gpfn) const {

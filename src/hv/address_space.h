@@ -5,6 +5,14 @@
 // The first guest write to such a page takes a CoW fault: a private frame is
 // allocated, the contents copied, and the mapping flipped to writable. The set of
 // private frames is the VM's "delta" — the only per-VM memory cost.
+//
+// Faults resolve one page at a time (`WriteGuest`/`TouchPages`) or as a run
+// (`FaultRange`): the run path classifies the whole range in one scan, takes a
+// single all-or-nothing allocator reservation for every CoW break and zero
+// fill, and amortises the share/delta bookkeeping across the run. The same
+// machinery serves working-set prefetch (`PrefetchRange`), which materialises
+// pages *speculatively* and tags them so the first real guest write counts as
+// a prediction hit.
 #ifndef SRC_HV_ADDRESS_SPACE_H_
 #define SRC_HV_ADDRESS_SPACE_H_
 
@@ -30,6 +38,9 @@ struct AddressSpaceStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
   uint64_t failed_cow_breaks = 0;  // out-of-memory CoW faults
+  uint64_t batch_faults = 0;       // FaultRange/PrefetchRange invocations
+  uint64_t prefetched_pages = 0;   // pages materialised speculatively
+  uint64_t prefetch_hits = 0;      // prefetched pages later written by the guest
 };
 
 class AddressSpace {
@@ -46,6 +57,11 @@ class AddressSpace {
 
   // Maps `frame` at `gpfn` as a read-only CoW share; takes a reference.
   void MapSharedCow(Gpfn gpfn, FrameId frame);
+  // Flash-clone fast path: maps pages [first_gpfn, first_gpfn + frames.size())
+  // as CoW shares of frames[i] in one pass. Pages must be unmapped (this is the
+  // initial image binding, not a remap); the share count is adjusted once for
+  // the whole run.
+  void MapSharedCowRun(Gpfn first_gpfn, std::span<const FrameId> frames);
   // Maps `frame` at `gpfn` as private/writable; takes ownership of one reference.
   void MapPrivateOwned(Gpfn gpfn, FrameId frame);
   void Unmap(Gpfn gpfn);
@@ -57,6 +73,25 @@ class AddressSpace {
   // Touches (dirties) one word in each page of [first_gpfn, first_gpfn+count),
   // modelling a guest working set; stops early on OOM.
   MemAccessResult TouchPages(Gpfn first_gpfn, uint32_t count);
+
+  // Batched equivalent of TouchPages: resolves every pending fault in the run
+  // via FaultRange (one allocator reservation), then writes the same per-page
+  // markers. All-or-nothing on OOM — either the whole run materialises or no
+  // page does.
+  MemAccessResult TouchPagesBatched(Gpfn first_gpfn, uint32_t count);
+
+  // Resolves all pending faults (unmapped or CoW-shared pages) in
+  // [first_gpfn, first_gpfn+count) in one pass: one scan to classify, one
+  // all-or-nothing allocator reservation (batch clone + batch zero-fill), and
+  // bookkeeping amortised over the run. Already-private pages are untouched.
+  // On kOutOfMemory nothing in the range changed.
+  MemAccessResult FaultRange(Gpfn first_gpfn, uint32_t count);
+
+  // FaultRange for the working-set predictor: pages it materialises are tagged
+  // as prefetched (counted in stats().prefetched_pages); the first real guest
+  // write to such a page clears the tag and counts a prefetch hit. Pages left
+  // tagged at teardown were mispredictions.
+  MemAccessResult PrefetchRange(Gpfn first_gpfn, uint32_t count);
 
   bool IsMapped(Gpfn gpfn) const;
   bool IsCowShared(Gpfn gpfn) const;
@@ -71,6 +106,22 @@ class AddressSpace {
   }
 
   const AddressSpaceStats& stats() const { return stats_; }
+
+  // Prefetched pages the guest never wrote (so far): the predictor's misses.
+  uint64_t prefetch_unused() const {
+    return stats_.prefetched_pages - stats_.prefetch_hits;
+  }
+
+  // Arms first-materialisation order recording: every page that transitions to
+  // private (zero fill, CoW break, single or batched) appends its gpfn to
+  // touch_order(). Off by default — recording is only paid for by VMs whose
+  // sessions feed a working-set profile.
+  void EnableTouchOrderRecording() { record_touch_order_ = true; }
+  bool touch_order_recording() const { return record_touch_order_; }
+  // Gpfns in the order they first became private. Prefetched pages are
+  // excluded — the profile must reflect what the guest actually touched, not
+  // what a previous profile predicted, or mispredictions self-reinforce.
+  const std::vector<Gpfn>& touch_order() const { return touch_order_; }
 
   // Iterates every private (non-CoW) mapping: fn(gpfn, frame). Used by snapshot
   // capture and the page deduplicator's full-scan mode.
@@ -121,10 +172,15 @@ class AddressSpace {
     bool present = false;
     bool cow = false;  // present but read-only shared; write must break the share
     bool dirty = false;  // written since the last dedup drain (kStoreBytes only)
+    bool prefetched = false;  // speculatively materialised, no guest write yet
   };
 
   // Ensures the page at `gpfn` is privately writable; returns false on OOM.
   bool MakeWritable(Gpfn gpfn, MemAccessResult* result);
+
+  // Shared implementation of FaultRange/PrefetchRange.
+  MemAccessResult FaultRangeInternal(Gpfn first_gpfn, uint32_t count,
+                                     bool prefetch);
 
   void MarkDirty(Gpfn gpfn) {
     Pte& pte = ptes_[gpfn];
@@ -134,12 +190,27 @@ class AddressSpace {
     }
   }
 
+  void RecordTouch(Gpfn gpfn) {
+    if (record_touch_order_) {
+      touch_order_.push_back(gpfn);
+    }
+  }
+
   FrameAllocator* allocator_;
   std::vector<Pte> ptes_;
   std::vector<Gpfn> dirty_pages_;  // queue for DrainDirtyPages; deduped via Pte::dirty
+  std::vector<Gpfn> touch_order_;  // first-materialisation order (when armed)
+  // Scratch for FaultRangeInternal, kept across calls so a steady stream of
+  // batch faults never allocates.
+  std::vector<Gpfn> scratch_cow_gpfns_;
+  std::vector<FrameId> scratch_cow_src_;
+  std::vector<FrameId> scratch_cow_new_;
+  std::vector<Gpfn> scratch_zf_gpfns_;
+  std::vector<FrameId> scratch_zf_new_;
   uint32_t private_pages_ = 0;
   uint32_t shared_pages_ = 0;
   bool track_dirty_ = false;  // only kStoreBytes hosts pay for dirty tracking
+  bool record_touch_order_ = false;
   mutable AddressSpaceStats stats_;  // mutable: reads are logically const
 };
 

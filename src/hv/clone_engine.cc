@@ -17,6 +17,8 @@ CloneEngine::CloneEngine(EventLoop* loop, PhysicalHost* host,
   m_completed_ = obs_.metrics.RegisterCounter("clone.completed", "count");
   m_failed_ = obs_.metrics.RegisterCounter("clone.failed", "count");
   m_destroyed_ = obs_.metrics.RegisterCounter("clone.destroyed", "count");
+  m_pressure_reclaims_ =
+      obs_.metrics.RegisterCounter("clone.pressure_reclaims", "count");
   // Registry-side latency distribution (exports _count/_p50/_p99/_max rows in
   // snapshots — the watchdog's clone_latency_p99 rule reads the _p99 row).
   m_latency_ms_ = obs_.metrics.RegisterHistogram(
@@ -26,16 +28,53 @@ CloneEngine::CloneEngine(EventLoop* loop, PhysicalHost* host,
 void CloneEngine::RequestClone(ImageId image, const std::string& vm_name,
                                Ipv4Address ip, MacAddress mac, SessionId session,
                                CloneCallback callback) {
+  RequestClone(image, vm_name, ip, mac, session, config_.clone_options,
+               std::move(callback));
+}
+
+void CloneEngine::RequestClone(ImageId image, const std::string& vm_name,
+                               Ipv4Address ip, MacAddress mac, SessionId session,
+                               const CloneOptions& options,
+                               CloneCallback callback) {
+  // Relieve memory pressure *before* the clone enters the queue: the victims'
+  // teardowns run ahead of it on the control plane, so by the time the clone
+  // materialises pages the frames are back.
+  if (config_.pressure_reclaim_batch > 0 && host_->UnderMemoryPressure()) {
+    ReclaimUnderPressure(config_.pressure_reclaim_batch);
+  }
   Job job;
   job.image = image;
   job.vm_name = vm_name;
   job.ip = ip;
   job.mac = mac;
   job.session = session;
+  job.options = options;
   job.callback = std::move(callback);
   job.requested = loop_->Now();
   queue_.push_back(std::move(job));
   MaybeStartWork();
+}
+
+size_t CloneEngine::ReclaimUnderPressure(size_t max_victims) {
+  if (max_victims == 0 || !host_->UnderMemoryPressure()) {
+    return 0;
+  }
+  const std::vector<VmId> victims = host_->PressureVictims(max_victims);
+  for (const VmId victim : victims) {
+    if (pressure_reclaim_) {
+      pressure_reclaim_(victim);
+    } else {
+      // Quiesce immediately so the victim stops being a reclaim candidate
+      // while its teardown waits in the control-plane queue.
+      if (VirtualMachine* vm = host_->FindVm(victim)) {
+        vm->set_state(VmState::kPaused);
+      }
+      RequestDestroy(victim);
+    }
+    ++pressure_reclaims_;
+    m_pressure_reclaims_.Inc();
+  }
+  return victims.size();
 }
 
 void CloneEngine::RequestDestroy(VmId vm, std::function<void()> callback) {
@@ -98,10 +137,27 @@ void CloneEngine::ExecuteClone(Job job) {
     timing.boot = config_.latency.cold_boot;
     elapsed += timing.boot;
   }
+  if (job.options.use_working_set) {
+    // Charge the prediction's batched pre-materialisation, using the
+    // prediction as it stands at request time (a session retiring on another
+    // worker before CreateClone runs can shift the count slightly; the charge
+    // is a model, not an invariant).
+    if (const WorkingSetProfile* profile =
+            image->FindProfile(job.options.attack_class)) {
+      const size_t predicted =
+          profile->PredictFirst(job.options.prefetch_pages).size();
+      if (predicted > 0) {
+        timing.ws_prefetch = config_.latency.ws_prefetch_per_page *
+                             static_cast<double>(predicted);
+        elapsed += timing.ws_prefetch;
+      }
+    }
+  }
 
   loop_->ScheduleAfter(elapsed, [this, job = std::move(job), timing]() mutable {
     timing.finished = loop_->Now();
-    VirtualMachine* vm = host_->CreateClone(job.image, config_.kind, job.vm_name);
+    VirtualMachine* vm =
+        host_->CreateClone(job.image, config_.kind, job.vm_name, job.options);
     if (vm != nullptr) {
       vm->BindAddress(job.ip, job.mac);
       vm->set_state(VmState::kRunning);
@@ -146,6 +202,10 @@ void CloneEngine::RecordCloneSpans(const CloneTiming& timing) {
   }
   if (!timing.boot.IsZero()) {
     trace.RecordSpan(track_, "guest_boot", cursor, cursor + timing.boot);
+    cursor = cursor + timing.boot;
+  }
+  if (!timing.ws_prefetch.IsZero()) {
+    trace.RecordSpan(track_, "ws_prefetch", cursor, cursor + timing.ws_prefetch);
   }
 }
 

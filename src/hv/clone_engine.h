@@ -28,8 +28,9 @@ struct CloneTiming {
   TimePoint started;
   TimePoint finished;
   std::array<Duration, static_cast<size_t>(ClonePhase::kNumPhases)> phase;
-  Duration memory_copy;  // nonzero only for full-copy / cold-boot kinds
-  Duration boot;         // nonzero only for cold boot
+  Duration memory_copy;   // nonzero only for full-copy / cold-boot kinds
+  Duration boot;          // nonzero only for cold boot
+  Duration ws_prefetch;   // nonzero only when working-set prefetch ran
   Duration QueueWait() const { return started - requested; }
   Duration Total() const { return finished - started; }
 };
@@ -42,6 +43,15 @@ struct CloneEngineConfig {
   CloneLatencyModel latency;
   CloneKind kind = CloneKind::kFlash;
   int control_plane_workers = 1;
+  // Default memory options for clones whose request doesn't carry its own
+  // (the zero value = legacy demand-fault behavior).
+  CloneOptions clone_options;
+  // Proactive pressure relief: when a clone request arrives while the host is
+  // over its pressure watermark, reclaim up to this many of the most-idle
+  // clones ahead of it in the control-plane queue (their teardown completes
+  // while the clone's phases are charged, so the allocation no longer fails).
+  // 0 disables; it is also inert unless the host configures watermarks.
+  uint32_t pressure_reclaim_batch = 0;
   // Telemetry bundle; null falls back to Observability::Default().
   Observability* obs = nullptr;
   // Trace track every clone's phase spans are recorded on (one per engine, so
@@ -65,9 +75,30 @@ class CloneEngine {
                     MacAddress mac, CloneCallback callback) {
     RequestClone(image, vm_name, ip, mac, kNoSession, std::move(callback));
   }
+  // Variant with per-clone memory options (working-set prefetch / recording /
+  // attack class) overriding the config default.
+  void RequestClone(ImageId image, const std::string& vm_name, Ipv4Address ip,
+                    MacAddress mac, SessionId session,
+                    const CloneOptions& options, CloneCallback callback);
 
   // Enqueues a teardown through the control plane.
   void RequestDestroy(VmId vm, std::function<void()> callback = nullptr);
+
+  // ---- Memory-pressure recycling ----
+
+  // How a pressure victim is retired. Installed by the clone server so guest
+  // state, forensics and worm deactivation ride the normal retire path; the
+  // default quiesces the VM and queues a control-plane destroy.
+  using PressureReclaimHandler = std::function<void(VmId)>;
+  void set_pressure_reclaim_handler(PressureReclaimHandler handler) {
+    pressure_reclaim_ = std::move(handler);
+  }
+  // If the host is over its pressure watermark, retires up to `max_victims`
+  // most-idle clones (skipping ones still cloning or already quiescing).
+  // Returns the number of reclaims issued. Also invoked automatically from
+  // RequestClone when config().pressure_reclaim_batch > 0.
+  size_t ReclaimUnderPressure(size_t max_victims);
+  uint64_t pressure_reclaims() const { return pressure_reclaims_; }
 
   PhysicalHost* host() { return host_; }
   const CloneEngineConfig& config() const { return config_; }
@@ -90,6 +121,7 @@ class CloneEngine {
     Ipv4Address ip;
     MacAddress mac;
     SessionId session = kNoSession;
+    CloneOptions options;
     CloneCallback callback;
     // Destroy fields:
     VmId victim = kInvalidVm;
@@ -111,12 +143,15 @@ class CloneEngine {
   Counter m_completed_;
   Counter m_failed_;
   Counter m_destroyed_;
+  Counter m_pressure_reclaims_;
   FixedHistogram m_latency_ms_;
+  PressureReclaimHandler pressure_reclaim_;
   std::deque<Job> queue_;
   int busy_workers_ = 0;
   uint64_t clones_completed_ = 0;
   uint64_t clones_failed_ = 0;
   uint64_t destroys_completed_ = 0;
+  uint64_t pressure_reclaims_ = 0;
   Histogram latency_hist_;     // clone start->finish, milliseconds
   Histogram queue_wait_hist_;  // request->start, milliseconds
 };

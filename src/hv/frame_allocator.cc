@@ -29,8 +29,10 @@ void FrameAllocator::ExportMetrics(MetricRegistry* registry,
   }
   export_registry_ = registry;
   if (registry == nullptr) {
+    denied_counter_ = Counter();
     return;
   }
+  denied_counter_ = registry->RegisterCounter("hv.frames.denied", "count");
   registry->RegisterProbe(this, prefix + ".used_frames", "frames", [this] {
     return static_cast<double>(used_frames_);
   });
@@ -43,12 +45,17 @@ void FrameAllocator::ExportMetrics(MetricRegistry* registry,
   registry->RegisterProbe(this, prefix + ".cow_copies", "count", [this] {
     return static_cast<double>(total_copies_);
   });
+  registry->RegisterProbe(this, prefix + ".denied_requests", "count", [this] {
+    return static_cast<double>(denied_requests_);
+  });
 }
 
-FrameId FrameAllocator::AllocateZeroed() {
-  if (used_frames_ >= capacity_frames_) {
-    return kInvalidFrame;
-  }
+void FrameAllocator::CountDenied() {
+  ++denied_requests_;
+  denied_counter_.Inc();
+}
+
+FrameId FrameAllocator::TakeSlot() {
   FrameId id;
   if (!free_list_.empty()) {
     id = free_list_.back();
@@ -60,6 +67,15 @@ FrameId FrameAllocator::AllocateZeroed() {
   Frame& frame = frames_[id];
   frame.refcount = 1;
   frame.data.reset();  // zero-fill-on-demand
+  return id;
+}
+
+FrameId FrameAllocator::AllocateZeroed() {
+  if (used_frames_ >= capacity_frames_) {
+    CountDenied();
+    return kInvalidFrame;
+  }
+  const FrameId id = TakeSlot();
   ++used_frames_;
   ++total_allocations_;
   peak_used_frames_ = std::max(peak_used_frames_, used_frames_);
@@ -81,9 +97,83 @@ FrameId FrameAllocator::CloneFrame(FrameId src) {
   return id;
 }
 
+FrameAllocStatus FrameAllocator::AllocateBatch(uint32_t count, FrameId* out) {
+  if (count == 0) {
+    return FrameAllocStatus::kOk;
+  }
+  if (!CanAllocate(count)) {
+    CountDenied();
+    return FrameAllocStatus::kDenied;
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    out[i] = TakeSlot();
+  }
+  used_frames_ += count;
+  total_allocations_ += count;
+  peak_used_frames_ = std::max(peak_used_frames_, used_frames_);
+  return FrameAllocStatus::kOk;
+}
+
+FrameAllocStatus FrameAllocator::CloneFrameBatch(std::span<const FrameId> src,
+                                                 FrameId* out) {
+  const uint32_t count = static_cast<uint32_t>(src.size());
+  if (count == 0) {
+    return FrameAllocStatus::kOk;
+  }
+  for (FrameId s : src) {
+    PK_CHECK(s < frames_.size() && frames_[s].refcount > 0)
+        << "batch clone of dead frame";
+  }
+  if (!CanAllocate(count)) {
+    CountDenied();
+    return FrameAllocStatus::kDenied;
+  }
+  if (mode_ == ContentMode::kMetadataOnly) {
+    // Accounting-only hosts (the clone-density scale mode): the whole batch is
+    // pure slot bookkeeping, no buffers to fill.
+    for (uint32_t i = 0; i < count; ++i) {
+      out[i] = TakeSlot();
+    }
+  } else {
+    for (uint32_t i = 0; i < count; ++i) {
+      const FrameId id = TakeSlot();
+      out[i] = id;
+      // frames_ may have grown in TakeSlot(); re-resolve src after it.
+      const Frame& from = frames_[src[i]];
+      if (from.data != nullptr) {
+        Frame& dst = frames_[id];
+        if (!buffer_pool_.empty()) {
+          dst.data = std::move(buffer_pool_.back());
+          buffer_pool_.pop_back();
+        } else {
+          dst.data = std::make_unique<uint8_t[]>(kPageSize);
+        }
+        std::memcpy(dst.data.get(), from.data.get(), kPageSize);
+      }
+    }
+  }
+  used_frames_ += count;
+  total_allocations_ += count;
+  total_copies_ += count;
+  peak_used_frames_ = std::max(peak_used_frames_, used_frames_);
+  return FrameAllocStatus::kOk;
+}
+
 void FrameAllocator::Ref(FrameId frame) {
   PK_CHECK(frame < frames_.size() && frames_[frame].refcount > 0) << "ref dead frame";
   ++frames_[frame].refcount;
+}
+
+void FrameAllocator::RefN(FrameId frame, uint32_t count) {
+  PK_CHECK(frame < frames_.size() && frames_[frame].refcount > 0) << "ref dead frame";
+  frames_[frame].refcount += count;
+}
+
+void FrameAllocator::ReleaseData(Frame& frame) {
+  if (frame.data != nullptr && buffer_pool_.size() < kBufferPoolCap) {
+    buffer_pool_.push_back(std::move(frame.data));
+  }
+  frame.data.reset();
 }
 
 void FrameAllocator::Unref(FrameId frame) {
@@ -92,10 +182,16 @@ void FrameAllocator::Unref(FrameId frame) {
     if (dedup_index_ != nullptr) {
       dedup_index_->OnFrameFreed(frame);
     }
-    frames_[frame].data.reset();
+    ReleaseData(frames_[frame]);
     free_list_.push_back(frame);
     PK_CHECK(used_frames_ > 0);
     --used_frames_;
+  }
+}
+
+void FrameAllocator::UnrefBatch(std::span<const FrameId> frames) {
+  for (FrameId f : frames) {
+    Unref(f);
   }
 }
 

@@ -51,6 +51,12 @@ struct CloneLatencyModel {
   // VM teardown (recycling) control-plane cost.
   Duration domain_destroy = Duration::Millis(40);
 
+  // Per-page cost of working-set prefetch at clone time (batched CoW break:
+  // pooled buffer + one 4 KiB copy, reservation amortised across the run).
+  // Charged only when a clone requests prediction, outside the phase table so
+  // the classic breakdown is untouched.
+  Duration ws_prefetch_per_page = Duration::Nanos(300);
+
   Duration PhaseCost(ClonePhase phase, uint32_t image_pages) const;
   Duration FlashCloneTotal(uint32_t image_pages) const;
   Duration FullCopyTotal(uint32_t image_pages) const;

@@ -1,5 +1,7 @@
 #include "src/hv/physical_host.h"
 
+#include <algorithm>
+
 #include "src/base/log.h"
 #include "src/base/strings.h"
 
@@ -28,6 +30,10 @@ PhysicalHost::PhysicalHost(const PhysicalHostConfig& config)
       allocator_(config.memory_mb * (1 << 20) / kPageSize, config.content_mode) {
   if (config.content_mode == ContentMode::kStoreBytes) {
     allocator_.set_dedup_index(&dedup_index_);
+  }
+  if (config_.pressure_high_watermark > 0.0 &&
+      config_.pressure_low_watermark <= 0.0) {
+    config_.pressure_low_watermark = config_.pressure_high_watermark;
   }
 }
 
@@ -67,6 +73,17 @@ void PhysicalHost::ExportMetrics(MetricRegistry* registry,
   });
   registry->RegisterProbe(this, prefix + ".dedup.hit_rate", "ratio",
                           [this] { return dedup_totals_.HitRate(); });
+  registry->RegisterProbe(this, prefix + ".prefetch.pages", "pages", [this] {
+    return static_cast<double>(prefetch_totals().prefetched_pages);
+  });
+  registry->RegisterProbe(this, prefix + ".prefetch.hits", "pages", [this] {
+    return static_cast<double>(prefetch_totals().hits);
+  });
+  registry->RegisterProbe(this, prefix + ".prefetch.hit_rate", "ratio",
+                          [this] { return prefetch_totals().HitRate(); });
+  registry->RegisterProbe(this, prefix + ".pressure.active", "bool", [this] {
+    return UnderMemoryPressure() ? 1.0 : 0.0;
+  });
 }
 
 ImageId PhysicalHost::RegisterImage(const ReferenceImageConfig& config,
@@ -79,6 +96,10 @@ ImageId PhysicalHost::RegisterImage(const ReferenceImageConfig& config,
 }
 
 const ReferenceImage* PhysicalHost::image(ImageId id) const {
+  return id < images_.size() ? images_[id].get() : nullptr;
+}
+
+ReferenceImage* PhysicalHost::mutable_image(ImageId id) {
   return id < images_.size() ? images_[id].get() : nullptr;
 }
 
@@ -95,15 +116,25 @@ bool PhysicalHost::CanAdmit(ImageId image_id, CloneKind kind) const {
 
 VirtualMachine* PhysicalHost::CreateClone(ImageId image_id, CloneKind kind,
                                           const std::string& name) {
+  return CreateClone(image_id, kind, name, CloneOptions{});
+}
+
+VirtualMachine* PhysicalHost::CreateClone(ImageId image_id, CloneKind kind,
+                                          const std::string& name,
+                                          const CloneOptions& options) {
   if (!CanAdmit(image_id, kind)) {
     ++total_failures_;
     return nullptr;
   }
-  const ReferenceImage& img = *images_[image_id];
+  ReferenceImage& img = *images_[image_id];
   const ReferenceDisk* disk = disks_[image_id].get();
+  const ImageGeneration generation = img.current_generation();
 
   VmRecord record;
   record.image = image_id;
+  record.generation = generation;
+  record.attack_class = options.attack_class;
+  record.record_working_set = options.record_working_set;
   const VmId id = g_next_vm_id++;
   record.vm = std::make_unique<VirtualMachine>(id, name, &allocator_, img.num_pages(),
                                                disk);
@@ -123,23 +154,27 @@ VirtualMachine* PhysicalHost::CreateClone(ImageId image_id, CloneKind kind,
   }
 
   AddressSpace& mem = record.vm->memory();
+  if (options.record_working_set) {
+    mem.EnableTouchOrderRecording();
+  }
   bool oom = false;
-  for (Gpfn gpfn = 0; gpfn < img.num_pages() && !oom; ++gpfn) {
-    const FrameId src = img.FrameForPage(gpfn);
-    switch (kind) {
-      case CloneKind::kFlash:
-        mem.MapSharedCow(gpfn, src);
-        break;
-      case CloneKind::kFullCopy:
-      case CloneKind::kColdBoot: {
-        const FrameId copy = allocator_.CloneFrame(src);
+  switch (kind) {
+    case CloneKind::kFlash:
+      // One run-map over the whole generation: per-page Ref still happens, but
+      // PTE setup and share accounting are amortised across the image.
+      mem.MapSharedCowRun(0, img.GenerationFrames(generation));
+      break;
+    case CloneKind::kFullCopy:
+    case CloneKind::kColdBoot: {
+      for (Gpfn gpfn = 0; gpfn < img.num_pages() && !oom; ++gpfn) {
+        const FrameId copy = allocator_.CloneFrame(img.FrameForPage(generation, gpfn));
         if (copy == kInvalidFrame) {
           oom = true;
           break;
         }
         mem.MapPrivateOwned(gpfn, copy);
-        break;
       }
+      break;
     }
   }
   if (oom) {
@@ -151,6 +186,31 @@ VirtualMachine* PhysicalHost::CreateClone(ImageId image_id, CloneKind kind,
     return nullptr;
   }
 
+  if (options.use_working_set) {
+    ++retired_prefetch_.sessions;
+    if (const WorkingSetProfile* profile = img.FindProfile(options.attack_class)) {
+      // Coalesce the prediction into contiguous runs and materialise each with
+      // one batched fault. Prefetch is opportunistic: a denied run simply
+      // leaves the remaining pages to demand faulting.
+      std::vector<Gpfn> predicted = profile->PredictFirst(options.prefetch_pages);
+      std::sort(predicted.begin(), predicted.end());
+      size_t i = 0;
+      while (i < predicted.size()) {
+        size_t j = i + 1;
+        while (j < predicted.size() && predicted[j] == predicted[j - 1] + 1) {
+          ++j;
+        }
+        const auto run_len = static_cast<uint32_t>(j - i);
+        if (mem.PrefetchRange(predicted[i], run_len) ==
+            MemAccessResult::kOutOfMemory) {
+          break;
+        }
+        i = j;
+      }
+    }
+  }
+
+  img.PinGeneration(generation);
   VirtualMachine* vm = record.vm.get();
   vms_.emplace(id, std::move(record));
   ++total_created_;
@@ -163,10 +223,25 @@ bool PhysicalHost::DestroyVm(VmId id) {
   if (it == vms_.end()) {
     return false;
   }
-  it->second.vm->set_state(VmState::kRetired);
-  it->second.vm->memory().ReleaseAll();
-  for (FrameId f : it->second.overhead_frames) {
+  VmRecord& record = it->second;
+  const AddressSpaceStats& stats = record.vm->memory().stats();
+  retired_prefetch_.prefetched_pages += stats.prefetched_pages;
+  retired_prefetch_.hits += stats.prefetch_hits;
+  if (record.record_working_set) {
+    const std::vector<Gpfn>& order = record.vm->memory().touch_order();
+    if (!order.empty() && record.image < images_.size()) {
+      images_[record.image]
+          ->ProfileForClass(record.attack_class)
+          .RecordSession(std::span(order.data(), order.size()));
+    }
+  }
+  record.vm->set_state(VmState::kRetired);
+  record.vm->memory().ReleaseAll();
+  for (FrameId f : record.overhead_frames) {
     allocator_.Unref(f);
+  }
+  if (record.image < images_.size()) {
+    images_[record.image]->UnpinGeneration(record.generation);
   }
   vms_.erase(it);
   ++total_destroyed_;
@@ -178,12 +253,69 @@ VirtualMachine* PhysicalHost::FindVm(VmId id) {
   return it == vms_.end() ? nullptr : it->second.vm.get();
 }
 
+ImageGeneration PhysicalHost::VmGeneration(VmId id) const {
+  auto it = vms_.find(id);
+  return it == vms_.end() ? 0 : it->second.generation;
+}
+
 uint64_t PhysicalHost::TotalPrivatePages() const {
   uint64_t total = 0;
   for (const auto& [id, record] : vms_) {
     total += record.vm->memory().private_pages();
   }
   return total;
+}
+
+PrefetchTotals PhysicalHost::prefetch_totals() const {
+  PrefetchTotals totals = retired_prefetch_;
+  for (const auto& [id, record] : vms_) {
+    const AddressSpaceStats& stats = record.vm->memory().stats();
+    totals.prefetched_pages += stats.prefetched_pages;
+    totals.hits += stats.prefetch_hits;
+  }
+  return totals;
+}
+
+bool PhysicalHost::UnderMemoryPressure() const {
+  if (config_.pressure_high_watermark <= 0.0) {
+    return false;
+  }
+  const auto threshold = static_cast<uint64_t>(
+      config_.pressure_high_watermark *
+      static_cast<double>(allocator_.capacity_frames()));
+  return allocator_.used_frames() > threshold;
+}
+
+uint64_t PhysicalHost::FramesAboveLowWatermark() const {
+  if (!UnderMemoryPressure()) {
+    return 0;
+  }
+  const auto floor = static_cast<uint64_t>(
+      config_.pressure_low_watermark *
+      static_cast<double>(allocator_.capacity_frames()));
+  const uint64_t used = allocator_.used_frames();
+  return used > floor ? used - floor : 0;
+}
+
+std::vector<VmId> PhysicalHost::PressureVictims(size_t max) const {
+  std::vector<std::pair<int64_t, VmId>> candidates;
+  candidates.reserve(vms_.size());
+  for (const auto& [id, record] : vms_) {
+    if (record.vm->state() != VmState::kRunning) {
+      continue;  // never reclaim a clone still materialising or already quiescing
+    }
+    candidates.emplace_back(record.vm->last_activity().nanos(), id);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  if (candidates.size() > max) {
+    candidates.resize(max);
+  }
+  std::vector<VmId> victims;
+  victims.reserve(candidates.size());
+  for (const auto& [activity, id] : candidates) {
+    victims.push_back(id);
+  }
+  return victims;
 }
 
 }  // namespace potemkin

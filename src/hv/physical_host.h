@@ -29,6 +29,24 @@ enum class CloneKind {
 
 const char* CloneKindName(CloneKind kind);
 
+// Per-clone knobs for the predictive memory path. The zero value reproduces
+// the pre-prediction behavior exactly (no prefetch, no recording) — every
+// legacy call site keeps its semantics.
+struct CloneOptions {
+  // Prefetch: materialise the working-set profile's predicted first pages in
+  // batched faults at clone time, so the session's early faults hit private
+  // pages instead of breaking CoW shares one at a time.
+  bool use_working_set = false;
+  // Prediction depth when use_working_set is set.
+  uint32_t prefetch_pages = 64;
+  // Feed this clone's first-touch page order back into the image's profile at
+  // destroy time (the sessions future clones are predicted from).
+  bool record_working_set = false;
+  // Profile key (worm strain, service, image profile index — whatever taxonomy
+  // the farm uses) for both prediction and recording.
+  uint32_t attack_class = 0;
+};
+
 struct PhysicalHostConfig {
   HostId id = 0;
   std::string name = "host0";
@@ -40,6 +58,13 @@ struct PhysicalHostConfig {
   // Admission control: refuse new clones when free memory would drop below this
   // many frames (headroom for existing VMs' future CoW deltas).
   uint64_t admission_reserve_frames = 1024;
+  // Pressure-driven recycling: with a nonzero high watermark, the host reports
+  // memory pressure once committed frames exceed high_watermark × capacity, and
+  // PressureVictims() nominates the most-idle clones for reclaim until usage
+  // falls back under low_watermark × capacity. 0 disables (legacy behavior:
+  // allocations simply start failing at the admission reserve).
+  double pressure_high_watermark = 0.0;
+  double pressure_low_watermark = 0.0;  // defaults to high watermark when 0
 };
 
 // Cumulative deduplication accounting across every pass run on a host, kept by
@@ -58,14 +83,27 @@ struct DedupTotals {
   }
 };
 
+// Cumulative working-set prefetch accounting (live VMs plus retired ones),
+// the predictor's farm-visible scorecard.
+struct PrefetchTotals {
+  uint64_t sessions = 0;          // clones created with prediction enabled
+  uint64_t prefetched_pages = 0;  // pages materialised speculatively
+  uint64_t hits = 0;              // prefetched pages the guest then wrote
+  double HitRate() const {
+    return prefetched_pages == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(prefetched_pages);
+  }
+};
+
 class PhysicalHost {
  public:
   explicit PhysicalHost(const PhysicalHostConfig& config);
   ~PhysicalHost();
 
   // Registers cold-path probes for this host (live VMs, private pages, memory
-  // via the frame allocator, dedup totals) under `prefix` (e.g. "host0").
-  // Probes are keyed by this host and removed on destruction.
+  // via the frame allocator, dedup totals, prefetch totals) under `prefix`
+  // (e.g. "host0"). Probes are keyed by this host and removed on destruction.
   void ExportMetrics(MetricRegistry* registry, const std::string& prefix);
 
   HostId id() const { return config_.id; }
@@ -81,6 +119,7 @@ class PhysicalHost {
   // Boots a reference image (and its reference disk) on this host.
   ImageId RegisterImage(const ReferenceImageConfig& config, uint64_t disk_blocks = 1024);
   const ReferenceImage* image(ImageId id) const;
+  ReferenceImage* mutable_image(ImageId id);
   size_t image_count() const { return images_.size(); }
 
   // True if a clone of `image` with kind `kind` passes admission control.
@@ -88,9 +127,16 @@ class PhysicalHost {
 
   // Creates a VM from the image. Returns nullptr on failure (admission/OOM), in
   // which case all partial state is rolled back. The VM starts in kCloning.
+  // The clone binds — and pins — the image's newest generation; `options`
+  // selects the predictive-memory behavior (the default reproduces the
+  // pre-prediction path exactly).
   VirtualMachine* CreateClone(ImageId image, CloneKind kind, const std::string& name);
+  VirtualMachine* CreateClone(ImageId image, CloneKind kind, const std::string& name,
+                              const CloneOptions& options);
 
-  // Tears a VM down and releases all of its frames.
+  // Tears a VM down and releases all of its frames; unpins its image
+  // generation and, when the clone recorded its working set, folds the
+  // session's touch order into the image's profile.
   bool DestroyVm(VmId id);
 
   VirtualMachine* FindVm(VmId id);
@@ -99,9 +145,24 @@ class PhysicalHost {
   uint64_t total_clones_created() const { return total_created_; }
   uint64_t total_clone_failures() const { return total_failures_; }
   uint64_t total_destroyed() const { return total_destroyed_; }
+  // Generation a live VM is pinned to (0 when unknown).
+  ImageGeneration VmGeneration(VmId id) const;
 
   // Aggregate private (delta) pages across live VMs.
   uint64_t TotalPrivatePages() const;
+
+  // ---- Memory pressure ----
+
+  // True when pressure recycling is configured and committed frames exceed the
+  // high watermark. The recycler should reclaim until this clears.
+  bool UnderMemoryPressure() const;
+  // Frames that must be released to fall back under the low watermark
+  // (0 when not under pressure).
+  uint64_t FramesAboveLowWatermark() const;
+  // The most-idle live VMs (oldest last_activity first), candidates for
+  // pressure reclaim. Only kRunning VMs are nominated — clones still
+  // materialising and VMs already quiescing toward teardown are skipped.
+  std::vector<VmId> PressureVictims(size_t max) const;
 
   // Called by DeduplicatePages after each pass.
   void AccumulateDedup(uint64_t pages_scanned, uint64_t pages_merged,
@@ -112,6 +173,10 @@ class PhysicalHost {
     dedup_totals_.frames_freed += frames_freed;
   }
   const DedupTotals& dedup_totals() const { return dedup_totals_; }
+
+  // Prefetch scorecard across retired *and* live clones (live VM stats are
+  // folded in at call time, so a mid-session hit is visible immediately).
+  PrefetchTotals prefetch_totals() const;
 
   // Iteration support for telemetry.
   template <typename Fn>
@@ -126,6 +191,9 @@ class PhysicalHost {
     std::unique_ptr<VirtualMachine> vm;
     std::vector<FrameId> overhead_frames;
     ImageId image = 0;
+    ImageGeneration generation = 0;
+    uint32_t attack_class = 0;
+    bool record_working_set = false;
   };
 
   PhysicalHostConfig config_;
@@ -141,6 +209,7 @@ class PhysicalHost {
   uint64_t total_failures_ = 0;
   uint64_t total_destroyed_ = 0;
   DedupTotals dedup_totals_;
+  PrefetchTotals retired_prefetch_;  // accumulated at DestroyVm
   MetricRegistry* export_registry_ = nullptr;
 };
 

@@ -128,5 +128,74 @@ TEST(FrameAllocatorTest, CanAllocateReflectsHeadroom) {
   EXPECT_FALSE(alloc.CanAllocate(5));
 }
 
+// ---- Exhaustion path: typed denial + counter (regression pins) ----
+
+TEST(FrameAllocatorTest, BatchDenialIsAllOrNothing) {
+  FrameAllocator alloc(8, ContentMode::kMetadataOnly);
+  FrameId out[6];
+  ASSERT_EQ(alloc.AllocateBatch(6, out), FrameAllocStatus::kOk);
+  EXPECT_EQ(alloc.used_frames(), 6u);
+
+  // A batch that does not fit must leave no partial state behind: no frames
+  // allocated, output untouched, and the denial counted exactly once.
+  FrameId denied[4] = {kInvalidFrame, kInvalidFrame, kInvalidFrame,
+                       kInvalidFrame};
+  EXPECT_EQ(alloc.AllocateBatch(4, denied), FrameAllocStatus::kDenied);
+  EXPECT_EQ(alloc.used_frames(), 6u);
+  for (FrameId f : denied) {
+    EXPECT_EQ(f, kInvalidFrame);
+  }
+  EXPECT_EQ(alloc.denied_requests(), 1u);
+
+  // The remaining headroom is still usable after a denial.
+  FrameId rest[2];
+  EXPECT_EQ(alloc.AllocateBatch(2, rest), FrameAllocStatus::kOk);
+  EXPECT_EQ(alloc.used_frames(), 8u);
+}
+
+TEST(FrameAllocatorTest, CloneBatchDenialLeavesSourcesIntact) {
+  FrameAllocator alloc(4, ContentMode::kStoreBytes);
+  const FrameId src = alloc.AllocateZeroed();
+  const std::vector<uint8_t> data = {0x5a};
+  alloc.Write(src, 0, std::span(data.data(), data.size()));
+  alloc.AllocateZeroed();
+  alloc.AllocateZeroed();  // 3 used, 1 free: a 2-frame CoW batch cannot fit
+
+  const std::vector<FrameId> sources = {src, src};
+  FrameId out[2] = {kInvalidFrame, kInvalidFrame};
+  EXPECT_EQ(alloc.CloneFrameBatch(std::span<const FrameId>(sources), out),
+            FrameAllocStatus::kDenied);
+  EXPECT_EQ(alloc.used_frames(), 3u);
+  EXPECT_EQ(alloc.denied_requests(), 1u);
+  EXPECT_EQ(alloc.RefCount(src), 1u);  // no stray refs taken on the source
+  std::vector<uint8_t> buf(1);
+  alloc.Read(src, 0, std::span(buf.data(), buf.size()));
+  EXPECT_EQ(buf[0], 0x5a);  // source bytes untouched by the failed batch
+}
+
+TEST(FrameAllocatorTest, DeniedAllocationsCountAndExport) {
+  MetricRegistry registry;
+  FrameAllocator alloc(2, ContentMode::kMetadataOnly);
+  alloc.ExportMetrics(&registry, "host0.mem");
+
+  alloc.AllocateZeroed();
+  alloc.AllocateZeroed();
+  EXPECT_EQ(alloc.AllocateZeroed(), kInvalidFrame);  // single-frame denial
+  FrameId out[3];
+  EXPECT_EQ(alloc.AllocateBatch(3, out), FrameAllocStatus::kDenied);
+  const FrameId src = 0;
+  EXPECT_EQ(alloc.CloneFrame(src), kInvalidFrame);
+
+  EXPECT_EQ(alloc.denied_requests(), 3u);
+  EXPECT_EQ(registry.ValueOf("hv.frames.denied"), 3.0);
+
+  // The farm-wide counter aggregates across hosts sharing the registry.
+  FrameAllocator other(1, ContentMode::kMetadataOnly);
+  other.ExportMetrics(&registry, "host1.mem");
+  other.AllocateZeroed();
+  EXPECT_EQ(other.AllocateZeroed(), kInvalidFrame);
+  EXPECT_EQ(registry.ValueOf("hv.frames.denied"), 4.0);
+}
+
 }  // namespace
 }  // namespace potemkin

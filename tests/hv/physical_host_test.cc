@@ -5,6 +5,8 @@
 
 #include <vector>
 
+#include "src/hv/page_dedup.h"
+
 namespace potemkin {
 namespace {
 
@@ -169,6 +171,149 @@ TEST(PhysicalHostTest, PeakLiveVmsTracked) {
   host.DestroyVm(b->id());
   EXPECT_EQ(host.peak_live_vms(), 2u);
   EXPECT_EQ(host.total_clones_created(), 2u);
+}
+
+TEST(PhysicalHostTest, WorkingSetPrefetchHitsAndExportsMetric) {
+  MetricRegistry registry;  // outlives the host, which unregisters on destruction
+  PhysicalHost host(SmallHost());
+  host.ExportMetrics(&registry, "host0");
+  const ImageId image = host.RegisterImage(SmallImage());
+
+  // Session 1 records its first-touch order into the class-7 profile.
+  CloneOptions recorder;
+  recorder.record_working_set = true;
+  recorder.attack_class = 7;
+  VirtualMachine* teacher =
+      host.CreateClone(image, CloneKind::kFlash, "teacher", recorder);
+  ASSERT_NE(teacher, nullptr);
+  const std::vector<uint8_t> byte = {0xab};
+  for (Gpfn g : {Gpfn{3}, Gpfn{4}, Gpfn{5}, Gpfn{6}}) {
+    teacher->memory().WriteGuest(static_cast<uint64_t>(g) * kPageSize,
+                                 std::span(byte.data(), 1));
+  }
+  ASSERT_TRUE(host.DestroyVm(teacher->id()));
+  ASSERT_NE(host.image(image)->FindProfile(7), nullptr);
+
+  // Session 2 clones with prediction on: the profiled pages are materialised
+  // at clone time, so its writes land on private pages — prefetch hits.
+  CloneOptions predicted;
+  predicted.use_working_set = true;
+  predicted.prefetch_pages = 4;
+  predicted.attack_class = 7;
+  VirtualMachine* student =
+      host.CreateClone(image, CloneKind::kFlash, "student", predicted);
+  ASSERT_NE(student, nullptr);
+  EXPECT_EQ(student->memory().stats().prefetched_pages, 4u);
+  for (Gpfn g : {Gpfn{3}, Gpfn{4}, Gpfn{5}, Gpfn{6}}) {
+    student->memory().WriteGuest(static_cast<uint64_t>(g) * kPageSize,
+                                 std::span(byte.data(), 1));
+  }
+
+  const PrefetchTotals totals = host.prefetch_totals();
+  EXPECT_EQ(totals.sessions, 1u);
+  EXPECT_EQ(totals.prefetched_pages, 4u);
+  EXPECT_EQ(totals.hits, 4u);
+  // The scorecard is live through the obs registry (mid-session hits visible).
+  EXPECT_GT(registry.ValueOf("host0.prefetch.hit_rate"), 0.0);
+  EXPECT_EQ(registry.ValueOf("host0.prefetch.hit_rate"), 1.0);
+  EXPECT_EQ(registry.ValueOf("host0.prefetch.pages"), 4.0);
+}
+
+TEST(PhysicalHostTest, PinnedGenerationSurvivesRefreshByteForByte) {
+  PhysicalHost host(SmallHost());
+  const auto image_config = SmallImage();
+  const ImageId image = host.RegisterImage(image_config);
+  ReferenceImage& img = *host.mutable_image(image);
+
+  VirtualMachine* old_clone = host.CreateClone(image, CloneKind::kFlash, "old");
+  ASSERT_NE(old_clone, nullptr);
+  EXPECT_EQ(host.VmGeneration(old_clone->id()), 0u);
+
+  // Mid-session image refresh: pages 0 and 7 get new contents in G+1.
+  std::vector<ImagePatch> patches(2);
+  patches[0].gpfn = 0;
+  patches[0].bytes = {0xde, 0xad, 0xbe, 0xef};
+  patches[1].gpfn = 7;
+  patches[1].bytes.assign(kPageSize, 0x7e);
+  ASSERT_TRUE(img.Refresh(std::span<const ImagePatch>(patches)));
+  EXPECT_EQ(img.current_generation(), 1u);
+  EXPECT_EQ(img.live_generations(), 2u);  // the old clone pins generation 0
+
+  VirtualMachine* new_clone = host.CreateClone(image, CloneKind::kFlash, "new");
+  ASSERT_NE(new_clone, nullptr);
+  EXPECT_EQ(host.VmGeneration(new_clone->id()), 1u);
+
+  // The pinned clone still reads generation 0 byte-identically everywhere,
+  // including the pages the refresh replaced.
+  for (Gpfn g : {Gpfn{0}, Gpfn{7}, Gpfn{31}}) {
+    const auto expected = ReferenceImage::ExpectedPageContent(image_config, g);
+    std::vector<uint8_t> actual(kPageSize);
+    ASSERT_EQ(old_clone->memory().ReadGuest(static_cast<uint64_t>(g) * kPageSize,
+                                            std::span(actual.data(), actual.size())),
+              MemAccessResult::kOk);
+    EXPECT_EQ(actual, expected) << "generation-0 page " << g;
+  }
+
+  // The new clone sees the patch (zero-filled past its bytes) on refreshed
+  // pages, and unpatched pages structurally share the parent's frame.
+  std::vector<uint8_t> head(patches[0].bytes.size());
+  new_clone->memory().ReadGuest(0, std::span(head.data(), head.size()));
+  EXPECT_EQ(head, patches[0].bytes);
+  std::vector<uint8_t> tail(8, 0xff);
+  new_clone->memory().ReadGuest(patches[0].bytes.size(),
+                                std::span(tail.data(), tail.size()));
+  EXPECT_EQ(tail, std::vector<uint8_t>(8, 0));
+  EXPECT_EQ(img.FrameForPage(0u, 31), img.FrameForPage(1u, 31));
+  EXPECT_NE(img.FrameForPage(0u, 0), img.FrameForPage(1u, 0));
+
+  // Recycling the last generation-0 clone retires that generation.
+  host.DestroyVm(old_clone->id());
+  EXPECT_EQ(img.live_generations(), 1u);
+}
+
+TEST(PhysicalHostTest, DedupNeverCrossLinksGenerations) {
+  PhysicalHost host(SmallHost());
+  const auto image_config = SmallImage();
+  const ImageId image = host.RegisterImage(image_config);
+  ReferenceImage& img = *host.mutable_image(image);
+
+  VirtualMachine* old_clone = host.CreateClone(image, CloneKind::kFlash, "old");
+  ASSERT_NE(old_clone, nullptr);
+  std::vector<ImagePatch> patches(1);
+  patches[0].gpfn = 0;
+  patches[0].bytes.assign(kPageSize, 0x42);
+  ASSERT_TRUE(img.Refresh(std::span<const ImagePatch>(patches)));
+  VirtualMachine* new_clone = host.CreateClone(image, CloneKind::kFlash, "new");
+  ASSERT_NE(new_clone, nullptr);
+
+  // Both clones privatise page 0 with identical bytes — dedup bait. The merge
+  // may collapse the two *private* copies, but it must never link either VM to
+  // the other generation's image frame.
+  const std::vector<uint8_t> same(kPageSize, 0x99);
+  old_clone->memory().WriteGuest(0, std::span(same.data(), same.size()));
+  new_clone->memory().WriteGuest(0, std::span(same.data(), same.size()));
+  DeduplicatePages(host);
+
+  // A later write through the merged share re-privatises; the sibling on the
+  // other generation keeps reading the merged bytes.
+  const std::vector<uint8_t> divergent = {0x01};
+  new_clone->memory().WriteGuest(0, std::span(divergent.data(), 1));
+  std::vector<uint8_t> old_page(kPageSize);
+  old_clone->memory().ReadGuest(0, std::span(old_page.data(), old_page.size()));
+  EXPECT_EQ(old_page, same);
+
+  // And neither generation's image frame was touched: a fresh clone of each
+  // generation still reads its own image bytes on page 0. (Generation 0 is
+  // still live — old_clone pins it — so its frames must be pristine too.)
+  std::vector<uint8_t> gen1_page(kPageSize);
+  VirtualMachine* probe = host.CreateClone(image, CloneKind::kFlash, "probe");
+  ASSERT_NE(probe, nullptr);
+  probe->memory().ReadGuest(0, std::span(gen1_page.data(), gen1_page.size()));
+  EXPECT_EQ(gen1_page, std::vector<uint8_t>(kPageSize, 0x42));
+  std::vector<uint8_t> gen0_page(kPageSize);
+  host.allocator().Read(img.FrameForPage(0u, 0), 0,
+                        std::span(gen0_page.data(), gen0_page.size()));
+  EXPECT_EQ(gen0_page, ReferenceImage::ExpectedPageContent(image_config, 0));
 }
 
 }  // namespace

@@ -6,9 +6,12 @@
 //   ./build/tools/bench_to_json --name=micro < micro.json
 //
 // Each benchmark entry becomes one metric row: the benchmark's name (slugified)
-// with its cpu_time value and time_unit. Aggregate rows (mean/median/stddev
-// from --benchmark_repetitions) are kept too — their names already carry the
-// suffix. The parser is a deliberate string scan, not a JSON library: the
+// with its cpu_time value and time_unit. Benchmarks that report
+// items_per_second (SetItemsProcessed) get a second `<slug>_items_per_s` row,
+// so throughput ratios between benchmarks with different per-iteration batch
+// sizes can be read straight from the report. Aggregate rows
+// (mean/median/stddev from --benchmark_repetitions) are kept too — their
+// names already carry the suffix. The parser is a deliberate string scan, not a JSON library: the
 // benchmark output grammar is fixed and flat enough that scanning for the four
 // keys we need is simpler and dependency-free.
 #include <cstdio>
@@ -131,6 +134,11 @@ int Run(int argc, char** argv) {
       unit = "ns";
     }
     report.Add(Slugify(name), cpu_time, unit);
+    const double items_per_second =
+        FindNumberValue(text, "items_per_second", open, close);
+    if (items_per_second == items_per_second) {
+      report.Add(Slugify(name) + "_items_per_s", items_per_second, "items/s");
+    }
     ++entries;
     open = close;
   }
