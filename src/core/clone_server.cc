@@ -50,6 +50,15 @@ size_t CloneServer::SelectProfile(Ipv4Address ip) const {
 
 void CloneServer::SpawnVm(Ipv4Address ip, SessionId session,
                           std::function<void(VmId)> done) {
+  if (crashed_) {
+    // A dead host cannot clone; fail asynchronously like the engine would so
+    // callers never see a re-entrant completion.
+    if (done) {
+      loop_->ScheduleAfter(Duration::Zero(),
+                           [done = std::move(done)] { done(kInvalidVm); });
+    }
+    return;
+  }
   const size_t profile = SelectProfile(ip);
   const std::string name =
       StrFormat("%s/vm-%s", host_.name().c_str(), ip.ToString().c_str());
@@ -67,6 +76,15 @@ void CloneServer::SpawnVm(Ipv4Address ip, SessionId session,
 void CloneServer::OnCloneComplete(Ipv4Address ip, size_t profile, VirtualMachine* vm,
                                   std::function<void(VmId)> done) {
   if (vm == nullptr) {
+    if (done) {
+      done(kInvalidVm);
+    }
+    return;
+  }
+  if (crashed_) {
+    // The engine finished a clone whose request predates the crash; the host
+    // is gone, so the machine never existed. Free it and report failure.
+    host_.DestroyVm(vm->id());
     if (done) {
       done(kInvalidVm);
     }
@@ -136,6 +154,39 @@ void CloneServer::DeliverToVm(VmId vm, Packet packet, const PacketView& view) {
                          cpu_.ChargePacket();
                          it->second->HandleFrame(packet, view, loop_->Now());
                        });
+}
+
+void CloneServer::Crash() {
+  if (crashed_) {
+    return;
+  }
+  crashed_ = true;
+  // Collect ids first: DestroyVm mutates the host's VM map.
+  std::vector<VmId> victims;
+  victims.reserve(host_.live_vm_count());
+  host_.ForEachVm([&](VirtualMachine& vm) { victims.push_back(vm.id()); });
+  for (const VmId vm : victims) {
+    VirtualMachine* machine = host_.FindVm(vm);
+    if (machine != nullptr) {
+      machine->set_state(VmState::kPaused);
+    }
+    // Deactivate worms / observers exactly like a retire, but skip the engine:
+    // a crash frees everything instantly, no domain_destroy latency.
+    if (retired_) {
+      retired_(vm);
+    }
+    guests_.erase(vm);
+    host_.DestroyVm(vm);
+  }
+}
+
+void CloneServer::Restore() { crashed_ = false; }
+
+ImageId CloneServer::image_id(size_t profile) const {
+  PK_CHECK(profile < images_.size())
+      << "profile " << profile << " out of range (" << images_.size()
+      << " profiles)";
+  return images_[profile];
 }
 
 GuestOs* CloneServer::FindGuest(VmId vm) {

@@ -83,7 +83,9 @@ class CloneServer {
   void set_retire_handler(RetireHandler handler) { retired_ = std::move(handler); }
 
   // ---- Gateway-facing operations ----
-  bool CanAdmit() const { return host_.CanAdmit(images_[0], engine_.config().kind); }
+  bool CanAdmit() const {
+    return !crashed_ && host_.CanAdmit(images_[0], engine_.config().kind);
+  }
   size_t LiveVms() const { return host_.live_vm_count(); }
   // Flash-clones a VM bound to `ip`; `done` receives kInvalidVm on failure.
   // `session` is the forensic session of the triggering first contact
@@ -98,6 +100,21 @@ class CloneServer {
   // gateway's parse of `packet`; it is copied into the in-flight closure (views
   // survive the packet move — the frame buffer address is stable).
   void DeliverToVm(VmId vm, Packet packet, const PacketView& view);
+
+  // ---- Control-plane / chaos operations ----
+  // Hard-kills the host: every live VM is deactivated (retire handler fires so
+  // worms stop, guests are torn down) and its frames are freed instantly — no
+  // engine latency is charged, the machine just went away. Until Restore, the
+  // server admits nothing and in-flight clone completions are discarded.
+  void Crash();
+  // Brings the crashed host back empty (fresh hypervisor boot).
+  void Restore();
+  bool crashed() const { return crashed_; }
+  // Slow-host fault injection: scales the clone engine's charged latencies.
+  void set_latency_scale(double scale) { engine_.set_latency_scale(scale); }
+  // Reference image backing `profile`, for generational rotation via
+  // host().mutable_image().
+  ImageId image_id(size_t profile) const;
 
   GuestOs* FindGuest(VmId vm);
   size_t guest_count() const { return guests_.size(); }
@@ -128,6 +145,7 @@ class CloneServer {
   InfectionHandler infection_;
   RetireHandler retired_;
   uint64_t snapshots_written_ = 0;
+  bool crashed_ = false;
   CpuAccountant cpu_;
 };
 

@@ -360,7 +360,15 @@ uint64_t Honeyfarm::total_clones_completed() const {
 }
 
 bool Honeyfarm::HostCanAdmit(HostId host) const {
-  return host < servers_.size() && servers_[host]->CanAdmit();
+  if (host >= servers_.size()) {
+    return false;
+  }
+  // The control plane's lifecycle veto (draining/down/warming) runs first;
+  // capacity admission only matters for hosts the controller allows.
+  if (admission_filter_ && !admission_filter_(host)) {
+    return false;
+  }
+  return servers_[host]->CanAdmit();
 }
 
 size_t Honeyfarm::HostLiveVms(HostId host) const {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/base/event_loop.h"
+#include "src/base/log.h"
 #include "src/base/stats.h"
 #include "src/core/clone_server.h"
 #include "src/gateway/gateway.h"
@@ -84,7 +85,12 @@ class Honeyfarm : public GatewayBackend {
   // keeps every pre-sharding caller source-compatible. Multi-shard callers
   // that want farm-wide state should use sharded_gateway() instead.
   Gateway& gateway() { return gateway_.shard(0); }
-  CloneServer& server(size_t i) { return *servers_[i]; }
+  CloneServer& server(size_t i) {
+    PK_CHECK(i < servers_.size())
+        << "server index " << i << " out of range (" << servers_.size()
+        << " hosts)";
+    return *servers_[i];
+  }
   size_t server_count() const { return servers_.size(); }
   EpidemicTracker& epidemic() { return epidemic_; }
   const HoneyfarmConfig& config() const { return config_; }
@@ -168,10 +174,33 @@ class Honeyfarm : public GatewayBackend {
   }
   uint64_t egress_packet_count() const { return egress_packets_; }
 
+  // ---- Control plane hooks ----
+  // Veto over admission, consulted before a host's own CanAdmit: the farm
+  // controller installs `pool.Admits(host)` here so draining/down/warming
+  // hosts stop taking new bindings without the gateway knowing about
+  // lifecycle states. Null (the default) admits by capacity alone.
+  using HostAdmissionFilter = std::function<bool(HostId)>;
+  void set_host_admission_filter(HostAdmissionFilter filter) {
+    admission_filter_ = std::move(filter);
+  }
+  // Placement score used by PlacementKind::kScored; unset scores every host
+  // 0.0 (kScored degrades to first-fit).
+  using HostScoreFn = std::function<double(HostId)>;
+  void set_host_score_fn(HostScoreFn fn) { score_fn_ = std::move(fn); }
+  // Chaos/failover: hard-kills / revives host `i` (see CloneServer::Crash).
+  void CrashHost(HostId host) { server(host).Crash(); }
+  void RestoreHost(HostId host) { server(host).Restore(); }
+  bool HostCrashed(HostId host) const {
+    return host < servers_.size() && servers_[host]->crashed();
+  }
+
   // ---- GatewayBackend ----
   size_t NumHosts() const override { return servers_.size(); }
   bool HostCanAdmit(HostId host) const override;
   size_t HostLiveVms(HostId host) const override;
+  double HostPlacementScore(HostId host) const override {
+    return score_fn_ ? score_fn_(host) : 0.0;
+  }
   void SpawnVm(HostId host, Ipv4Address ip, SessionId session,
                std::function<void(VmId)> done) override;
   void RetireVm(HostId host, VmId vm) override;
@@ -210,6 +239,8 @@ class Honeyfarm : public GatewayBackend {
   EpidemicTracker epidemic_;
   std::vector<FarmSample> samples_;
   std::function<void(const Packet&)> egress_monitor_;
+  HostAdmissionFilter admission_filter_;
+  HostScoreFn score_fn_;
   uint64_t egress_packets_ = 0;
   uint64_t pressure_reclaims_ = 0;
 };

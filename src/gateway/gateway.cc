@@ -163,6 +163,26 @@ bool Gateway::ChooseHost(HostId* out) {
       }
       return false;
     }
+    case PlacementKind::kScored: {
+      double best_score = 0.0;
+      HostId best = 0;
+      bool found = false;
+      for (HostId host = 0; host < n; ++host) {
+        if (!backend_->HostCanAdmit(host)) {
+          continue;
+        }
+        const double score = backend_->HostPlacementScore(host);
+        if (!found || score > best_score) {
+          best_score = score;
+          best = host;
+          found = true;
+        }
+      }
+      if (found) {
+        *out = best;
+      }
+      return found;
+    }
   }
   return false;
 }
@@ -722,6 +742,144 @@ size_t Gateway::ReclaimMostIdle(size_t batch) {
     ++stats_.emergency_reclaims;
   }
   return victims.size();
+}
+
+size_t Gateway::CountHostBindings(HostId host) {
+  size_t count = 0;
+  bindings_.ForEach([&](Binding& binding) {
+    if (binding.host == host) {
+      ++count;
+    }
+  });
+  return count;
+}
+
+size_t Gateway::RetireHostBindings(HostId host) {
+  const auto victims = bindings_.CollectIf([&](const Binding& binding) {
+    return binding.host == host && binding.state == BindingState::kActive;
+  });
+  for (const auto& ip : victims) {
+    Binding* binding = bindings_.Find(ip);
+    if (binding == nullptr) {
+      continue;
+    }
+    // 0xfe in `b` marks a drain retirement (vs RetireReason / 0xff reclaim).
+    obs_.ledger.Append(LedgerEvent::kVmRetired, binding->session,
+                       loop_->Now().nanos(), binding->vm, 0xfe);
+    backend_->RetireVm(binding->host, binding->vm);
+    bindings_.Remove(ip);
+    migrating_.erase(ip.value());
+    ++stats_.vms_retired;
+  }
+  return victims.size();
+}
+
+size_t Gateway::InvalidateHostBindings(HostId host) {
+  const auto victims = bindings_.CollectIf(
+      [&](const Binding& binding) { return binding.host == host; });
+  for (const auto& ip : victims) {
+    Binding* binding = bindings_.Find(ip);
+    if (binding == nullptr) {
+      continue;
+    }
+    // No backend RetireVm: the host crashed, its VMs are gone. 0xfd marks the
+    // failover invalidation in the forensic timeline.
+    obs_.ledger.Append(LedgerEvent::kVmRetired, binding->session,
+                       loop_->Now().nanos(), binding->vm, 0xfd);
+    bindings_.Remove(ip);
+    migrating_.erase(ip.value());
+    ++stats_.vms_retired;
+  }
+  return victims.size();
+}
+
+size_t Gateway::MigrateHostBindings(HostId from, size_t max) {
+  size_t started = 0;
+  const auto candidates = bindings_.CollectIf([&](const Binding& binding) {
+    return binding.host == from && binding.state == BindingState::kActive &&
+           migrating_.count(binding.ip.value()) == 0;
+  });
+  for (const auto& ip : candidates) {
+    if (started >= max) {
+      break;
+    }
+    Binding* binding = bindings_.Find(ip);
+    if (binding == nullptr) {
+      continue;
+    }
+    if (binding->infected) {
+      // Infected state must not outlive the host's drain: retire, don't move.
+      obs_.ledger.Append(LedgerEvent::kVmRetired, binding->session,
+                         loop_->Now().nanos(), binding->vm, 0xfe);
+      backend_->RetireVm(binding->host, binding->vm);
+      bindings_.Remove(ip);
+      ++stats_.vms_retired;
+      ++started;
+      continue;
+    }
+    HostId to = 0;
+    if (!ChooseHost(&to) || to == from) {
+      break;  // nowhere to go this tick; the drain deadline backstops
+    }
+    const VmId old_vm = binding->vm;
+    const SessionId session = binding->session;
+    obs_.ledger.Append(LedgerEvent::kCtrlMigrate, session,
+                       loop_->Now().nanos(), ip.value(),
+                       (static_cast<uint64_t>(from) << 32) | to);
+    migrating_.insert(ip.value());
+    ++started;
+    backend_->SpawnVm(to, ip, session,
+                      [this, ip, from, to, old_vm](VmId vm) {
+                        OnMigrateDone(ip, from, to, old_vm, vm);
+                      });
+  }
+  return started;
+}
+
+void Gateway::OnMigrateDone(Ipv4Address ip, HostId from, HostId to,
+                            VmId old_vm, VmId vm) {
+  migrating_.erase(ip.value());
+  Binding* binding = bindings_.Find(ip);
+  if (binding == nullptr) {
+    // Recycled mid-migration; the replacement is an orphan — retire it.
+    if (vm != kInvalidVm) {
+      backend_->RetireVm(to, vm);
+    }
+    return;
+  }
+  if (vm == kInvalidVm) {
+    // Replacement clone failed (target saturated or crashed mid-flight); the
+    // binding stays on `from` and the next drain tick tries again.
+    return;
+  }
+  if (binding->state != BindingState::kActive || binding->host != from ||
+      binding->vm != old_vm) {
+    // The binding moved or was rebound while the replacement cloned; the
+    // fresh VM has no traffic to serve.
+    backend_->RetireVm(to, vm);
+    return;
+  }
+  obs_.ledger.Append(LedgerEvent::kVmRetired, binding->session,
+                     loop_->Now().nanos(), old_vm, 0xfe);
+  backend_->RetireVm(from, old_vm);
+  binding->host = to;
+  binding->vm = vm;
+  binding->last_activity = loop_->Now();
+  ++stats_.vms_retired;
+}
+
+size_t Gateway::CountMisplacedReflectNat() const {
+  if (config_.shard_count <= 1) {
+    return 0;
+  }
+  size_t misplaced = 0;
+  reflect_slab_.ForEach([&](uint32_t, const ReflectNatEntry& entry) {
+    const auto victim = Ipv4Address(static_cast<uint32_t>(entry.key >> 32));
+    if (ShardOf(victim) != config_.shard_id) {
+      ++misplaced;
+    }
+  });
+  return misplaced;
 }
 
 void Gateway::ScheduleSweep() {

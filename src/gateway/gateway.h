@@ -14,6 +14,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "src/base/event_loop.h"
@@ -35,6 +36,10 @@ enum class PlacementKind {
   kRoundRobin,
   kLeastLoaded,
   kFirstFit,
+  // Picks the admitting host with the highest HostPlacementScore (ties go to
+  // the lowest host id). Backends that don't override the score hook make
+  // this equivalent to kFirstFit, so the mode is safe to default into.
+  kScored,
 };
 
 // The clone-server cluster as the gateway sees it (implemented by src/core).
@@ -52,6 +57,14 @@ class GatewayBackend {
   virtual void SpawnVm(HostId host, Ipv4Address ip, SessionId session,
                        std::function<void(VmId)> done) = 0;
   virtual void RetireVm(HostId host, VmId vm) = 0;
+  // Placement desirability of `host` under PlacementKind::kScored; higher is
+  // better. The control plane overrides this with a capacity-aware score
+  // (frame headroom, live clones, recent allocation denials); the default
+  // makes every host equal so kScored degrades to first-fit.
+  virtual double HostPlacementScore(HostId host) const {
+    (void)host;
+    return 0.0;
+  }
   // MUST deliver asynchronously (via the event loop): the gateway assumes no
   // re-entrant HandleOutbound call happens inside DeliverToVm. `view` is a live
   // parse of `packet` (parse-once: the gateway already decoded the frame);
@@ -182,6 +195,35 @@ class Gateway {
   // Returns the number retired.
   size_t ReclaimMostIdle(size_t batch);
 
+  // ---- Host lifecycle (control plane) ----
+  // Bindings currently placed on `host` (any state).
+  size_t CountHostBindings(HostId host);
+  // Drain step: retires every *active* binding on `host` (backend RetireVm +
+  // binding removal, ledger kVmRetired with 0xfe marking a drain). Bindings
+  // still cloning are left alone — removing them would orphan the VM the
+  // in-flight OnCloneDone is about to hand back; the drain loop simply runs
+  // again after they activate. Returns the number retired.
+  size_t RetireHostBindings(HostId host);
+  // Failover step: removes ALL bindings on `host` WITHOUT calling back into
+  // the backend — the host crashed and its VMs are already gone. Affected
+  // farm addresses re-route (fresh clone elsewhere) on their next packet
+  // instead of blackholing into a dead binding. Stale reflect-NAT entries are
+  // GC'd by the next sweep. Returns the number invalidated.
+  size_t InvalidateHostBindings(HostId host);
+  // Live-migration step: rebinds up to `max` active, non-infected bindings
+  // off `host` by flash-cloning a replacement on a host ChooseHost still
+  // admits (the control plane's admission filter excludes draining/down
+  // hosts) and retiring the old VM once the replacement is live. Infected
+  // bindings are retired instead of moved (an infected VM's state must not
+  // outlive its host's drain). Per-VM TCP state does not survive — the
+  // rebind preserves the address->farm mapping and session id, and the guest
+  // restarts its conversation, which the paper's short-lived attack sessions
+  // tolerate. Returns how many migrations were *started*.
+  size_t MigrateHostBindings(HostId host, size_t max);
+  // Chaos-harness invariant probe: reflect-NAT entries whose victim address
+  // this shard does not own (must be 0 at all times in a sharded deployment).
+  size_t CountMisplacedReflectNat() const;
+
   BindingTable& bindings() { return bindings_; }
   const GatewayStats& stats() const { return stats_; }
   const ContainmentEngine& containment() const { return containment_; }
@@ -206,6 +248,8 @@ class Gateway {
   // Picks a host for a new binding; returns false if no host can admit.
   bool ChooseHost(HostId* out);
   void OnCloneDone(Ipv4Address ip, VmId vm);
+  void OnMigrateDone(Ipv4Address ip, HostId from, HostId to, VmId old_vm,
+                     VmId vm);
   void DeliverToBinding(Binding& binding, Packet packet, PacketView& view);
   void HandleDnsQuery(const PacketView& view, Binding* source_binding);
   void ScheduleSweep();
@@ -261,6 +305,10 @@ class Gateway {
   // nothing once the vectors reach burst size.
   std::vector<PacketView> batch_views_;
   std::vector<uint32_t> batch_order_;
+  // Addresses with a replacement clone in flight (MigrateHostBindings): keeps
+  // a drain tick that outpaces clone latency from double-spawning replacements
+  // for the same binding.
+  std::unordered_set<uint32_t> migrating_;
 };
 
 }  // namespace potemkin

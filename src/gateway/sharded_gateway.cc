@@ -57,6 +57,8 @@ ShardedGateway::~ShardedGateway() {
   // first), and an undrained Handoff still holds a Packet whose pool may be a
   // per-shard pool — recycle those buffers while the pools are alive.
   rings_.clear();
+  // And for unflushed egress bins, whose packets recycle into per-shard pools.
+  egress_bins_.clear();
 }
 
 void ShardedGateway::BuildShards(const ShardedGatewayConfig& config,
@@ -69,6 +71,12 @@ void ShardedGateway::BuildShards(const ShardedGatewayConfig& config,
     rings_.push_back(
         std::make_unique<SpscRing<Handoff>>(config.handoff_ring_capacity));
   }
+  partition_ = std::make_unique<std::atomic<bool>[]>(
+      static_cast<size_t>(n) * n);
+  for (size_t i = 0; i < static_cast<size_t>(n) * n; ++i) {
+    partition_[i].store(false, std::memory_order_relaxed);
+  }
+  egress_bins_.resize(n);
   shards_.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
     GatewayConfig shard_config = config.gateway;
@@ -112,6 +120,15 @@ void ShardedGateway::InstallHandoff(uint32_t from) {
           in_flight_.fetch_add(1);
           Handoff handoff{std::move(packet), ctx};
           while (!RingTo(from, to).TryPush(std::move(handoff))) {
+            if (PartitionCut(from, to)) {
+              // Partition with a full ring: the fabric's bounded buffer
+              // overflowed while the path was cut. Drop (the packet recycles
+              // when `handoff` destructs) — draining would tunnel through
+              // the cut, and retrying would spin forever.
+              in_flight_.fetch_sub(1);
+              partition_drops_.fetch_add(1, std::memory_order_relaxed);
+              return;
+            }
             // Ring full: drain the destination's inbox first so the
             // overflowing packet keeps its per-pair FIFO position (inline
             // delivery would let it jump ahead of packets already queued),
@@ -133,6 +150,11 @@ void ShardedGateway::InstallHandoff(uint32_t from) {
         in_flight_.fetch_add(1);
         Handoff handoff{std::move(packet), ctx};
         while (!RingTo(from, to).TryPush(std::move(handoff))) {
+          if (PartitionCut(from, to)) {
+            in_flight_.fetch_sub(1);
+            partition_drops_.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
           if (parallel_active_.load(std::memory_order_relaxed)) {
             // Backpressure without deadlock: the peer may itself be blocked
             // pushing toward us, so make progress on our own inbox and retry.
@@ -151,8 +173,8 @@ size_t ShardedGateway::DrainIncoming(uint32_t to) {
   size_t delivered = 0;
   const uint32_t n = shard_count();
   for (uint32_t from = 0; from < n; ++from) {
-    if (from == to) {
-      continue;
+    if (from == to || PartitionCut(from, to)) {
+      continue;  // a cut path's queue stalls in the ring until healed
     }
     Handoff handoff;
     while (RingTo(from, to).TryPop(&handoff)) {
@@ -274,9 +296,98 @@ size_t ShardedGateway::ReclaimMostIdle(size_t batch) {
 }
 
 void ShardedGateway::set_egress_sink(Gateway::EgressSink sink) {
-  for (auto& shard : shards_) {
-    shard->set_egress_sink(sink);
+  if (mode_ == Mode::kSharedLoop) {
+    // Inline delivery, deterministic: the Honeyfarm's egress hook (seed
+    // handshakes, worm monitors) relies on seeing the packet synchronously.
+    for (auto& shard : shards_) {
+      shard->set_egress_sink(sink);
+    }
+    return;
   }
+  // Partitioned: shard s appends to its own bin — no cross-thread contention
+  // on the user callback — and `sink` becomes the merge facade.
+  merged_egress_ = std::move(sink);
+  for (uint32_t s = 0; s < shard_count(); ++s) {
+    shards_[s]->set_egress_sink(
+        [this, s](Packet packet) { egress_bins_[s].push_back(std::move(packet)); });
+  }
+}
+
+void ShardedGateway::set_shard_egress_sink(uint32_t i,
+                                           Gateway::EgressSink sink) {
+  PK_CHECK(mode_ == Mode::kPartitioned);
+  shards_[i]->set_egress_sink(std::move(sink));
+}
+
+size_t ShardedGateway::FlushEgress() {
+  if (merged_egress_ == nullptr) {
+    size_t dropped = 0;
+    for (auto& bin : egress_bins_) {
+      dropped += bin.size();
+      bin.clear();  // recycle: egress with no sink is discarded, as before
+    }
+    return dropped;
+  }
+  size_t delivered = 0;
+  for (auto& bin : egress_bins_) {
+    for (auto& packet : bin) {
+      merged_egress_(std::move(packet));
+      ++delivered;
+    }
+    bin.clear();
+  }
+  return delivered;
+}
+
+size_t ShardedGateway::CountHostBindings(HostId host) {
+  size_t total = 0;
+  for (auto& shard : shards_) {
+    total += shard->CountHostBindings(host);
+  }
+  return total;
+}
+
+size_t ShardedGateway::RetireHostBindings(HostId host) {
+  size_t total = 0;
+  for (auto& shard : shards_) {
+    total += shard->RetireHostBindings(host);
+  }
+  PumpHandoffs();
+  return total;
+}
+
+size_t ShardedGateway::InvalidateHostBindings(HostId host) {
+  size_t total = 0;
+  for (auto& shard : shards_) {
+    total += shard->InvalidateHostBindings(host);
+  }
+  return total;
+}
+
+size_t ShardedGateway::MigrateHostBindings(HostId host, size_t max) {
+  size_t started = 0;
+  for (auto& shard : shards_) {
+    if (started >= max) {
+      break;
+    }
+    started += shard->MigrateHostBindings(host, max - started);
+  }
+  PumpHandoffs();
+  return started;
+}
+
+size_t ShardedGateway::CountMisplacedReflectNat() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->CountMisplacedReflectNat();
+  }
+  return total;
+}
+
+void ShardedGateway::SetHandoffPartition(uint32_t from, uint32_t to,
+                                         bool cut) {
+  PK_CHECK(from < shard_count() && to < shard_count() && from != to);
+  partition_[from * shards_.size() + to].store(cut, std::memory_order_relaxed);
 }
 
 EventLoop& ShardedGateway::shard_loop(uint32_t i) {
@@ -314,6 +425,7 @@ void ShardedGateway::RunUntilIdle() {
     }
     loops_[who]->Step();
   }
+  FlushEgress();
 }
 
 ShardedGateway::DrainResult ShardedGateway::DrainParallel(
@@ -370,6 +482,9 @@ ShardedGateway::DrainResult ShardedGateway::DrainParallel(
     worker.join();
   }
   parallel_active_.store(false);
+  // Workers binned their egress without contending; merge on the (now sole)
+  // driver thread so the user sink still runs single-threaded.
+  FlushEgress();
   result.handoffs = AggregateStats().handoffs_in - handoffs_before;
   return result;
 }

@@ -106,9 +106,42 @@ class ShardedGateway {
   // across shards (each shard ranks idleness within its own partition).
   // Returns the number retired.
   size_t ReclaimMostIdle(size_t batch);
-  // The sink is copied to every shard. In DrainParallel it may be invoked
-  // concurrently from shard threads; single-threaded modes never do.
+  // Shared-loop mode: the sink is copied to every shard and invoked inline
+  // (deterministic; the Honeyfarm's seed-handshake hook depends on this).
+  // Partitioned mode: each shard gets a private sink appending to a per-shard
+  // egress bin — shard threads never contend on the user callback — and
+  // `sink` becomes the merge facade that FlushEgress feeds in shard order.
   void set_egress_sink(Gateway::EgressSink sink);
+  // Partitioned mode: bypasses the merge facade for shard `i` — egress from
+  // that shard goes straight to `sink` (invoked on the shard's thread during
+  // DrainParallel; the caller owns its thread-safety).
+  void set_shard_egress_sink(uint32_t i, Gateway::EgressSink sink);
+  // Delivers every binned egress packet to the merged sink, in shard order
+  // (deterministic). Called automatically at the end of RunUntilIdle and after
+  // DrainParallel's threads join; callable directly by drivers that need the
+  // egress earlier. Returns packets delivered.
+  size_t FlushEgress();
+
+  // ---- Host lifecycle (control plane; fan-out over every shard) ----
+  size_t CountHostBindings(HostId host);
+  size_t RetireHostBindings(HostId host);
+  size_t InvalidateHostBindings(HostId host);
+  size_t MigrateHostBindings(HostId host, size_t max);
+  // Chaos invariant: reflect-NAT entries sitting on a shard that does not own
+  // their victim address, summed farm-wide (must always be 0).
+  size_t CountMisplacedReflectNat() const;
+
+  // ---- Fault injection (chaos harness; single-threaded modes only) ----
+  // Cuts (or heals) the directed handoff path from shard `from` to shard
+  // `to`. While cut, queued handoffs stall in the ring and pushes that find
+  // the ring full are dropped (counted in partition_drops); healing lets the
+  // stalled queue flow on the next pump. Not supported under DrainParallel:
+  // its quiescence protocol counts stalled handoffs as in-flight and would
+  // spin forever.
+  void SetHandoffPartition(uint32_t from, uint32_t to, bool cut);
+  uint64_t partition_drops() const {
+    return partition_drops_.load(std::memory_order_relaxed);
+  }
 
   // ---- Topology ----
   uint32_t shard_count() const { return static_cast<uint32_t>(shards_.size()); }
@@ -201,6 +234,20 @@ class ShardedGateway {
   bool pumping_ = false;
   // Retained scratch for HandleInboundBatch partitioning.
   std::vector<std::vector<Packet>> batch_bins_;
+  // Directed-pair partition flags, row-major [from][to] like rings_; true =
+  // the chaos harness cut this path. Atomic so a DrainParallel worker reading
+  // a stale heal is a race only in timing, never in memory.
+  std::unique_ptr<std::atomic<bool>[]> partition_;
+  std::atomic<uint64_t> partition_drops_{0};
+  bool PartitionCut(uint32_t from, uint32_t to) const {
+    return partition_[from * shards_.size() + to].load(
+        std::memory_order_relaxed);
+  }
+  // Partitioned-mode egress: shard s's sink appends here (bin s touched only
+  // by shard s's thread); FlushEgress drains into merged_egress_ in shard
+  // order.
+  std::vector<std::vector<Packet>> egress_bins_;
+  Gateway::EgressSink merged_egress_;
 };
 
 }  // namespace potemkin

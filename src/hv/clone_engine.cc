@@ -154,6 +154,9 @@ void CloneEngine::ExecuteClone(Job job) {
     }
   }
 
+  if (latency_scale_ != 1.0) {
+    elapsed = elapsed * latency_scale_;
+  }
   loop_->ScheduleAfter(elapsed, [this, job = std::move(job), timing]() mutable {
     timing.finished = loop_->Now();
     VirtualMachine* vm =
@@ -211,7 +214,7 @@ void CloneEngine::RecordCloneSpans(const CloneTiming& timing) {
 
 void CloneEngine::ExecuteDestroy(Job job) {
   const TimePoint begin = loop_->Now();
-  loop_->ScheduleAfter(config_.latency.domain_destroy,
+  loop_->ScheduleAfter(config_.latency.domain_destroy * latency_scale_,
                        [this, job = std::move(job), begin]() {
     host_->DestroyVm(job.victim);
     ++destroys_completed_;

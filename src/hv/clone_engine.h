@@ -103,6 +103,14 @@ class CloneEngine {
   PhysicalHost* host() { return host_; }
   const CloneEngineConfig& config() const { return config_; }
 
+  // Multiplies every charged control-plane latency (clone phases and domain
+  // destroy). 1.0 = the calibrated model; the chaos harness inflates it to
+  // simulate a slow host (overloaded dom0, thrashing disk) without touching
+  // the latency model itself. Applies to work scheduled after the change;
+  // in-flight jobs keep the scale they were charged with.
+  void set_latency_scale(double scale) { latency_scale_ = scale; }
+  double latency_scale() const { return latency_scale_; }
+
   size_t queue_depth() const { return queue_.size(); }
   uint64_t clones_completed() const { return clones_completed_; }
   uint64_t clones_failed() const { return clones_failed_; }
@@ -147,6 +155,7 @@ class CloneEngine {
   FixedHistogram m_latency_ms_;
   PressureReclaimHandler pressure_reclaim_;
   std::deque<Job> queue_;
+  double latency_scale_ = 1.0;
   int busy_workers_ = 0;
   uint64_t clones_completed_ = 0;
   uint64_t clones_failed_ = 0;

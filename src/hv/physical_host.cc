@@ -7,12 +7,6 @@
 
 namespace potemkin {
 
-namespace {
-// VM ids are globally unique across hosts (the gateway, worm runtimes and
-// telemetry key state by VmId farm-wide).
-VmId g_next_vm_id = 1;
-}  // namespace
-
 const char* CloneKindName(CloneKind kind) {
   switch (kind) {
     case CloneKind::kFlash:
@@ -135,7 +129,7 @@ VirtualMachine* PhysicalHost::CreateClone(ImageId image_id, CloneKind kind,
   record.generation = generation;
   record.attack_class = options.attack_class;
   record.record_working_set = options.record_working_set;
-  const VmId id = g_next_vm_id++;
+  const VmId id = (static_cast<VmId>(config_.id) << 32) | next_vm_seq_++;
   record.vm = std::make_unique<VirtualMachine>(id, name, &allocator_, img.num_pages(),
                                                disk);
 

@@ -204,6 +204,11 @@ class PhysicalHost {
   std::vector<std::unique_ptr<ReferenceImage>> images_;
   std::vector<std::unique_ptr<ReferenceDisk>> disks_;
   std::unordered_map<VmId, VmRecord> vms_;
+  // VM ids carry the host id in the upper 32 bits and a per-host counter
+  // below, so they stay farm-unique (gateway, worm runtimes and telemetry key
+  // state by VmId farm-wide) while remaining deterministic per farm instance —
+  // two identical runs in one process mint identical ids.
+  uint64_t next_vm_seq_ = 1;
   uint64_t peak_live_vms_ = 0;
   uint64_t total_created_ = 0;
   uint64_t total_failures_ = 0;

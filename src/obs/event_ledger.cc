@@ -87,6 +87,24 @@ const char* LedgerEventName(LedgerEvent type) {
       return "log_error";
     case LedgerEvent::kFatal:
       return "fatal";
+    case LedgerEvent::kCtrlState:
+      return "ctrl_state";
+    case LedgerEvent::kCtrlDrainBegin:
+      return "ctrl_drain_begin";
+    case LedgerEvent::kCtrlDrainEnd:
+      return "ctrl_drain_end";
+    case LedgerEvent::kCtrlMigrate:
+      return "ctrl_migrate";
+    case LedgerEvent::kCtrlFailover:
+      return "ctrl_failover";
+    case LedgerEvent::kCtrlRotate:
+      return "ctrl_rotate";
+    case LedgerEvent::kCtrlScale:
+      return "ctrl_scale";
+    case LedgerEvent::kChaosFault:
+      return "chaos_fault";
+    case LedgerEvent::kChaosHeal:
+      return "chaos_heal";
     case LedgerEvent::kCount:
       break;
   }

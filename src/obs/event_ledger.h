@@ -58,6 +58,18 @@ enum class LedgerEvent : uint8_t {
   kLogWarning,            // a=(uintptr) __FILE__ literal, b=line
   kLogError,              // a=(uintptr) __FILE__ literal, b=line
   kFatal,                 // a=(uintptr) __FILE__ literal, b=line
+  // Control-plane decisions (src/ctrl): the controller's state machine writes
+  // its transitions into the same causal timeline the datapath uses, so a
+  // drain or failover is visible between the packets it affected.
+  kCtrlState,             // a=host id, b=new BackendState
+  kCtrlDrainBegin,        // a=host id, b=bindings on the host at drain start
+  kCtrlDrainEnd,          // a=host id, b=1 if the deadline forced retirement
+  kCtrlMigrate,           // a=farm ip, b=(from_host << 32) | to_host
+  kCtrlFailover,          // a=host id, b=bindings invalidated
+  kCtrlRotate,            // a=host id, b=new image generation
+  kCtrlScale,             // a=ScaleAction, b=action target (host id / batch)
+  kChaosFault,            // a=ChaosFault kind, b=target (host / shard pair)
+  kChaosHeal,             // a=ChaosFault kind, b=target
   kCount,                 // keep last; must stay <= 64 for the trip mask
 };
 

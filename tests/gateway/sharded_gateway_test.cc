@@ -452,6 +452,77 @@ TEST(ShardedGatewayTest, DestructionWithQueuedHandoffsIsSafe) {
   // use-after-free of the pools here.
 }
 
+// Partitioned-mode egress: each shard's allowed outbound packets bin
+// per-shard (no cross-shard call into a shared sink) and FlushEgress merges
+// them into the user's single sink in shard order — deterministically.
+TEST(ShardedGatewayTest, PartitionedEgressMergesPerShardBins) {
+  PartitionedFixture fx(4, OutboundMode::kOpen);
+  fx.Populate(8);
+  std::vector<Ipv4Address> egress_sources;
+  fx.gateway->set_egress_sink([&](Packet p) {
+    const auto view = PacketView::Parse(p);
+    ASSERT_TRUE(view.has_value());
+    egress_sources.push_back(view->ip().src);
+  });
+
+  // One outbound packet from a VM on every shard, queued out of shard order.
+  for (uint32_t i = 8; i-- > 0;) {
+    const Ipv4Address src = kFarm.AddressAt(i);
+    const uint32_t shard = fx.gateway->ShardOf(src);
+    const Binding* binding = fx.gateway->shard(shard).bindings().Find(src);
+    ASSERT_NE(binding, nullptr);
+    fx.gateway->shard(shard).HandleOutbound(
+        binding->host, binding->vm,
+        OutboundScan(src, Ipv4Address(77, 9, static_cast<uint8_t>(i), 1),
+                     static_cast<uint16_t>(33000 + i)));
+  }
+  fx.gateway->RunUntilIdle();  // flushes the bins through the merged sink
+
+  ASSERT_EQ(egress_sources.size(), 8u);
+  // Merge order is shard-major: all of shard 0's packets, then shard 1's...
+  for (size_t i = 1; i < egress_sources.size(); ++i) {
+    EXPECT_LE(fx.gateway->ShardOf(egress_sources[i - 1]),
+              fx.gateway->ShardOf(egress_sources[i]));
+  }
+}
+
+// A cut handoff ring stalls cross-shard traffic without losing it (until the
+// ring fills): healing the partition lets the queued handoffs flow.
+TEST(ShardedGatewayTest, HandoffPartitionStallsThenHeals) {
+  SharedFixture fx(4, OutboundMode::kReflect);
+  const Ipv4Address worm_ip = kFarm.AddressAt(3);
+  fx.gateway->HandleInbound(InboundSyn(worm_ip));
+  fx.loop.RunAll();
+  fx.gateway->NotifyInfected(worm_ip);
+
+  const uint32_t worm_shard = fx.gateway->ShardOf(worm_ip);
+  for (uint32_t to = 0; to < 4; ++to) {
+    if (to != worm_shard) {
+      fx.gateway->SetHandoffPartition(worm_shard, to, true);
+    }
+  }
+  for (uint16_t i = 0; i < 32; ++i) {
+    fx.gateway->HandleOutbound(
+        0, 1, OutboundScan(worm_ip, Ipv4Address(77, 2, static_cast<uint8_t>(i), 9),
+                           static_cast<uint16_t>(31000 + i)));
+  }
+  fx.loop.RunAll();
+  const GatewayStats cut = fx.gateway->AggregateStats();
+  // Cross-shard reflections stayed stuck in the rings.
+  EXPECT_GT(cut.handoffs_out, cut.handoffs_in);
+
+  for (uint32_t to = 0; to < 4; ++to) {
+    if (to != worm_shard) {
+      fx.gateway->SetHandoffPartition(worm_shard, to, false);
+    }
+  }
+  fx.gateway->PumpHandoffs();
+  fx.loop.RunAll();
+  const GatewayStats healed = fx.gateway->AggregateStats();
+  EXPECT_EQ(healed.handoffs_in, healed.handoffs_out);
+  EXPECT_EQ(fx.gateway->partition_drops(), 0u);  // ring never filled
+}
+
 TEST(ShardedGatewayTest, ShardCountMustBePowerOfTwo) {
   EXPECT_DEATH(
       {

@@ -141,8 +141,14 @@ TEST(PhysicalHostTest, DestroyReleasesEverything) {
 }
 
 TEST(PhysicalHostTest, VmIdsGloballyUnique) {
-  PhysicalHost host_a(SmallHost());
-  PhysicalHost host_b(SmallHost());
+  // VM ids carry the host id in the upper 32 bits: hosts with distinct ids
+  // (as the farm always assigns) can never collide.
+  PhysicalHostConfig config_a = SmallHost();
+  PhysicalHostConfig config_b = SmallHost();
+  config_a.id = 0;
+  config_b.id = 1;
+  PhysicalHost host_a(config_a);
+  PhysicalHost host_b(config_b);
   const ImageId image_a = host_a.RegisterImage(SmallImage());
   const ImageId image_b = host_b.RegisterImage(SmallImage());
   VirtualMachine* a = host_a.CreateClone(image_a, CloneKind::kFlash, "a");
@@ -150,6 +156,21 @@ TEST(PhysicalHostTest, VmIdsGloballyUnique) {
   ASSERT_NE(a, nullptr);
   ASSERT_NE(b, nullptr);
   EXPECT_NE(a->id(), b->id());
+}
+
+TEST(PhysicalHostTest, VmIdsDeterministicPerInstance) {
+  // Two identical hosts built back to back in one process mint the same ids —
+  // the counter is per-host state, not a process global, so replayed runs
+  // produce byte-identical ledgers.
+  VmId first_ids[2];
+  for (int round = 0; round < 2; ++round) {
+    PhysicalHost host(SmallHost());
+    const ImageId image = host.RegisterImage(SmallImage());
+    VirtualMachine* vm = host.CreateClone(image, CloneKind::kFlash, "vm");
+    ASSERT_NE(vm, nullptr);
+    first_ids[round] = vm->id();
+  }
+  EXPECT_EQ(first_ids[0], first_ids[1]);
 }
 
 TEST(PhysicalHostTest, TotalPrivatePagesAggregates) {

@@ -10,7 +10,7 @@
 //
 // Usage:
 //   forensics [--session=IP] [--jsonl=PATH] [--chrome=PATH]
-//             [--seconds=N] [--seed=N]
+//             [--seconds=N] [--seed=N] [--chaos=N]
 //
 //   (no flags)      per-session summary table, busiest sessions first
 //   --session=IP    full first-packet -> clone -> interaction -> containment
@@ -18,12 +18,16 @@
 //                   (or sourced from IP)
 //   --jsonl=PATH    export the whole ledger as JSON Lines
 //   --chrome=PATH   export a Chrome trace (one track per session)
+//   --chaos=N       fly the replay under the control plane with N seeded
+//                   faults; the summary gains a control-plane timeline of
+//                   every controller decision and chaos injection
 //
 // Unknown flags are usage errors (exit 2); --session with an address no
 // session touched exits 1.
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,6 +35,8 @@
 #include "src/base/strings.h"
 #include "src/base/table.h"
 #include "src/core/honeyfarm.h"
+#include "src/ctrl/chaos.h"
+#include "src/ctrl/controller.h"
 #include "src/malware/radiation.h"
 #include "src/obs/event_ledger.h"
 
@@ -121,18 +127,62 @@ std::string DescribeRecord(Honeyfarm& farm, const EventLedger::Record& r) {
       return StrFormat("%s:%llu", file == nullptr ? "?" : file,
                        static_cast<unsigned long long>(r.b));
     }
+    case LedgerEvent::kCtrlState:
+      return StrFormat("host%llu -> %s", static_cast<unsigned long long>(r.a),
+                       BackendStateName(static_cast<BackendState>(r.b)));
+    case LedgerEvent::kCtrlDrainBegin:
+      return StrFormat("host%llu draining, %llu bindings to move",
+                       static_cast<unsigned long long>(r.a),
+                       static_cast<unsigned long long>(r.b));
+    case LedgerEvent::kCtrlDrainEnd:
+      return StrFormat("host%llu empty (%s)",
+                       static_cast<unsigned long long>(r.a),
+                       r.b == 0 ? "all sessions migrated" : "deadline forced");
+    case LedgerEvent::kCtrlMigrate:
+      return StrFormat("%s rebinding host%llu -> host%llu", Ip(r.a).c_str(),
+                       static_cast<unsigned long long>(r.b >> 32),
+                       static_cast<unsigned long long>(r.b & 0xffffffffull));
+    case LedgerEvent::kCtrlFailover:
+      return StrFormat("host%llu failed, %llu bindings invalidated",
+                       static_cast<unsigned long long>(r.a),
+                       static_cast<unsigned long long>(r.b));
+    case LedgerEvent::kCtrlRotate:
+      return StrFormat("host%llu image rotated to generation %llu",
+                       static_cast<unsigned long long>(r.a),
+                       static_cast<unsigned long long>(r.b));
+    case LedgerEvent::kCtrlScale:
+      return StrFormat("%s (target %llu)",
+                       ScaleActionName(static_cast<ScaleAction>(r.a)),
+                       static_cast<unsigned long long>(r.b));
+    case LedgerEvent::kChaosFault:
+      return StrFormat("inject %s on target %llu",
+                       ChaosFaultName(static_cast<ChaosFault>(r.a)),
+                       static_cast<unsigned long long>(r.b));
+    case LedgerEvent::kChaosHeal:
+      return StrFormat("heal %s on target %llu",
+                       ChaosFaultName(static_cast<ChaosFault>(r.a)),
+                       static_cast<unsigned long long>(r.b));
     case LedgerEvent::kCount:
       break;
   }
   return "";
 }
 
-// The deterministic replayed outbreak every invocation reconstructs.
+// The deterministic replayed outbreak every invocation reconstructs. With a
+// controller (and optionally a chaos harness) the control plane flies the
+// same replay, so its decisions land in the same ledger.
 void RunScenario(Honeyfarm& farm, WormRuntime& worm, const Ipv4Prefix& prefix,
-                 double seconds, uint64_t seed) {
+                 double seconds, uint64_t seed, Controller* controller,
+                 ChaosHarness* harness) {
   farm.AttachWorm(&worm);
   farm.Start();
   farm.StartWatchdog(Duration::Seconds(1));
+  if (controller != nullptr) {
+    controller->Start();
+  }
+  if (harness != nullptr) {
+    harness->Arm();
+  }
 
   RadiationConfig radiation;
   radiation.telescope = prefix;
@@ -144,6 +194,23 @@ void RunScenario(Honeyfarm& farm, WormRuntime& worm, const Ipv4Prefix& prefix,
 
   farm.SeedWorm(worm, Ipv4Address(198, 51, 100, 66), prefix.AddressAt(1));
   farm.RunFor(Duration::Seconds(seconds));
+}
+
+bool IsControlPlaneEvent(LedgerEvent type) {
+  switch (type) {
+    case LedgerEvent::kCtrlState:
+    case LedgerEvent::kCtrlDrainBegin:
+    case LedgerEvent::kCtrlDrainEnd:
+    case LedgerEvent::kCtrlMigrate:
+    case LedgerEvent::kCtrlFailover:
+    case LedgerEvent::kCtrlRotate:
+    case LedgerEvent::kCtrlScale:
+    case LedgerEvent::kChaosFault:
+    case LedgerEvent::kChaosHeal:
+      return true;
+    default:
+      return false;
+  }
 }
 
 struct SessionSummary {
@@ -211,6 +278,22 @@ int PrintSummary(Honeyfarm& farm, const std::vector<EventLedger::Record>& all) {
                   story});
   }
   std::printf("%s", table.ToAscii().c_str());
+  // Control-plane decisions are farm-scoped (no session), so they would be
+  // invisible in the per-session table — give them their own timeline.
+  size_t ctrl_events = 0;
+  for (const auto& r : all) {
+    ctrl_events += IsControlPlaneEvent(r.type) ? 1 : 0;
+  }
+  if (ctrl_events > 0) {
+    std::printf("\ncontrol plane (%zu events):\n", ctrl_events);
+    for (const auto& r : all) {
+      if (IsControlPlaneEvent(r.type)) {
+        std::printf("  [%10.6fs] %-22s %s\n",
+                    static_cast<double>(r.time_ns) / 1e9,
+                    LedgerEventName(r.type), DescribeRecord(farm, r).c_str());
+      }
+    }
+  }
   std::printf("%zu sessions (%zu shown), %llu ledger records (%llu evicted)\n",
               order.size(), show,
               static_cast<unsigned long long>(farm.ledger().appended()),
@@ -248,14 +331,14 @@ int PrintSessionTimeline(Honeyfarm& farm, Ipv4Address ip,
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: forensics [--session=IP] [--jsonl=PATH] [--chrome=PATH] "
-               "[--seconds=N] [--seed=N]\n");
+               "[--seconds=N] [--seed=N] [--chaos=N]\n");
 }
 
 int Run(int argc, char** argv) {
   const Flags flags = Flags::Parse(argc, argv);
   for (const std::string& name : flags.Names()) {
     if (name != "session" && name != "jsonl" && name != "chrome" &&
-        name != "seconds" && name != "seed") {
+        name != "seconds" && name != "seed" && name != "chaos") {
       std::fprintf(stderr, "forensics: unknown flag --%s\n", name.c_str());
       PrintUsage();
       return 2;
@@ -280,7 +363,23 @@ int Run(int argc, char** argv) {
   WormConfig worm_config = SlammerLikeWorm(internet);
   worm_config.scan_rate_pps = 20.0;
   WormRuntime worm(&farm.loop(), worm_config, seed);
-  RunScenario(farm, worm, prefix, seconds, seed);
+
+  const size_t chaos_faults = flags.GetUint("chaos", 0);
+  std::unique_ptr<Controller> controller;
+  std::unique_ptr<ChaosHarness> harness;
+  if (chaos_faults > 0) {
+    ControllerConfig ctrl_config;
+    ctrl_config.tick = Duration::Millis(500);
+    controller = std::make_unique<Controller>(&farm, ctrl_config);
+    ChaosConfig chaos_config;
+    chaos_config.seed = seed;
+    chaos_config.num_faults = chaos_faults;
+    chaos_config.horizon = Duration::Seconds(seconds * 0.8);
+    harness = std::make_unique<ChaosHarness>(&farm, controller.get(),
+                                             chaos_config);
+  }
+  RunScenario(farm, worm, prefix, seconds, seed, controller.get(),
+              harness.get());
 
   const std::string jsonl = flags.GetString("jsonl", "");
   if (!jsonl.empty() && !farm.ledger().WriteJsonLines(jsonl)) {
