@@ -47,8 +47,8 @@ Honeyfarm::Honeyfarm(const HoneyfarmConfig& config)
       OnInfection(guest, exploit);
     });
     server->set_retire_handler([this](VmId vm) {
-      for (WormRuntime* worm : worms_) {
-        worm->Deactivate(vm);
+      for (InfectionAgent* agent : agents_) {
+        agent->OnVmRetired(vm);
       }
     });
     servers_.push_back(std::move(server));
@@ -138,25 +138,35 @@ void Honeyfarm::OnInfection(GuestOs& guest, const PacketView& exploit) {
                      loop_.Now().nanos(), victim.value(),
                      exploit.ip().src.value());
   gateway_.NotifyInfected(victim);
-  // Activate the strain whose exploit vector delivered this infection; fall back
-  // to the sole attached strain when the vector is ambiguous.
-  WormRuntime* matched = nullptr;
-  for (WormRuntime* worm : worms_) {
-    if (worm->config().proto == exploit.ip().proto &&
-        worm->config().port == exploit.dst_port()) {
-      matched = worm;
-      break;
+  // Activate the agent whose exploit vector delivered this infection; fall back
+  // to the sole vector-specific agent when the vector is ambiguous. Agents that
+  // ride every infection (scripted escape behavior) activate in addition.
+  InfectionAgent* matched = nullptr;
+  size_t vector_agents = 0;
+  InfectionAgent* sole_vector_agent = nullptr;
+  for (InfectionAgent* agent : agents_) {
+    if (agent->ActivatesOnAnyInfection()) {
+      agent->OnGuestInfected(guest, exploit);
+      continue;
+    }
+    ++vector_agents;
+    sole_vector_agent = agent;
+    if (matched == nullptr &&
+        agent->MatchesVector(exploit.ip().proto, exploit.dst_port())) {
+      matched = agent;
     }
   }
-  if (matched == nullptr && worms_.size() == 1) {
-    matched = worms_.front();
+  if (matched == nullptr && vector_agents == 1) {
+    matched = sole_vector_agent;
   }
   if (matched != nullptr) {
-    matched->ActivateOn(&guest);
+    matched->OnGuestInfected(guest, exploit);
   }
 }
 
-void Honeyfarm::AttachWorm(WormRuntime* worm) { worms_.push_back(worm); }
+void Honeyfarm::AttachAgent(InfectionAgent* agent) { agents_.push_back(agent); }
+
+void Honeyfarm::AttachWorm(WormRuntime* worm) { AttachAgent(worm); }
 
 void Honeyfarm::EnableGreTermination(Ipv4Address gateway_ip, Ipv4Address router_ip,
                                      std::optional<uint32_t> key) {

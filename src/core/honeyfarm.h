@@ -17,6 +17,7 @@
 #include "src/core/clone_server.h"
 #include "src/gateway/gateway.h"
 #include "src/gateway/sharded_gateway.h"
+#include "src/guest/infection_agent.h"
 #include "src/malware/epidemic.h"
 #include "src/malware/worm.h"
 #include "src/net/gre.h"
@@ -126,10 +127,12 @@ class Honeyfarm : public GatewayBackend {
   void SeedWormViaHandshake(WormRuntime& worm, Ipv4Address attacker,
                             Ipv4Address victim);
 
-  // Attaches a worm runtime: guests infected through the runtime's (proto, port)
-  // exploit start scanning through it, and retired VMs are deactivated. Multiple
-  // strains may be attached concurrently; an infection activates the strain whose
-  // exploit vector matches the infecting packet.
+  // Attaches a post-compromise agent (worm runtime, dropper, escape script):
+  // when a guest flips to infected the agent whose exploit vector matches the
+  // infecting packet activates — plus every agent that activates on any
+  // infection — and retired VMs are handed to every agent for cleanup.
+  void AttachAgent(InfectionAgent* agent);
+  // Legacy name for worm runtimes; identical to AttachAgent.
   void AttachWorm(WormRuntime* worm);
 
   // ---- Execution ----
@@ -230,7 +233,7 @@ class Honeyfarm : public GatewayBackend {
   // Returns true if the egress packet completed a pending seed handshake.
   bool MaybeCompleteSeedHandshake(const Packet& packet);
 
-  std::vector<WormRuntime*> worms_;
+  std::vector<InfectionAgent*> agents_;
   std::vector<PendingSeed> pending_seeds_;
   std::unique_ptr<Watchdog> watchdog_;
   std::unique_ptr<FlightRecorder> flight_recorder_;

@@ -491,6 +491,14 @@ void Gateway::HandleDnsQuery(const PacketView& view, Binding* source_binding) {
   const auto query = ParseDnsQuery(payload.data(), payload.size());
   if (!query || source_binding == nullptr ||
       source_binding->state != BindingState::kActive) {
+    // DNS-shaped but not a parseable query (raw exfil on port 53), or the
+    // sender has no live binding: the proxy swallows it. Record the verdict —
+    // a silently vanished packet would break escape-attempt attribution.
+    obs_.ledger.Append(LedgerEvent::kContainmentDrop,
+                       source_binding != nullptr ? source_binding->session
+                                                 : view.session(),
+                       loop_->Now().nanos(), view.ip().dst.value(),
+                       view.dst_port());
     return;
   }
   const DnsResponse answer = dns_proxy_.Resolve(*query);

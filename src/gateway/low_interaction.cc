@@ -5,7 +5,7 @@ namespace potemkin {
 LowInteractionResponder::LowInteractionResponder(Ipv4Prefix prefix,
                                                  std::vector<ServiceConfig> services,
                                                  uint64_t seed)
-    : prefix_(prefix), services_(std::move(services)), rng_(seed) {}
+    : prefix_(prefix), services_(std::move(services)), seed_(seed) {}
 
 const ServiceConfig* LowInteractionResponder::FindService(IpProto proto,
                                                           uint16_t port) const {
@@ -15,6 +15,19 @@ const ServiceConfig* LowInteractionResponder::FindService(IpProto proto,
     }
   }
   return nullptr;
+}
+
+uint32_t LowInteractionResponder::FlowIsn(const PacketView& view) const {
+  // Keyed 4-tuple hash in the shape of RFC 6528: stable for a flow (so the
+  // facade's sequence numbers cohere across the packets of one conversation,
+  // like a stateful stack's would) but unpredictable across flows and seeds.
+  uint64_t h = seed_ ^ ((static_cast<uint64_t>(view.ip().src.value()) << 32) |
+                        view.ip().dst.value());
+  h *= 0x9e3779b97f4a7c15ull;
+  h ^= (static_cast<uint64_t>(view.tcp().src_port) << 16) | view.tcp().dst_port;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 32;
+  return static_cast<uint32_t>(h);
 }
 
 std::optional<Packet> LowInteractionResponder::Respond(const PacketView& view) {
@@ -43,26 +56,56 @@ std::optional<Packet> LowInteractionResponder::Respond(const PacketView& view) {
   }
 
   if (view.is_tcp()) {
+    const uint8_t flags = view.tcp().flags;
+    if (flags & TcpFlags::kRst) {
+      return std::nullopt;  // RSTs are never answered
+    }
     const ServiceConfig* service = FindService(IpProto::kTcp, view.tcp().dst_port);
+    const uint32_t seg = static_cast<uint32_t>(view.l4_payload().size());
+    // RFC 793 SEG.LEN: payload octets plus one each for SYN and FIN. The two
+    // components are additive — a FIN carrying data consumes len+1 sequence
+    // octets, and acking anything less diverges from the guest stack.
+    const uint32_t seg_len = seg + ((flags & TcpFlags::kSyn) ? 1u : 0u) +
+                             ((flags & TcpFlags::kFin) ? 1u : 0u);
     reply.proto = IpProto::kTcp;
     reply.src_port = view.tcp().dst_port;
     reply.dst_port = view.tcp().src_port;
-    reply.seq = static_cast<uint32_t>(rng_.NextU64());
-    const uint32_t seg = static_cast<uint32_t>(view.l4_payload().size());
-    const bool syn_or_fin =
-        (view.tcp().flags & (TcpFlags::kSyn | TcpFlags::kFin)) != 0;
-    reply.ack = view.tcp().seq + (seg > 0 ? seg : (syn_or_fin ? 1 : 0));
-    if ((view.tcp().flags & TcpFlags::kSyn) && !(view.tcp().flags & TcpFlags::kAck)) {
-      if (service != nullptr) {
-        ++stats_.synacks_sent;
-        reply.tcp_flags = TcpFlags::kSyn | TcpFlags::kAck;
+
+    if (service == nullptr) {
+      // Closed port: every non-RST segment draws an RFC-form reset, exactly as
+      // GuestTcpStack answers — with-ACK segments are reset at SEG.ACK with no
+      // ACK flag; no-ACK segments get seq=0 and an ack covering the segment.
+      ++stats_.rsts_sent;
+      if (flags & TcpFlags::kAck) {
+        reply.tcp_flags = TcpFlags::kRst;
+        reply.seq = view.tcp().ack;
+        reply.ack = 0;
       } else {
-        ++stats_.rsts_sent;
         reply.tcp_flags = TcpFlags::kRst | TcpFlags::kAck;
+        reply.seq = 0;
+        reply.ack = view.tcp().seq + seg_len;
       }
       return BuildPacket(reply);
     }
-    if (!view.l4_payload().empty() && service != nullptr) {
+
+    const uint32_t isn = FlowIsn(view);
+    if ((flags & TcpFlags::kSyn) && !(flags & TcpFlags::kAck)) {
+      // The SYN|ACK acknowledges exactly the SYN octet; data riding a SYN is
+      // not accepted before establishment (matching GuestTcpStack).
+      ++stats_.synacks_sent;
+      reply.tcp_flags = TcpFlags::kSyn | TcpFlags::kAck;
+      reply.seq = isn;
+      reply.ack = view.tcp().seq + 1;
+      return BuildPacket(reply);
+    }
+    if (flags & TcpFlags::kFin) {
+      ++stats_.finacks_sent;
+      reply.tcp_flags = TcpFlags::kFin | TcpFlags::kAck;
+      reply.seq = isn + 1;  // our SYN consumed one sequence number
+      reply.ack = view.tcp().seq + seg_len;  // payload bytes plus the FIN octet
+      return BuildPacket(reply);
+    }
+    if (seg > 0) {
       // Exploit payloads hit a facade: there is nothing to compromise. This
       // counter IS the fidelity gap versus the real farm.
       if (service->vulnerability &&
@@ -73,6 +116,8 @@ std::optional<Packet> LowInteractionResponder::Respond(const PacketView& view) {
       if (!service->banner.empty()) {
         ++stats_.banners_sent;
         reply.tcp_flags = TcpFlags::kPsh | TcpFlags::kAck;
+        reply.seq = isn + 1;
+        reply.ack = view.tcp().seq + seg_len;
         reply.payload = service->banner;
         return BuildPacket(reply);
       }

@@ -14,7 +14,6 @@
 #include <optional>
 #include <vector>
 
-#include "src/base/rng.h"
 #include "src/guest/service.h"
 #include "src/net/ipv4.h"
 #include "src/net/packet.h"
@@ -25,6 +24,7 @@ struct LowInteractionStats {
   uint64_t packets_seen = 0;
   uint64_t synacks_sent = 0;
   uint64_t rsts_sent = 0;
+  uint64_t finacks_sent = 0;
   uint64_t banners_sent = 0;
   uint64_t icmp_replies = 0;
   uint64_t exploit_payloads_ignored = 0;  // the fidelity gap, made visible
@@ -44,10 +44,14 @@ class LowInteractionResponder {
 
  private:
   const ServiceConfig* FindService(IpProto proto, uint16_t port) const;
+  // Deterministic per-4-tuple initial sequence number (RFC 6528 shape): the
+  // facade has no per-flow state, so its "ISN" must be recomputable from the
+  // packet alone — yet stable within a flow so transcripts look stateful.
+  uint32_t FlowIsn(const PacketView& view) const;
 
   Ipv4Prefix prefix_;
   std::vector<ServiceConfig> services_;
-  Rng rng_;
+  uint64_t seed_;
   LowInteractionStats stats_;
 };
 

@@ -1,15 +1,35 @@
 #include "src/guest/guest_os.h"
 
 #include "src/base/log.h"
+#include "src/guest/persona/persona.h"
 
 namespace potemkin {
+
+namespace {
+
+bool AnyPersona(const std::vector<ServiceConfig>& services) {
+  for (const auto& service : services) {
+    if (service.persona != PersonaKind::kNone) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
 
 GuestOs::GuestOs(VirtualMachine* vm, const GuestOsConfig& config, Rng rng)
     : vm_(vm),
       config_(config),
       obs_(ObsOrDefault(config.obs)),
       rng_(rng),
-      tcp_stack_(rng.Fork(0x7c9)) {}
+      tcp_stack_(rng.Fork(0x7c9)) {
+  if (AnyPersona(config_.services)) {
+    persona_ = std::make_unique<PersonaEngine>(rng.Fork(0x9e2), config.obs);
+  }
+}
+
+GuestOs::~GuestOs() = default;
 
 const ServiceConfig* GuestOs::FindService(IpProto proto, uint16_t port) const {
   for (const auto& service : config_.services) {
@@ -66,12 +86,14 @@ void GuestOs::SendTcpSegment(const PacketView& request, uint8_t flags, uint32_t 
 
 void GuestOs::SendTcpReply(const PacketView& request, uint8_t flags,
                            std::vector<uint8_t> payload) {
-  // Simplified sequencing: ack everything we saw.
-  const uint32_t seg_len = static_cast<uint32_t>(request.l4_payload().size());
-  const bool syn_or_fin =
-      (request.tcp().flags & (TcpFlags::kSyn | TcpFlags::kFin)) != 0;
-  const uint32_t ack =
-      request.tcp().seq + (seg_len > 0 ? seg_len : (syn_or_fin ? 1 : 0));
+  // Simplified sequencing: ack everything we saw. RFC 793 SEG.LEN is additive —
+  // payload octets plus one each for SYN and FIN — so a data-bearing SYN or FIN
+  // is acked in full, matching the strict stack and the low-interaction facade.
+  const uint32_t payload_len = static_cast<uint32_t>(request.l4_payload().size());
+  const uint32_t seg_len = payload_len +
+                           ((request.tcp().flags & TcpFlags::kSyn) ? 1u : 0u) +
+                           ((request.tcp().flags & TcpFlags::kFin) ? 1u : 0u);
+  const uint32_t ack = request.tcp().seq + seg_len;
   SendTcpSegment(request, flags, static_cast<uint32_t>(rng_.NextU64()), ack,
                  std::move(payload));
 }
@@ -110,7 +132,8 @@ void GuestOs::SendIcmpEchoReply(const PacketView& request) {
   vm_->Transmit(BuildPacket(spec));
 }
 
-void GuestOs::ServeRequest(const ServiceConfig& service, const PacketView& view) {
+void GuestOs::ServeRequest(const ServiceConfig& service, const PacketView& view,
+                           const SegmentDecision* strict) {
   ++stats_.requests_served;
   obs_.ledger.Append(LedgerEvent::kGuestRequest, view.session(), now_.nanos(),
                      view.dst_port(), view.l4_payload().size());
@@ -128,12 +151,43 @@ void GuestOs::ServeRequest(const ServiceConfig& service, const PacketView& view)
     }
     return;  // compromised service does not send its normal response
   }
+  if (service.persona != PersonaKind::kNone && persona_ != nullptr &&
+      service.proto == IpProto::kTcp) {
+    ServePersona(service, view, strict);
+    return;
+  }
   if (!service.banner.empty()) {
     if (service.proto == IpProto::kTcp) {
-      SendTcpReply(view, TcpFlags::kPsh | TcpFlags::kAck, service.banner);
+      if (strict != nullptr) {
+        // Strict mode: the reply carries the stack's sequence numbers, not the
+        // simplified random-seq sequencing.
+        SendTcpSegment(view, TcpFlags::kPsh | TcpFlags::kAck, strict->reply_seq,
+                       strict->reply_ack, service.banner);
+      } else {
+        SendTcpReply(view, TcpFlags::kPsh | TcpFlags::kAck, service.banner);
+      }
     } else {
       SendUdpReply(view, service.banner);
     }
+  }
+}
+
+void GuestOs::ServePersona(const ServiceConfig& service, const PacketView& view,
+                           const SegmentDecision* strict) {
+  PersonaReply reply = persona_->OnData(service, view, now_.nanos());
+  TouchHeapPages(reply.extra_pages);
+  if (reply.payload.empty()) {
+    return;
+  }
+  uint8_t flags = TcpFlags::kPsh | TcpFlags::kAck;
+  if (reply.close) {
+    flags |= TcpFlags::kFin;  // lockout: server closes after the final message
+  }
+  if (strict != nullptr) {
+    SendTcpSegment(view, flags, strict->reply_seq, strict->reply_ack,
+                   std::move(reply.payload));
+  } else {
+    SendTcpReply(view, flags, std::move(reply.payload));
   }
 }
 
@@ -157,23 +211,49 @@ void GuestOs::HandleTcpStrict(const PacketView& view) {
     case SegmentAction::kReplySynAck:
       SendTcpSegment(view, TcpFlags::kSyn | TcpFlags::kAck, decision.reply_seq,
                      decision.reply_ack, {});
-      return;
+      break;
     case SegmentAction::kReplyRst:
       ++stats_.rst_sent;
-      SendTcpSegment(view, TcpFlags::kRst | TcpFlags::kAck, decision.reply_seq,
-                     decision.reply_ack, {});
-      return;
+      SendTcpSegment(view,
+                     TcpFlags::kRst |
+                         (decision.rst_has_ack ? TcpFlags::kAck : uint8_t{0}),
+                     decision.reply_seq, decision.reply_ack, {});
+      break;
+    case SegmentAction::kEstablished:
+      // accept() completed: banner-first personas greet the new connection.
+      if (service != nullptr && service->persona != PersonaKind::kNone &&
+          persona_ != nullptr) {
+        PersonaReply greeting = persona_->OnConnect(*service, view, now_.nanos());
+        if (!greeting.payload.empty()) {
+          SendTcpSegment(view, TcpFlags::kPsh | TcpFlags::kAck,
+                         decision.reply_seq, decision.reply_ack,
+                         std::move(greeting.payload));
+        }
+      }
+      break;
     case SegmentAction::kReplyFinAck:
       SendTcpSegment(view, TcpFlags::kFin | TcpFlags::kAck, decision.reply_seq,
                      decision.reply_ack, {});
-      return;
+      break;
     case SegmentAction::kDeliverPayload:
       if (service != nullptr) {
-        ServeRequest(*service, view);
+        ServeRequest(*service, view, &decision);
       }
-      return;
+      break;
+    case SegmentAction::kDeliverPayloadAndClose:
+      // Data rode the FIN: the payload still reaches the service, then the
+      // close is acknowledged (the FIN|ACK's ack covers payload + FIN octet).
+      if (service != nullptr) {
+        ServeRequest(*service, view, &decision);
+      }
+      SendTcpSegment(view, TcpFlags::kFin | TcpFlags::kAck, decision.reply_seq,
+                     decision.reply_ack, {});
+      break;
     case SegmentAction::kIgnore:
-      return;
+      break;
+  }
+  if (persona_ != nullptr && (flags & (TcpFlags::kFin | TcpFlags::kRst)) != 0) {
+    persona_->OnClose(view);  // peer teardown drops persona session state
   }
 }
 
@@ -213,6 +293,17 @@ void GuestOs::HandleFrame(const Packet& frame, const PacketView& parsed,
     if ((flags & TcpFlags::kSyn) && !(flags & TcpFlags::kAck)) {
       if (service != nullptr) {
         SendTcpReply(*view, TcpFlags::kSyn | TcpFlags::kAck, {});
+        // Permissive-mode personas greet right after the SYN|ACK (no strict
+        // handshake completion to hook).
+        if (service->persona != PersonaKind::kNone && persona_ != nullptr &&
+            view->l4_payload().empty()) {
+          PersonaReply greeting =
+              persona_->OnConnect(*service, *view, now_.nanos());
+          if (!greeting.payload.empty()) {
+            SendTcpReply(*view, TcpFlags::kPsh | TcpFlags::kAck,
+                         std::move(greeting.payload));
+          }
+        }
         // Data riding the SYN (the single-packet exploit model used by the worm
         // runtime; cf. WormRuntime::MakeScanPacket) is delivered to the service.
         if (!view->l4_payload().empty()) {
@@ -225,6 +316,9 @@ void GuestOs::HandleFrame(const Packet& frame, const PacketView& parsed,
       return;
     }
     if (flags & TcpFlags::kRst) {
+      if (persona_ != nullptr) {
+        persona_->OnClose(*view);
+      }
       return;
     }
     // ACK-bearing traffic to a non-listening port is a reply to a connection a
@@ -235,6 +329,9 @@ void GuestOs::HandleFrame(const Packet& frame, const PacketView& parsed,
     }
     if (!view->l4_payload().empty() && service != nullptr) {
       ServeRequest(*service, *view);
+    }
+    if (persona_ != nullptr && (flags & TcpFlags::kFin)) {
+      persona_->OnClose(*view);
     }
     return;
   }

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/base/rng.h"
@@ -22,6 +23,8 @@
 #include "src/obs/observability.h"
 
 namespace potemkin {
+
+class PersonaEngine;
 
 struct GuestOsConfig {
   std::vector<ServiceConfig> services;
@@ -69,6 +72,7 @@ class GuestOs {
       std::function<void(GuestOs& guest, const PacketView& reply)>;
 
   GuestOs(VirtualMachine* vm, const GuestOsConfig& config, Rng rng);
+  ~GuestOs();
 
   VirtualMachine* vm() { return vm_; }
   const GuestStats& stats() const { return stats_; }
@@ -93,11 +97,20 @@ class GuestOs {
 
   // Strict-mode TCP state (meaningful only when config.strict_tcp).
   const GuestTcpStack& tcp_stack() const { return tcp_stack_; }
+  // Non-null iff any configured service carries a persona.
+  PersonaEngine* persona() { return persona_.get(); }
 
  private:
   void TouchKernelPages();
   void TouchHeapPages(uint32_t count);
-  void ServeRequest(const ServiceConfig& service, const PacketView& view);
+  // `strict` carries the TCP stack's sequence numbers when the request arrived
+  // through the strict state machine; null on the permissive path (replies then
+  // use the simplified SendTcpReply sequencing).
+  void ServeRequest(const ServiceConfig& service, const PacketView& view,
+                    const SegmentDecision* strict = nullptr);
+  // Persona dispatch for one delivered payload (called from ServeRequest).
+  void ServePersona(const ServiceConfig& service, const PacketView& view,
+                    const SegmentDecision* strict);
   void HandleTcpStrict(const PacketView& view);
   void SendTcpReply(const PacketView& request, uint8_t flags,
                     std::vector<uint8_t> payload);
@@ -117,6 +130,7 @@ class GuestOs {
   InfectionObserver infection_observer_;
   ClientPacketHandler client_handler_;
   GuestTcpStack tcp_stack_;
+  std::unique_ptr<PersonaEngine> persona_;  // created iff a service wants one
   uint32_t packets_since_expiry_ = 0;
   // Virtual time of the frame currently being handled; stamps ledger events
   // emitted from the send/serve helpers (which don't take `now` themselves).

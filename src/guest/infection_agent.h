@@ -1,0 +1,44 @@
+// Post-compromise behavior attached to the farm.
+//
+// An InfectionAgent is anything that takes over a guest once an exploit lands:
+// a scanning worm, a multi-stage dropper, or a scripted escape/escalation
+// behavior. The Honeyfarm keeps a list of attached agents; when a guest flips
+// to infected it dispatches to the agent whose exploit vector matches the
+// infecting packet (plus every agent that activates on any infection), and on
+// VM retirement every agent gets a chance to cancel scheduled work.
+#ifndef SRC_GUEST_INFECTION_AGENT_H_
+#define SRC_GUEST_INFECTION_AGENT_H_
+
+#include <cstdint>
+
+#include "src/hv/vm.h"
+#include "src/net/packet.h"
+
+namespace potemkin {
+
+class GuestOs;
+
+class InfectionAgent {
+ public:
+  virtual ~InfectionAgent() = default;
+
+  // Whether this agent's exploit arrives over (proto, port). Used to route an
+  // infection to the strain that caused it when several agents are attached.
+  virtual bool MatchesVector(IpProto proto, uint16_t port) const = 0;
+
+  // Agents that piggyback on every infection regardless of vector (scripted
+  // post-compromise behavior like escape attempts) return true; they are
+  // activated in addition to the vector-matched agent.
+  virtual bool ActivatesOnAnyInfection() const { return false; }
+
+  // A guest was just infected by `exploit`. The agent may schedule virtual-time
+  // work driving the guest's vNIC; `guest` outlives the VM's retirement event.
+  virtual void OnGuestInfected(GuestOs& guest, const PacketView& exploit) = 0;
+
+  // The VM was retired/destroyed: cancel any scheduled work for it.
+  virtual void OnVmRetired(VmId vm) = 0;
+};
+
+}  // namespace potemkin
+
+#endif  // SRC_GUEST_INFECTION_AGENT_H_

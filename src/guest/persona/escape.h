@@ -1,0 +1,106 @@
+// Scripted post-compromise behavior: privilege escalation + escape attempts.
+//
+// Worm propagation only exercises containment with more of the same traffic.
+// Real intrusions try to *leave*: beacon to a command-and-control host, scan
+// addresses outside the farm, exfiltrate over DNS. EscapeRuntime is an
+// InfectionAgent that rides every infection and plays that script in virtual
+// time through the compromised guest's vNIC — so every attempt crosses the
+// gateway's containment filter like any other packet. Each attempt is recorded
+// as a kEscapeAttempt ledger event (before the packet is sent) under the
+// infecting session, which lets the forensics timeline pair the attempt with
+// the containment verdict that caught it; the persona_farm example asserts
+// exactly that pairing.
+#ifndef SRC_GUEST_PERSONA_ESCAPE_H_
+#define SRC_GUEST_PERSONA_ESCAPE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/event_loop.h"
+#include "src/base/rng.h"
+#include "src/guest/guest_os.h"
+#include "src/guest/infection_agent.h"
+#include "src/net/ipv4.h"
+#include "src/obs/observability.h"
+
+namespace potemkin {
+
+enum class EscapeKind : uint8_t {
+  kC2Beacon = 0,     // TCP beacon to a command-and-control server
+  kNonFarmScan = 1,  // SYN probes of addresses outside the farm prefix
+  kDnsExfil = 2,     // UDP/53 exfiltration datagram
+};
+
+const char* EscapeKindName(EscapeKind kind);
+
+struct EscapeStep {
+  EscapeKind kind = EscapeKind::kC2Beacon;
+  double delay_s = 1.0;  // after infection
+};
+
+struct EscapeScriptConfig {
+  // All targets are TEST-NET / documentation addresses: definitionally outside
+  // any farm prefix, so a correctly configured containment policy must verdict
+  // every one of these packets.
+  Ipv4Address c2_server = Ipv4Address(203, 0, 113, 37);
+  uint16_t c2_port = 6667;
+  Ipv4Address exfil_dns = Ipv4Address(198, 51, 100, 53);
+  Ipv4Prefix scan_range = Ipv4Prefix(Ipv4Address(192, 0, 2, 0), 24);
+  uint32_t scan_probes = 4;  // probes per kNonFarmScan step
+  uint16_t scan_port = 445;
+  // Simulated local privilege escalation precedes the first escape attempt
+  // (kPersonaEscalation in the ledger; nothing leaves the guest).
+  double escalation_delay_s = 0.5;
+  // Empty = the default script: beacon at 1s, scan at 1.5s, exfil at 2s.
+  std::vector<EscapeStep> steps;
+};
+
+struct EscapeStats {
+  uint64_t escalations = 0;
+  uint64_t attempts = 0;          // escape packets handed to the vNIC
+  uint64_t attempts_by_kind[3] = {0, 0, 0};
+};
+
+class EscapeRuntime : public InfectionAgent {
+ public:
+  EscapeRuntime(EventLoop* loop, const EscapeScriptConfig& config,
+                Observability* obs, uint64_t seed);
+
+  // ---- InfectionAgent ----
+  bool MatchesVector(IpProto, uint16_t) const override { return false; }
+  bool ActivatesOnAnyInfection() const override { return true; }
+  void OnGuestInfected(GuestOs& guest, const PacketView& exploit) override;
+  void OnVmRetired(VmId vm) override;
+
+  size_t active_instances() const { return instances_.size(); }
+  const EscapeStats& stats() const { return stats_; }
+
+ private:
+  struct Instance {
+    GuestOs* guest = nullptr;
+    SessionId session = kNoSession;  // the infecting session: ties attempts to
+                                     // the containment verdicts that catch them
+    Rng rng;
+    std::vector<EventHandle> pending;
+    explicit Instance(Rng r) : rng(r) {}
+  };
+
+  void FireEscalation(VmId vm);
+  void FireStep(VmId vm, EscapeStep step);
+  void Emit(Instance& instance, Ipv4Address target, EscapeKind kind);
+
+  EventLoop* loop_;
+  EscapeScriptConfig config_;
+  Observability& obs_;
+  Rng rng_;
+  std::unordered_map<VmId, std::unique_ptr<Instance>> instances_;
+  EscapeStats stats_;
+  Counter escalations_;
+  Counter attempts_;
+};
+
+}  // namespace potemkin
+
+#endif  // SRC_GUEST_PERSONA_ESCAPE_H_

@@ -1,0 +1,263 @@
+#include "src/guest/persona/persona.h"
+
+#include <algorithm>
+#include <span>
+#include <string>
+
+namespace potemkin {
+
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& text) {
+  return std::vector<uint8_t>(text.begin(), text.end());
+}
+
+bool Contains(std::span<const uint8_t> payload, const char* marker) {
+  const std::string m(marker);
+  return std::search(payload.begin(), payload.end(), m.begin(), m.end()) !=
+         payload.end();
+}
+
+std::string HexU64(uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+// Extracts the request path of a "GET <path> ..." line, or "" if not a GET.
+std::string HttpPath(std::span<const uint8_t> payload) {
+  const std::string text(payload.begin(), payload.end());
+  if (text.rfind("GET ", 0) != 0) {
+    return "";
+  }
+  const size_t start = 4;
+  size_t end = start;
+  while (end < text.size() && text[end] != ' ' && text[end] != '\r' &&
+         text[end] != '\n') {
+    ++end;
+  }
+  return text.substr(start, end - start);
+}
+
+// Decoy documents the HTTP persona exposes. Ids > 0 mark sensitive bait whose
+// retrieval is a forensic signal (kPersonaDecoy); id 0 is routine content.
+struct DecoyDoc {
+  const char* path;
+  uint64_t id;
+  const char* body;
+};
+
+const DecoyDoc kDecoys[] = {
+    {"/", 0,
+     "<html><body><h1>intranet</h1>"
+     "<a href=\"/finance/payroll-2005.xls\">payroll</a> "
+     "<a href=\"/hr/employees.csv\">directory</a></body></html>\n"},
+    {"/robots.txt", 0, "User-agent: *\nDisallow: /finance/\nDisallow: /hr/\n"},
+    {"/finance/payroll-2005.xls", 1,
+     "XLS\x01payroll FY2005: jdoe 48200, asmith 51700, rlee 46900\n"},
+    {"/hr/employees.csv", 2,
+     "name,ext,office\njdoe,4411,bldg-2\nasmith,4412,bldg-2\nrlee,4413,"
+     "bldg-1\n"},
+};
+
+SessionId ViewSession(const PacketView& view) { return view.session(); }
+
+}  // namespace
+
+PersonaEngine::PersonaEngine(Rng rng, Observability* obs, size_t max_sessions)
+    : rng_(rng), obs_(ObsOrDefault(obs)), max_sessions_(max_sessions) {
+  sessions_opened_ = obs_.metrics.RegisterCounter("persona.sessions_opened", "count");
+  auth_failures_ = obs_.metrics.RegisterCounter("persona.auth_failures", "count");
+  lockouts_ = obs_.metrics.RegisterCounter("persona.lockouts", "count");
+  decoys_served_ = obs_.metrics.RegisterCounter("persona.decoys_served", "count");
+  bad_sequence_ = obs_.metrics.RegisterCounter("persona.bad_sequence", "count");
+}
+
+PersonaEngine::Session& PersonaEngine::OpenSession(const SessionKey& key,
+                                                   PersonaKind kind) {
+  auto it = sessions_.find(key);
+  if (it != sessions_.end()) {
+    return it->second;
+  }
+  if (sessions_.size() >= max_sessions_) {
+    sessions_.erase(sessions_.begin());
+    ++stats_.sessions_evicted;
+  }
+  Session session;
+  session.kind = kind;
+  // Fork by flow key, not from a stream that advances: the transcript a given
+  // attacker sees must not depend on which other sessions ran first.
+  session.rng = rng_.Fork(KeyHash{}(key));
+  ++stats_.sessions_opened;
+  sessions_opened_.Inc();
+  return sessions_.emplace(key, std::move(session)).first->second;
+}
+
+void PersonaEngine::EmitState(const PacketView& view, PersonaKind kind,
+                              uint32_t state, int64_t now_ns) {
+  obs_.ledger.Append(LedgerEvent::kPersonaState, ViewSession(view), now_ns,
+                     (static_cast<uint64_t>(kind) << 8) | state,
+                     view.tcp().dst_port);
+}
+
+PersonaReply PersonaEngine::OnConnect(const ServiceConfig& service,
+                                      const PacketView& view, int64_t now_ns) {
+  const SessionKey key{view.ip().src.value(), view.tcp().src_port,
+                       view.tcp().dst_port};
+  Session& session = OpenSession(key, service.persona);
+  if (service.persona == PersonaKind::kSsh) {
+    return SshConnect(session, view, now_ns);
+  }
+  // SMB and HTTP are client-speaks-first: just open state.
+  EmitState(view, service.persona, session.state, now_ns);
+  return {};
+}
+
+PersonaReply PersonaEngine::OnData(const ServiceConfig& service,
+                                   const PacketView& view, int64_t now_ns) {
+  const SessionKey key{view.ip().src.value(), view.tcp().src_port,
+                       view.tcp().dst_port};
+  Session& session = OpenSession(key, service.persona);
+  switch (service.persona) {
+    case PersonaKind::kSsh:
+      return SshData(session, view, now_ns);
+    case PersonaKind::kSmb:
+      return SmbData(session, view, now_ns);
+    case PersonaKind::kHttp:
+      return HttpData(session, view, now_ns);
+    case PersonaKind::kNone:
+      break;
+  }
+  return {};
+}
+
+void PersonaEngine::OnClose(const PacketView& view) {
+  const SessionKey key{view.ip().src.value(), view.tcp().src_port,
+                       view.tcp().dst_port};
+  sessions_.erase(key);
+}
+
+// ---- SSH: version exchange -> KEXINIT -> auth attempts -> lockout ----------
+//
+// States: 0 connected, 1 greeting sent, 2 KEXINIT exchanged (auth phase).
+
+PersonaReply PersonaEngine::SshConnect(Session& session, const PacketView& view,
+                                       int64_t now_ns) {
+  session.state = 1;
+  EmitState(view, PersonaKind::kSsh, session.state, now_ns);
+  PersonaReply reply;
+  reply.payload = Bytes("SSH-2.0-OpenSSH_3.9p1\r\n");
+  return reply;
+}
+
+PersonaReply PersonaEngine::SshData(Session& session, const PacketView& view,
+                                    int64_t now_ns) {
+  PersonaReply reply;
+  if (session.state <= 1) {
+    // Client's version string: answer with our key exchange. The cookie comes
+    // from the session stream, so it is stable per (seed, flow) but varies
+    // across peers like a real server's would.
+    session.state = 2;
+    EmitState(view, PersonaKind::kSsh, session.state, now_ns);
+    reply.payload = Bytes("SSH-KEXINIT cookie=" + HexU64(session.rng.NextU64()) +
+                          " kex=diffie-hellman-group1-sha1\r\n");
+    return reply;
+  }
+  // Auth phase: every payload is an authentication attempt that fails.
+  ++session.auth_failures;
+  ++stats_.auth_failures;
+  auth_failures_.Inc();
+  obs_.ledger.Append(LedgerEvent::kPersonaAuthFailure, ViewSession(view), now_ns,
+                     session.auth_failures, view.tcp().dst_port);
+  if (session.auth_failures >= kSshMaxAuthFailures) {
+    ++stats_.lockouts;
+    lockouts_.Inc();
+    obs_.ledger.Append(LedgerEvent::kPersonaLockout, ViewSession(view), now_ns,
+                       view.ip().src.value(), view.tcp().dst_port);
+    reply.payload = Bytes("SSH-LOCKOUT too many authentication failures\r\n");
+    reply.close = true;
+    OnClose(view);
+    return reply;
+  }
+  reply.payload = Bytes("SSH-AUTH-FAILURE method=password attempt=" +
+                        std::to_string(session.auth_failures) + "\r\n");
+  return reply;
+}
+
+// ---- SMB: negotiate -> session setup -> tree connect ------------------------
+//
+// States: 0 connected, 1 negotiated, 2 session set up, 3 tree connected.
+// Steps out of order draw an error and leave the state unchanged, like a real
+// server rejecting a request for a nonexistent uid/tid.
+
+PersonaReply PersonaEngine::SmbData(Session& session, const PacketView& view,
+                                    int64_t now_ns) {
+  const auto payload = view.l4_payload();
+  PersonaReply reply;
+  if (session.state == 0 && Contains(payload, "SMB-NEGOTIATE")) {
+    session.state = 1;
+    EmitState(view, PersonaKind::kSmb, session.state, now_ns);
+    reply.payload = Bytes("SMB-NEGOTIATE-RESPONSE dialect=NT LM 0.12\r\n");
+    return reply;
+  }
+  if (session.state == 1 && Contains(payload, "SMB-SESSION-SETUP")) {
+    session.state = 2;
+    EmitState(view, PersonaKind::kSmb, session.state, now_ns);
+    reply.payload =
+        Bytes("SMB-SESSION-SETUP-RESPONSE uid=" +
+              std::to_string(session.rng.NextBelow(0x10000)) + " guest=0\r\n");
+    return reply;
+  }
+  if (session.state == 2 && Contains(payload, "SMB-TREE-CONNECT")) {
+    session.state = 3;
+    EmitState(view, PersonaKind::kSmb, session.state, now_ns);
+    reply.payload =
+        Bytes("SMB-TREE-CONNECT-RESPONSE tid=" +
+              std::to_string(session.rng.NextBelow(0x10000)) + " share=IPC$\r\n");
+    return reply;
+  }
+  ++stats_.bad_sequence;
+  bad_sequence_.Inc();
+  reply.payload = Bytes("SMB-ERROR bad-sequence\r\n");
+  return reply;
+}
+
+// ---- HTTP: decoy document server -------------------------------------------
+
+PersonaReply PersonaEngine::HttpData(Session& session, const PacketView& view,
+                                     int64_t now_ns) {
+  PersonaReply reply;
+  const std::string path = HttpPath(view.l4_payload());
+  const DecoyDoc* doc = nullptr;
+  for (const DecoyDoc& candidate : kDecoys) {
+    if (path == candidate.path) {
+      doc = &candidate;
+      break;
+    }
+  }
+  if (doc == nullptr) {
+    ++stats_.bad_sequence;
+    bad_sequence_.Inc();
+    reply.payload = Bytes("HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n");
+    return reply;
+  }
+  const std::string body(doc->body);
+  session.state = 1;
+  reply.payload = Bytes("HTTP/1.1 200 OK\r\nServer: Apache/2.0.52\r\n"
+                        "Content-Length: " +
+                        std::to_string(body.size()) + "\r\n\r\n" + body);
+  reply.extra_pages = static_cast<uint32_t>(body.size() / 1024);
+  if (doc->id > 0) {
+    ++stats_.decoys_served;
+    decoys_served_.Inc();
+    obs_.ledger.Append(LedgerEvent::kPersonaDecoy, ViewSession(view), now_ns,
+                       doc->id, body.size());
+  }
+  return reply;
+}
+
+}  // namespace potemkin

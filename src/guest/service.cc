@@ -103,4 +103,38 @@ std::vector<ServiceConfig> DefaultLinuxServices() {
   return services;
 }
 
+std::vector<ServiceConfig> PersonaHoneypotServices() {
+  std::vector<ServiceConfig> services;
+  {
+    ServiceConfig ssh;
+    ssh.name = "ssh";
+    ssh.proto = IpProto::kTcp;
+    ssh.port = 22;
+    ssh.pages_touched_per_request = 4;
+    ssh.persona = PersonaKind::kSsh;
+    services.push_back(std::move(ssh));
+  }
+  {
+    ServiceConfig web;
+    web.name = "httpd";
+    web.proto = IpProto::kTcp;
+    web.port = 80;
+    web.pages_touched_per_request = 4;
+    web.vulnerability = ExploitSignature{IpProto::kTcp, 80, Bytes("EXPLOIT-CGI")};
+    web.persona = PersonaKind::kHttp;
+    services.push_back(std::move(web));
+  }
+  {
+    ServiceConfig smb;
+    smb.name = "smb";
+    smb.proto = IpProto::kTcp;
+    smb.port = 445;
+    smb.pages_touched_per_request = 6;
+    smb.vulnerability = ExploitSignature{IpProto::kTcp, 445, Bytes("EXPLOIT-LSASS")};
+    smb.persona = PersonaKind::kSmb;
+    services.push_back(std::move(smb));
+  }
+  return services;
+}
+
 }  // namespace potemkin

@@ -28,6 +28,15 @@ struct ExploitSignature {
   bool Matches(IpProto p, uint16_t dst_port, std::span<const uint8_t> payload) const;
 };
 
+// Stateful persona behind a service (src/guest/persona): instead of a one-shot
+// banner, the service runs a multi-step protocol state machine per session.
+enum class PersonaKind : uint8_t {
+  kNone = 0,  // plain banner service
+  kSsh,       // version exchange -> KEXINIT -> auth attempts -> lockout
+  kSmb,       // negotiate -> session setup -> tree connect
+  kHttp,      // request/response with decoy documents
+};
+
 struct ServiceConfig {
   std::string name = "svc";
   IpProto proto = IpProto::kTcp;
@@ -39,11 +48,18 @@ struct ServiceConfig {
   // logs). This is the knob behind the delta-virtualization experiments.
   uint32_t pages_touched_per_request = 4;
   std::optional<ExploitSignature> vulnerability;
+  // Non-kNone routes this service's traffic through the guest's PersonaEngine
+  // (requires strict_tcp for TCP session state; the banner field is unused).
+  PersonaKind persona = PersonaKind::kNone;
 };
 
 // Canned service sets mirroring what mid-2000s honeypots exposed.
 std::vector<ServiceConfig> DefaultWindowsServices();
 std::vector<ServiceConfig> DefaultLinuxServices();
+// Persona-backed honeypot profile: stateful SSH (22), HTTP with decoy
+// documents (80, EXPLOIT-CGI vulnerable) and SMB (445, EXPLOIT-LSASS
+// vulnerable). Pair with GuestOsConfig::strict_tcp = true.
+std::vector<ServiceConfig> PersonaHoneypotServices();
 
 }  // namespace potemkin
 

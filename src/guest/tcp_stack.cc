@@ -2,6 +2,23 @@
 
 namespace potemkin {
 
+namespace {
+
+// RFC 793 SEG.LEN: the number of sequence-space octets a segment occupies —
+// its payload bytes plus one octet each for SYN and FIN.
+uint32_t SegmentLength(const PacketView& view) {
+  uint32_t len = static_cast<uint32_t>(view.l4_payload().size());
+  if (view.tcp().flags & TcpFlags::kSyn) {
+    ++len;
+  }
+  if (view.tcp().flags & TcpFlags::kFin) {
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace
+
 GuestTcpStack::GuestTcpStack(Rng rng, size_t max_connections)
     : rng_(rng), max_connections_(max_connections) {}
 
@@ -40,10 +57,13 @@ SegmentDecision GuestTcpStack::OnSegment(const PacketView& view, bool has_listen
   // New connection attempt.
   if ((flags & TcpFlags::kSyn) && !(flags & TcpFlags::kAck)) {
     if (!has_listener) {
+      // The SYN carries no ACK, so the RST takes the no-ACK form: seq=0 and
+      // an ack covering the whole segment (SYN octet plus any data riding it).
       ++stats_.resets_sent;
       decision.action = SegmentAction::kReplyRst;
       decision.reply_seq = 0;
-      decision.reply_ack = view.tcp().seq + 1;
+      decision.reply_ack = view.tcp().seq + SegmentLength(view);
+      decision.rst_has_ack = true;
       return decision;
     }
     if (it == connections_.end() && connections_.size() >= max_connections_) {
@@ -64,13 +84,22 @@ SegmentDecision GuestTcpStack::OnSegment(const PacketView& view, bool has_listen
   }
 
   // Anything else without state draws a RST (no listener or never connected).
+  // RFC 793: a segment that carried an ACK is reset with seq=SEG.ACK and no
+  // ACK flag; a segment without one gets seq=0 and ack=SEG.SEQ+SEG.LEN (the
+  // SYN/FIN control octets each count one) so the peer can match the reset.
   if (it == connections_.end()) {
     ++stats_.out_of_state_segments;
     ++stats_.resets_sent;
     decision.action = SegmentAction::kReplyRst;
-    decision.reply_seq = view.tcp().ack;
-    decision.reply_ack = view.tcp().seq + static_cast<uint32_t>(
-                                               view.l4_payload().size());
+    if (flags & TcpFlags::kAck) {
+      decision.reply_seq = view.tcp().ack;
+      decision.reply_ack = 0;
+      decision.rst_has_ack = false;
+    } else {
+      decision.reply_seq = 0;
+      decision.reply_ack = view.tcp().seq + SegmentLength(view);
+      decision.rst_has_ack = true;
+    }
     return decision;
   }
 
@@ -92,15 +121,29 @@ SegmentDecision GuestTcpStack::OnSegment(const PacketView& view, bool has_listen
           decision.reply_ack = connection.peer_next;
           return decision;
         }
+        // Bare handshake ACK: the server-side accept() completes here.
+        decision.action = SegmentAction::kEstablished;
+        decision.reply_seq = connection.local_seq;
+        decision.reply_ack = connection.peer_next;
+        return decision;
       }
       return decision;  // kIgnore
 
     case TcpServerState::kEstablished:
       if (flags & TcpFlags::kFin) {
+        // The FIN octet consumes one sequence number *after* any payload that
+        // rides the segment, and that payload must still reach the service.
+        const uint32_t payload_len =
+            static_cast<uint32_t>(view.l4_payload().size());
         connection.state = TcpServerState::kCloseWait;
-        connection.peer_next = view.tcp().seq + 1;
+        connection.peer_next = view.tcp().seq + payload_len + 1;
         ++stats_.connections_closed;
-        decision.action = SegmentAction::kReplyFinAck;
+        if (payload_len > 0) {
+          ++stats_.payload_segments_delivered;
+          decision.action = SegmentAction::kDeliverPayloadAndClose;
+        } else {
+          decision.action = SegmentAction::kReplyFinAck;
+        }
         decision.reply_seq = connection.local_seq;
         decision.reply_ack = connection.peer_next;
         connections_.erase(it);  // model both FIN directions at once

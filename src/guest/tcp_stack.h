@@ -31,17 +31,25 @@ enum class TcpServerState {
 
 // What the guest should do with an incoming segment.
 enum class SegmentAction {
-  kReplySynAck,     // accept the connection (reply with decision seq/ack)
-  kReplyRst,        // refuse / out of state
-  kDeliverPayload,  // connection established: hand payload to the service
-  kReplyFinAck,     // peer closed; acknowledge
-  kIgnore,          // duplicate/benign segment, no action
+  kReplySynAck,        // accept the connection (reply with decision seq/ack)
+  kReplyRst,           // refuse / out of state
+  kEstablished,        // handshake completed with no data: the server's accept()
+                       // fires here (banner-first personas send their greeting)
+  kDeliverPayload,     // connection established: hand payload to the service
+  kReplyFinAck,        // peer closed; acknowledge
+  kDeliverPayloadAndClose,  // data rode the FIN: deliver it, then FIN|ACK
+  kIgnore,             // duplicate/benign segment, no action
 };
 
 struct SegmentDecision {
   SegmentAction action = SegmentAction::kIgnore;
   uint32_t reply_seq = 0;
   uint32_t reply_ack = 0;
+  // RFC 793 RST form (only meaningful for kReplyRst): a reset answering a
+  // segment that carried an ACK takes its seq from that ACK and sets no ACK
+  // flag of its own; a reset answering a no-ACK segment uses seq=0 and must
+  // acknowledge every octet of the offending segment (ACK flag set).
+  bool rst_has_ack = true;
 };
 
 struct TcpStackStats {

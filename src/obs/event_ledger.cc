@@ -105,6 +105,20 @@ const char* LedgerEventName(LedgerEvent type) {
       return "chaos_fault";
     case LedgerEvent::kChaosHeal:
       return "chaos_heal";
+    case LedgerEvent::kPersonaState:
+      return "persona_state";
+    case LedgerEvent::kPersonaAuthFailure:
+      return "persona_auth_failure";
+    case LedgerEvent::kPersonaLockout:
+      return "persona_lockout";
+    case LedgerEvent::kPersonaDecoy:
+      return "persona_decoy";
+    case LedgerEvent::kPersonaEscalation:
+      return "persona_escalation";
+    case LedgerEvent::kEscapeAttempt:
+      return "escape_attempt";
+    case LedgerEvent::kMalwareStage:
+      return "malware_stage";
     case LedgerEvent::kCount:
       break;
   }

@@ -70,6 +70,18 @@ enum class LedgerEvent : uint8_t {
   kCtrlScale,             // a=ScaleAction, b=action target (host id / batch)
   kChaosFault,            // a=ChaosFault kind, b=target (host / shard pair)
   kChaosHeal,             // a=ChaosFault kind, b=target
+  // Service-persona session progress (src/guest/persona): stateful protocol
+  // emulators record their state-machine transitions and decoy serves so a
+  // forensic timeline shows how deep an attacker got into each facade.
+  kPersonaState,          // a=(PersonaKind << 8) | new state, b=dst port
+  kPersonaAuthFailure,    // a=failed attempts so far, b=dst port
+  kPersonaLockout,        // a=src ip, b=dst port
+  kPersonaDecoy,          // a=decoy document id, b=bytes served
+  // Adversarial post-compromise behavior (src/guest/persona/escape): scripted
+  // escalation and escape attempts containment must catch and attribute.
+  kPersonaEscalation,     // a=vm ip, b=technique id
+  kEscapeAttempt,         // a=target (non-farm) ip, b=EscapeKind
+  kMalwareStage,          // a=stage number, b=vm ip (multi-stage droppers)
   kCount,                 // keep last; must stay <= 64 for the trip mask
 };
 

@@ -107,5 +107,141 @@ TEST(LowInteractionTest, StatelessAcrossMillionsOfAddresses) {
   EXPECT_EQ(responder.stats().synacks_sent, 1000u);
 }
 
+TEST(LowInteractionTest, FlowIsnIsStablePerFlowAndVariesAcrossFlows) {
+  // The facade keeps no per-flow state, so the SYN|ACK sequence number must be
+  // recomputable from the packet alone — yet stable within a flow, so a
+  // retransmitted SYN sees the same ISN a stateful server would show.
+  LowInteractionResponder responder(kPrefix, DefaultWindowsServices(), 42);
+  Packet storage;
+  const auto first = responder.Respond(MakeView(storage, IpProto::kTcp, 445));
+  const auto again = responder.Respond(MakeView(storage, IpProto::kTcp, 445));
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(PacketView::Parse(*first)->tcp().seq,
+            PacketView::Parse(*again)->tcp().seq);
+
+  const auto other_port = responder.Respond(MakeView(storage, IpProto::kTcp, 80));
+  ASSERT_TRUE(other_port.has_value());
+  EXPECT_NE(PacketView::Parse(*first)->tcp().seq,
+            PacketView::Parse(*other_port)->tcp().seq);
+
+  LowInteractionResponder reseeded(kPrefix, DefaultWindowsServices(), 43);
+  const auto other_seed = reseeded.Respond(MakeView(storage, IpProto::kTcp, 445));
+  ASSERT_TRUE(other_seed.has_value());
+  EXPECT_NE(PacketView::Parse(*first)->tcp().seq,
+            PacketView::Parse(*other_seed)->tcp().seq);
+}
+
+TEST(LowInteractionTest, AckBearingSegmentToClosedPortGetsRfcRst) {
+  // RFC 793 p.36 first form: if the incoming segment has an ACK, the RST takes
+  // its sequence number from SEG.ACK and carries no ACK flag.
+  LowInteractionResponder responder(kPrefix, DefaultWindowsServices(), 1);
+  PacketSpec spec;
+  spec.src_mac = MacAddress::FromId(7);
+  spec.dst_mac = MacAddress::FromId(1);
+  spec.src_ip = Ipv4Address(198, 51, 100, 3);
+  spec.dst_ip = kPrefix.AddressAt(77);
+  spec.proto = IpProto::kTcp;
+  spec.src_port = 40000;
+  spec.dst_port = 9999;
+  spec.tcp_flags = TcpFlags::kPsh | TcpFlags::kAck;
+  spec.seq = 500;
+  spec.ack = 777;
+  spec.payload = {'x', 'y'};
+  const Packet packet = BuildPacket(spec);
+  const auto reply = responder.Respond(*PacketView::Parse(packet));
+  ASSERT_TRUE(reply.has_value());
+  const auto rst = PacketView::Parse(*reply);
+  EXPECT_EQ(rst->tcp().flags, TcpFlags::kRst);  // no ACK flag
+  EXPECT_EQ(rst->tcp().seq, 777u);              // SEG.ACK
+  EXPECT_EQ(rst->tcp().ack, 0u);
+}
+
+TEST(LowInteractionTest, NoAckSegmentToClosedPortGetsRstAckCoveringSegLen) {
+  // RFC 793 p.36 second form: no ACK on the incoming segment means the RST
+  // carries seq=0 and acknowledges SEG.SEQ + SEG.LEN, where the SYN counts as
+  // one octet in addition to the payload.
+  LowInteractionResponder responder(kPrefix, DefaultWindowsServices(), 1);
+  PacketSpec spec;
+  spec.src_mac = MacAddress::FromId(7);
+  spec.dst_mac = MacAddress::FromId(1);
+  spec.src_ip = Ipv4Address(198, 51, 100, 3);
+  spec.dst_ip = kPrefix.AddressAt(77);
+  spec.proto = IpProto::kTcp;
+  spec.src_port = 40000;
+  spec.dst_port = 9999;
+  spec.tcp_flags = TcpFlags::kSyn;
+  spec.seq = 600;
+  spec.payload = {'a', 'b'};
+  const Packet packet = BuildPacket(spec);
+  const auto reply = responder.Respond(*PacketView::Parse(packet));
+  ASSERT_TRUE(reply.has_value());
+  const auto rst = PacketView::Parse(*reply);
+  EXPECT_EQ(rst->tcp().flags, TcpFlags::kRst | TcpFlags::kAck);
+  EXPECT_EQ(rst->tcp().seq, 0u);
+  EXPECT_EQ(rst->tcp().ack, 603u);  // 600 + 2 payload + 1 SYN
+}
+
+TEST(LowInteractionTest, RstsAreNeverAnswered) {
+  // Answering a RST would create an infinite RST exchange between two facades
+  // (and is forbidden by RFC 793 anyway).
+  LowInteractionResponder responder(kPrefix, DefaultWindowsServices(), 1);
+  Packet storage;
+  EXPECT_FALSE(responder
+                   .Respond(MakeView(storage, IpProto::kTcp, 445, TcpFlags::kRst))
+                   .has_value());
+  EXPECT_FALSE(responder
+                   .Respond(MakeView(storage, IpProto::kTcp, 9999,
+                                     TcpFlags::kRst | TcpFlags::kAck))
+                   .has_value());
+  EXPECT_EQ(responder.stats().rsts_sent, 0u);
+}
+
+TEST(LowInteractionTest, SynAckAcksOnlyTheSynEvenWithDataRidingTheSyn) {
+  // Data riding the SYN is not accepted before establishment; the SYN|ACK must
+  // acknowledge exactly one octet, matching the strict stack's behavior.
+  LowInteractionResponder responder(kPrefix, DefaultWindowsServices(), 1);
+  PacketSpec spec;
+  spec.src_mac = MacAddress::FromId(7);
+  spec.dst_mac = MacAddress::FromId(1);
+  spec.src_ip = Ipv4Address(198, 51, 100, 3);
+  spec.dst_ip = kPrefix.AddressAt(77);
+  spec.proto = IpProto::kTcp;
+  spec.src_port = 40000;
+  spec.dst_port = 445;
+  spec.tcp_flags = TcpFlags::kSyn | TcpFlags::kPsh;
+  spec.seq = 2000;
+  spec.payload = {'E', 'X', 'P'};
+  const Packet packet = BuildPacket(spec);
+  const auto reply = responder.Respond(*PacketView::Parse(packet));
+  ASSERT_TRUE(reply.has_value());
+  const auto synack = PacketView::Parse(*reply);
+  EXPECT_EQ(synack->tcp().flags, TcpFlags::kSyn | TcpFlags::kAck);
+  EXPECT_EQ(synack->tcp().ack, 2001u);  // SYN octet only, not the 3 data bytes
+}
+
+TEST(LowInteractionTest, FinAckCoversPayloadAndFinOctet) {
+  LowInteractionResponder responder(kPrefix, DefaultWindowsServices(), 1);
+  PacketSpec spec;
+  spec.src_mac = MacAddress::FromId(7);
+  spec.dst_mac = MacAddress::FromId(1);
+  spec.src_ip = Ipv4Address(198, 51, 100, 3);
+  spec.dst_ip = kPrefix.AddressAt(77);
+  spec.proto = IpProto::kTcp;
+  spec.src_port = 40000;
+  spec.dst_port = 445;
+  spec.tcp_flags = TcpFlags::kFin | TcpFlags::kPsh | TcpFlags::kAck;
+  spec.seq = 9000;
+  spec.ack = 1;
+  spec.payload = {'b', 'y', 'e'};
+  const Packet packet = BuildPacket(spec);
+  const auto reply = responder.Respond(*PacketView::Parse(packet));
+  ASSERT_TRUE(reply.has_value());
+  const auto finack = PacketView::Parse(*reply);
+  EXPECT_EQ(finack->tcp().flags, TcpFlags::kFin | TcpFlags::kAck);
+  EXPECT_EQ(finack->tcp().ack, 9004u);  // 9000 + 3 payload + 1 FIN
+  EXPECT_EQ(responder.stats().finacks_sent, 1u);
+}
+
 }  // namespace
 }  // namespace potemkin

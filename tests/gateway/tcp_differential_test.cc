@@ -1,0 +1,219 @@
+// Differential fidelity: the strict guest stack (GuestTcpStack) and the
+// low-interaction facade (LowInteractionResponder) must produce the same
+// wire-visible TCP behavior for the same attacker transcript — same flags,
+// same acknowledgment numbers, same relative sequence numbers — and both must
+// match the RFC 793 reference values computed by hand. Any divergence is a
+// fingerprinting hook an attacker could use to tell facade from farm, which
+// defeats the baseline comparison the paper's E2 experiment depends on.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "src/gateway/low_interaction.h"
+#include "src/guest/tcp_stack.h"
+
+namespace potemkin {
+namespace {
+
+const Ipv4Prefix kPrefix(Ipv4Address(10, 1, 0, 0), 16);
+const Ipv4Address kAttacker(198, 51, 100, 3);
+const Ipv4Address kVictim = kPrefix.AddressAt(77);
+
+// One attacker segment of the transcript.
+struct Segment {
+  uint8_t flags = 0;
+  uint16_t dst_port = 445;
+  uint32_t seq = 0;
+  uint32_t ack = 0;
+  std::vector<uint8_t> payload;
+};
+
+// A normalized wire reply: flags, absolute ack, and the sequence number
+// relative to the replier's ISN (the ISNs themselves legitimately differ).
+struct WireReply {
+  uint8_t flags = 0;
+  uint32_t ack = 0;
+  std::optional<uint32_t> rel_seq;  // nullopt for RSTs (absolute form below)
+  uint32_t abs_seq = 0;             // checked for RSTs only
+};
+
+// RFC 793 reference for each step; nullopt = the server stays silent.
+struct Expectation {
+  std::optional<WireReply> reply;
+};
+
+Packet BuildSegment(const Segment& segment) {
+  PacketSpec spec;
+  spec.src_mac = MacAddress::FromId(7);
+  spec.dst_mac = MacAddress::FromId(1);
+  spec.src_ip = kAttacker;
+  spec.dst_ip = kVictim;
+  spec.proto = IpProto::kTcp;
+  spec.src_port = 40000;
+  spec.dst_port = segment.dst_port;
+  spec.tcp_flags = segment.flags;
+  spec.seq = segment.seq;
+  spec.ack = segment.ack;
+  spec.payload = segment.payload;
+  return BuildPacket(spec);
+}
+
+// Replays the transcript through the strict guest stack, rendering decisions
+// into the wire segments GuestOs would send.
+std::vector<std::optional<WireReply>> ReplayThroughStack(
+    const std::vector<Segment>& transcript) {
+  GuestTcpStack stack{Rng(99)};
+  std::vector<std::optional<WireReply>> replies;
+  std::optional<uint32_t> isn;
+  for (const Segment& segment : transcript) {
+    const Packet packet = BuildSegment(segment);
+    const auto view = PacketView::Parse(packet);
+    const bool has_listener = segment.dst_port == 445;
+    const SegmentDecision decision =
+        stack.OnSegment(*view, has_listener, TimePoint());
+    WireReply reply;
+    switch (decision.action) {
+      case SegmentAction::kReplySynAck:
+        reply.flags = TcpFlags::kSyn | TcpFlags::kAck;
+        isn = decision.reply_seq;
+        break;
+      case SegmentAction::kReplyRst:
+        reply.flags = TcpFlags::kRst |
+                      (decision.rst_has_ack ? TcpFlags::kAck : uint8_t{0});
+        break;
+      case SegmentAction::kDeliverPayload:
+        // GuestOs answers delivered payload with the service banner.
+        reply.flags = TcpFlags::kPsh | TcpFlags::kAck;
+        break;
+      case SegmentAction::kReplyFinAck:
+      case SegmentAction::kDeliverPayloadAndClose:
+        reply.flags = TcpFlags::kFin | TcpFlags::kAck;
+        break;
+      case SegmentAction::kEstablished:
+      case SegmentAction::kIgnore:
+        replies.emplace_back(std::nullopt);
+        continue;
+    }
+    reply.ack = decision.reply_ack;
+    reply.abs_seq = decision.reply_seq;
+    if (!(reply.flags & TcpFlags::kRst) && isn.has_value()) {
+      reply.rel_seq = decision.reply_seq - *isn;
+    }
+    replies.emplace_back(reply);
+  }
+  return replies;
+}
+
+// Replays the same transcript through the stateless facade.
+std::vector<std::optional<WireReply>> ReplayThroughFacade(
+    const std::vector<Segment>& transcript) {
+  LowInteractionResponder responder(kPrefix, DefaultWindowsServices(), 12345);
+  std::vector<std::optional<WireReply>> replies;
+  std::optional<uint32_t> isn;
+  for (const Segment& segment : transcript) {
+    const Packet packet = BuildSegment(segment);
+    const auto response = responder.Respond(*PacketView::Parse(packet));
+    if (!response.has_value()) {
+      replies.emplace_back(std::nullopt);
+      continue;
+    }
+    const auto view = PacketView::Parse(*response);
+    WireReply reply;
+    reply.flags = view->tcp().flags;
+    reply.ack = view->tcp().ack;
+    reply.abs_seq = view->tcp().seq;
+    if (reply.flags & (TcpFlags::kSyn)) {
+      isn = view->tcp().seq;
+    }
+    if (!(reply.flags & TcpFlags::kRst) && isn.has_value()) {
+      reply.rel_seq = view->tcp().seq - *isn;
+    }
+    replies.emplace_back(reply);
+  }
+  return replies;
+}
+
+void ExpectAgreement(const std::vector<Segment>& transcript,
+                     const std::vector<Expectation>& reference) {
+  const auto stack = ReplayThroughStack(transcript);
+  const auto facade = ReplayThroughFacade(transcript);
+  ASSERT_EQ(stack.size(), transcript.size());
+  ASSERT_EQ(facade.size(), transcript.size());
+  ASSERT_EQ(reference.size(), transcript.size());
+  for (size_t i = 0; i < transcript.size(); ++i) {
+    SCOPED_TRACE("transcript step " + std::to_string(i));
+    ASSERT_EQ(stack[i].has_value(), reference[i].reply.has_value())
+        << "stack presence diverges from RFC reference";
+    ASSERT_EQ(facade[i].has_value(), reference[i].reply.has_value())
+        << "facade presence diverges from RFC reference";
+    if (!reference[i].reply.has_value()) {
+      continue;
+    }
+    const WireReply& want = *reference[i].reply;
+    for (const auto* got : {&stack[i], &facade[i]}) {
+      EXPECT_EQ((*got)->flags, want.flags);
+      EXPECT_EQ((*got)->ack, want.ack) << "ack divergence";
+      EXPECT_EQ((*got)->rel_seq, want.rel_seq) << "relative seq divergence";
+      if ((*got)->flags & TcpFlags::kRst) {
+        EXPECT_EQ((*got)->abs_seq, want.abs_seq) << "RST seq divergence";
+      }
+    }
+  }
+}
+
+TEST(TcpDifferentialTest, FullSessionMatchesRfcReference) {
+  // SYN -> handshake ACK -> 3-byte request -> FIN carrying 2 bytes of data.
+  const std::vector<Segment> transcript = {
+      {TcpFlags::kSyn, 445, 1000, 0, {}},
+      {TcpFlags::kAck, 445, 1001, 1, {}},
+      {TcpFlags::kPsh | TcpFlags::kAck, 445, 1001, 1, {'G', 'E', 'T'}},
+      {TcpFlags::kFin | TcpFlags::kPsh | TcpFlags::kAck, 445, 1004, 1, {'b', 'y'}},
+  };
+  const std::vector<Expectation> reference = {
+      // SYN|ACK acknowledges exactly the SYN octet: 1000 + 1.
+      {WireReply{TcpFlags::kSyn | TcpFlags::kAck, 1001, 0, 0}},
+      // Bare handshake ACK: accept() fires, nothing goes on the wire.
+      {std::nullopt},
+      // Banner reply acks the 3 payload octets; our SYN consumed seq 0, so the
+      // reply's sequence number is ISN+1.
+      {WireReply{TcpFlags::kPsh | TcpFlags::kAck, 1004, 1, 0}},
+      // FIN|ACK covers payload (2) plus the FIN octet: 1004 + 2 + 1.
+      {WireReply{TcpFlags::kFin | TcpFlags::kAck, 1007, 1, 0}},
+  };
+  ExpectAgreement(transcript, reference);
+}
+
+TEST(TcpDifferentialTest, ClosedPortRstFormsMatchRfcReference) {
+  const std::vector<Segment> transcript = {
+      // ACK-bearing segment to a closed port: RST takes seq from SEG.ACK and
+      // carries no ACK flag (RFC 793 p.36, first form).
+      {TcpFlags::kPsh | TcpFlags::kAck, 9999, 500, 777, {'x', 'y', 'z'}},
+      // No-ACK segment (SYN carrying 2 data octets): RST|ACK with seq=0 and
+      // ack = SEG.SEQ + SEG.LEN = 600 + 2 + 1 (second form; SYN counts one).
+      {TcpFlags::kSyn, 9999, 600, 0, {'a', 'b'}},
+      // Bare FIN with no ACK and no state: ack covers the FIN octet, 700 + 1.
+      {TcpFlags::kFin, 9999, 700, 0, {}},
+  };
+  const std::vector<Expectation> reference = {
+      {WireReply{TcpFlags::kRst, 0, std::nullopt, 777}},
+      {WireReply{TcpFlags::kRst | TcpFlags::kAck, 603, std::nullopt, 0}},
+      {WireReply{TcpFlags::kRst | TcpFlags::kAck, 701, std::nullopt, 0}},
+  };
+  ExpectAgreement(transcript, reference);
+}
+
+TEST(TcpDifferentialTest, DataRidingSynIsNotAcceptedBeforeEstablishment) {
+  // Both implementations ack only the SYN octet when data rides the SYN: the
+  // payload is not part of any established connection yet.
+  const std::vector<Segment> transcript = {
+      {TcpFlags::kSyn | TcpFlags::kPsh, 445, 2000, 0, {'E', 'X', 'P'}},
+  };
+  const std::vector<Expectation> reference = {
+      {WireReply{TcpFlags::kSyn | TcpFlags::kAck, 2001, 0, 0}},
+  };
+  ExpectAgreement(transcript, reference);
+}
+
+}  // namespace
+}  // namespace potemkin

@@ -1,0 +1,227 @@
+#include "src/guest/persona/persona.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace potemkin {
+namespace {
+
+const Ipv4Address kAttacker(198, 51, 100, 9);
+const Ipv4Address kGuest(10, 1, 0, 10);
+
+std::string Text(const std::vector<uint8_t>& bytes) {
+  return std::string(bytes.begin(), bytes.end());
+}
+
+ServiceConfig FindPersonaService(PersonaKind kind) {
+  for (const ServiceConfig& service : PersonaHoneypotServices()) {
+    if (service.persona == kind) {
+      return service;
+    }
+  }
+  ADD_FAILURE() << "persona service missing from PersonaHoneypotServices";
+  return {};
+}
+
+// Builds the delivered-payload view the guest would hand the engine.
+PacketView MakeView(Packet& storage, uint16_t dst_port, const std::string& data,
+                    uint16_t src_port = 40000) {
+  PacketSpec spec;
+  spec.src_mac = MacAddress::FromId(7);
+  spec.dst_mac = MacAddress::FromId(2);
+  spec.src_ip = kAttacker;
+  spec.dst_ip = kGuest;
+  spec.proto = IpProto::kTcp;
+  spec.src_port = src_port;
+  spec.dst_port = dst_port;
+  spec.tcp_flags = TcpFlags::kPsh | TcpFlags::kAck;
+  spec.payload = std::vector<uint8_t>(data.begin(), data.end());
+  storage = BuildPacket(spec);
+  return *PacketView::Parse(storage);
+}
+
+size_t CountLedger(const Observability& obs, LedgerEvent type) {
+  size_t n = 0;
+  for (const auto& event : obs.ledger.Events()) {
+    if (event.type == type) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(PersonaTest, SshLocksOutAfterThreeAuthFailures) {
+  Observability obs;
+  PersonaEngine engine(Rng(7), &obs);
+  const ServiceConfig ssh = FindPersonaService(PersonaKind::kSsh);
+  Packet storage;
+
+  // accept(): banner-first protocol greets immediately.
+  const auto greeting = engine.OnConnect(ssh, MakeView(storage, 22, ""), 0);
+  EXPECT_NE(Text(greeting.payload).find("SSH-2.0-"), std::string::npos);
+  EXPECT_FALSE(greeting.close);
+  EXPECT_EQ(engine.session_count(), 1u);
+
+  // Client version string -> KEXINIT.
+  const auto kex =
+      engine.OnData(ssh, MakeView(storage, 22, "SSH-2.0-attacker\r\n"), 1);
+  EXPECT_NE(Text(kex.payload).find("SSH-KEXINIT"), std::string::npos);
+
+  // Two failures tolerated, the third locks the peer out and closes.
+  for (uint32_t attempt = 1; attempt < PersonaEngine::kSshMaxAuthFailures;
+       ++attempt) {
+    const auto reply =
+        engine.OnData(ssh, MakeView(storage, 22, "AUTH password guess"), 2);
+    EXPECT_NE(Text(reply.payload).find("SSH-AUTH-FAILURE"), std::string::npos);
+    EXPECT_FALSE(reply.close);
+  }
+  const auto lockout =
+      engine.OnData(ssh, MakeView(storage, 22, "AUTH password guess"), 3);
+  EXPECT_NE(Text(lockout.payload).find("SSH-LOCKOUT"), std::string::npos);
+  EXPECT_TRUE(lockout.close);
+  EXPECT_EQ(engine.stats().lockouts, 1u);
+  EXPECT_EQ(engine.stats().auth_failures, 3u);
+  EXPECT_EQ(engine.session_count(), 0u);  // lockout tears the session down
+  EXPECT_EQ(CountLedger(obs, LedgerEvent::kPersonaAuthFailure), 3u);
+  EXPECT_EQ(CountLedger(obs, LedgerEvent::kPersonaLockout), 1u);
+}
+
+TEST(PersonaTest, SmbWalksNegotiateSessionSetupTreeConnect) {
+  Observability obs;
+  PersonaEngine engine(Rng(7), &obs);
+  const ServiceConfig smb = FindPersonaService(PersonaKind::kSmb);
+  Packet storage;
+  engine.OnConnect(smb, MakeView(storage, 445, ""), 0);
+
+  const auto negotiate =
+      engine.OnData(smb, MakeView(storage, 445, "SMB-NEGOTIATE"), 1);
+  EXPECT_NE(Text(negotiate.payload).find("dialect=NT LM 0.12"),
+            std::string::npos);
+  const auto setup =
+      engine.OnData(smb, MakeView(storage, 445, "SMB-SESSION-SETUP"), 2);
+  EXPECT_NE(Text(setup.payload).find("uid="), std::string::npos);
+  const auto tree =
+      engine.OnData(smb, MakeView(storage, 445, "SMB-TREE-CONNECT"), 3);
+  EXPECT_NE(Text(tree.payload).find("share=IPC$"), std::string::npos);
+  EXPECT_EQ(engine.stats().bad_sequence, 0u);
+  // States 1, 2, 3 each recorded (plus state 0 from OnConnect).
+  EXPECT_EQ(CountLedger(obs, LedgerEvent::kPersonaState), 4u);
+}
+
+TEST(PersonaTest, SmbRejectsOutOfOrderSteps) {
+  Observability obs;
+  PersonaEngine engine(Rng(7), &obs);
+  const ServiceConfig smb = FindPersonaService(PersonaKind::kSmb);
+  Packet storage;
+  engine.OnConnect(smb, MakeView(storage, 445, ""), 0);
+
+  // Tree connect without negotiating first: a real server has no tid to give.
+  const auto reply =
+      engine.OnData(smb, MakeView(storage, 445, "SMB-TREE-CONNECT"), 1);
+  EXPECT_NE(Text(reply.payload).find("SMB-ERROR bad-sequence"),
+            std::string::npos);
+  EXPECT_EQ(engine.stats().bad_sequence, 1u);
+  // The rejected step must not have advanced the state machine.
+  const auto negotiate =
+      engine.OnData(smb, MakeView(storage, 445, "SMB-NEGOTIATE"), 2);
+  EXPECT_NE(Text(negotiate.payload).find("SMB-NEGOTIATE-RESPONSE"),
+            std::string::npos);
+}
+
+TEST(PersonaTest, HttpServesDecoysAndLedgersSensitiveOnes) {
+  Observability obs;
+  PersonaEngine engine(Rng(7), &obs);
+  const ServiceConfig http = FindPersonaService(PersonaKind::kHttp);
+  Packet storage;
+  engine.OnConnect(http, MakeView(storage, 80, ""), 0);
+
+  // Routine content: served but not a decoy hit.
+  const auto robots = engine.OnData(
+      http, MakeView(storage, 80, "GET /robots.txt HTTP/1.0\r\n\r\n"), 1);
+  EXPECT_NE(Text(robots.payload).find("200 OK"), std::string::npos);
+  EXPECT_NE(Text(robots.payload).find("Disallow: /finance/"), std::string::npos);
+  EXPECT_EQ(engine.stats().decoys_served, 0u);
+
+  // Sensitive bait: both retrievals ledgered with their document ids.
+  const auto payroll = engine.OnData(
+      http,
+      MakeView(storage, 80, "GET /finance/payroll-2005.xls HTTP/1.0\r\n\r\n"), 2);
+  EXPECT_NE(Text(payroll.payload).find("payroll FY2005"), std::string::npos);
+  const auto directory = engine.OnData(
+      http, MakeView(storage, 80, "GET /hr/employees.csv HTTP/1.0\r\n\r\n"), 3);
+  EXPECT_NE(Text(directory.payload).find("name,ext,office"), std::string::npos);
+  EXPECT_EQ(engine.stats().decoys_served, 2u);
+  EXPECT_EQ(CountLedger(obs, LedgerEvent::kPersonaDecoy), 2u);
+
+  // Unknown path: 404, counted as a protocol miss.
+  const auto missing = engine.OnData(
+      http, MakeView(storage, 80, "GET /admin/secret HTTP/1.0\r\n\r\n"), 4);
+  EXPECT_NE(Text(missing.payload).find("404"), std::string::npos);
+  EXPECT_EQ(engine.stats().bad_sequence, 1u);
+}
+
+TEST(PersonaTest, TranscriptsAreDeterministicPerSeedAndVaryAcrossFlows) {
+  const ServiceConfig ssh = FindPersonaService(PersonaKind::kSsh);
+  Packet storage;
+
+  // Same seed, same flow: byte-identical KEXINIT (the cookie comes from the
+  // session stream forked by flow key).
+  PersonaEngine a(Rng(11));
+  PersonaEngine b(Rng(11));
+  a.OnConnect(ssh, MakeView(storage, 22, ""), 0);
+  b.OnConnect(ssh, MakeView(storage, 22, ""), 0);
+  const auto kex_a = a.OnData(ssh, MakeView(storage, 22, "SSH-2.0-x\r\n"), 1);
+  const auto kex_b = b.OnData(ssh, MakeView(storage, 22, "SSH-2.0-x\r\n"), 1);
+  EXPECT_EQ(kex_a.payload, kex_b.payload);
+
+  // Same engine, different source port: a different cookie, like a real host
+  // whose per-connection state differs.
+  a.OnConnect(ssh, MakeView(storage, 22, "", 40001), 2);
+  const auto kex_other =
+      a.OnData(ssh, MakeView(storage, 22, "SSH-2.0-x\r\n", 40001), 3);
+  EXPECT_NE(kex_a.payload, kex_other.payload);
+
+  // Session order must not matter: a fresh engine that sees the flows in the
+  // opposite order still gives each flow its original transcript.
+  PersonaEngine c(Rng(11));
+  c.OnConnect(ssh, MakeView(storage, 22, "", 40001), 0);
+  const auto c_other =
+      c.OnData(ssh, MakeView(storage, 22, "SSH-2.0-x\r\n", 40001), 1);
+  c.OnConnect(ssh, MakeView(storage, 22, ""), 2);
+  const auto c_first = c.OnData(ssh, MakeView(storage, 22, "SSH-2.0-x\r\n"), 3);
+  EXPECT_EQ(c_other.payload, kex_other.payload);
+  EXPECT_EQ(c_first.payload, kex_a.payload);
+}
+
+TEST(PersonaTest, SessionTableEvictsAtCapacity) {
+  PersonaEngine engine(Rng(5), nullptr, /*max_sessions=*/8);
+  const ServiceConfig http = FindPersonaService(PersonaKind::kHttp);
+  Packet storage;
+  for (uint16_t i = 0; i < 32; ++i) {
+    engine.OnConnect(http, MakeView(storage, 80, "", 41000 + i), i);
+  }
+  EXPECT_LE(engine.session_count(), 8u);
+  EXPECT_EQ(engine.stats().sessions_opened, 32u);
+  EXPECT_EQ(engine.stats().sessions_evicted, 24u);
+}
+
+TEST(PersonaTest, CloseDropsSessionState) {
+  PersonaEngine engine(Rng(5));
+  const ServiceConfig smb = FindPersonaService(PersonaKind::kSmb);
+  Packet storage;
+  engine.OnConnect(smb, MakeView(storage, 445, ""), 0);
+  engine.OnData(smb, MakeView(storage, 445, "SMB-NEGOTIATE"), 1);
+  EXPECT_EQ(engine.session_count(), 1u);
+  engine.OnClose(MakeView(storage, 445, ""));
+  EXPECT_EQ(engine.session_count(), 0u);
+  // A reconnect starts from scratch: negotiate is required again.
+  engine.OnConnect(smb, MakeView(storage, 445, ""), 2);
+  const auto reply =
+      engine.OnData(smb, MakeView(storage, 445, "SMB-SESSION-SETUP"), 3);
+  EXPECT_NE(Text(reply.payload).find("SMB-ERROR"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace potemkin

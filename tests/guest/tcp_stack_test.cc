@@ -57,7 +57,8 @@ TEST(GuestTcpStackTest, FullHandshakeThenPayloadDelivered) {
   auto ack = stack.OnSegment(
       Seg(p, TcpFlags::kAck, 40000, 445, 1001, synack.reply_seq + 1), true,
       TimePoint());
-  EXPECT_EQ(ack.action, SegmentAction::kIgnore);
+  // accept() fires on the bare handshake ACK (persona greeting hook).
+  EXPECT_EQ(ack.action, SegmentAction::kEstablished);
   EXPECT_EQ(stack.stats().connections_established, 1u);
   // Data on the established connection.
   const auto data = stack.OnSegment(
@@ -105,6 +106,61 @@ TEST(GuestTcpStackTest, FinClosesAndIsAcked) {
   EXPECT_EQ(fin.reply_ack, 1002u);
   EXPECT_EQ(stack.connection_count(), 0u);
   EXPECT_EQ(stack.stats().connections_closed, 1u);
+}
+
+TEST(GuestTcpStackTest, PayloadRidingFinIsDeliveredAndFullyAcked) {
+  GuestTcpStack stack(Rng(1));
+  Packet p;
+  const auto synack = stack.OnSegment(Seg(p, TcpFlags::kSyn), true, TimePoint());
+  stack.OnSegment(Seg(p, TcpFlags::kAck, 40000, 445, 1001, synack.reply_seq + 1),
+                  true, TimePoint());
+  // Final request and FIN in one segment: the payload must reach the service
+  // and the ack must cover payload bytes AND the FIN octet.
+  const auto fin = stack.OnSegment(
+      Seg(p, TcpFlags::kFin | TcpFlags::kPsh | TcpFlags::kAck, 40000, 445, 1001,
+          synack.reply_seq + 1, {'l', 'a', 's', 't'}),
+      true, TimePoint());
+  EXPECT_EQ(fin.action, SegmentAction::kDeliverPayloadAndClose);
+  EXPECT_EQ(fin.reply_ack, 1001u + 4u + 1u);  // seq + payload + FIN octet
+  EXPECT_EQ(stack.stats().payload_segments_delivered, 1u);
+  EXPECT_EQ(stack.stats().connections_closed, 1u);
+  EXPECT_EQ(stack.connection_count(), 0u);
+}
+
+// RFC 793: a reset answering a no-ACK segment uses seq=0, ACK set, and an ack
+// covering every sequence octet of the offender (SYN and FIN count one each).
+TEST(GuestTcpStackTest, RstFormForNoAckSegments) {
+  GuestTcpStack stack(Rng(1));
+  Packet p;
+  // SYN carrying data to a closed port: ack = seq + payload + SYN octet.
+  const auto syn_rst = stack.OnSegment(
+      Seg(p, TcpFlags::kSyn, 40000, 445, 1000, 0, {'x', 'y'}), false,
+      TimePoint());
+  EXPECT_EQ(syn_rst.action, SegmentAction::kReplyRst);
+  EXPECT_TRUE(syn_rst.rst_has_ack);
+  EXPECT_EQ(syn_rst.reply_seq, 0u);
+  EXPECT_EQ(syn_rst.reply_ack, 1000u + 2u + 1u);
+  // Out-of-state FIN without ACK: same form, FIN counts one octet.
+  const auto fin_rst = stack.OnSegment(
+      Seg(p, TcpFlags::kFin, 40001, 445, 2000, 0), true, TimePoint());
+  EXPECT_EQ(fin_rst.action, SegmentAction::kReplyRst);
+  EXPECT_TRUE(fin_rst.rst_has_ack);
+  EXPECT_EQ(fin_rst.reply_seq, 0u);
+  EXPECT_EQ(fin_rst.reply_ack, 2001u);
+}
+
+// RFC 793: a reset answering an ACK-bearing segment takes its seq from that
+// ack and carries no ACK flag of its own.
+TEST(GuestTcpStackTest, RstFormForAckSegments) {
+  GuestTcpStack stack(Rng(1));
+  Packet p;
+  const auto rst = stack.OnSegment(
+      Seg(p, TcpFlags::kPsh | TcpFlags::kAck, 40000, 445, 1000, 777, {'x'}),
+      true, TimePoint());
+  EXPECT_EQ(rst.action, SegmentAction::kReplyRst);
+  EXPECT_FALSE(rst.rst_has_ack);
+  EXPECT_EQ(rst.reply_seq, 777u);  // SEG.ACK
+  EXPECT_EQ(rst.reply_ack, 0u);
 }
 
 TEST(GuestTcpStackTest, RstTearsDownSilently) {

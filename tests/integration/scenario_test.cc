@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "src/core/honeyfarm.h"
+#include "src/guest/persona/escape.h"
+#include "src/malware/dropper.h"
 #include "src/malware/radiation.h"
 
 namespace potemkin {
@@ -244,6 +246,84 @@ TEST(ScenarioTest, GreDeliveredRadiationDrivesTheFarm) {
   EXPECT_EQ(farm.gre_tunnel()->packets_decapsulated(), trace.size());
   EXPECT_EQ(farm.gateway().stats().inbound_packets, trace.size());
   EXPECT_GT(farm.total_clones_completed(), 10u);
+}
+
+TEST(ScenarioTest, EveryEscapeAttemptDrawsAContainmentVerdict) {
+  // Post-compromise escape script (C2 beacon, non-farm scan, DNS exfil) rides
+  // a worm infection; containment must catch every attempt, and the ledger
+  // must let forensics pair each kEscapeAttempt with the verdict that did.
+  HoneyfarmConfig config = ScenarioConfig(OutboundMode::kDropAll);
+  Honeyfarm farm(config);
+  WormConfig worm_config = SlammerLikeWorm(Ipv4Prefix(Ipv4Address(0, 0, 0, 0), 0));
+  worm_config.scan_rate_pps = 1.0;
+  WormRuntime worm(&farm.loop(), worm_config, 31);
+  EscapeRuntime escape(&farm.loop(), {}, &farm.obs(), 32);
+  farm.AttachWorm(&worm);
+  farm.AttachAgent(&escape);
+  farm.Start();
+  farm.SeedWorm(worm, kExternal, kFarm.AddressAt(10));
+  farm.RunFor(Duration::Seconds(10.0));
+
+  // The script ran on the seed infection: escalation + beacon + 4 scan probes
+  // + exfil (reinfected VMs don't restart it, but more infections may add more).
+  ASSERT_GT(escape.stats().escalations, 0u);
+  ASSERT_GE(escape.stats().attempts, 6u);
+
+  const auto events = farm.obs().ledger.Events();
+  size_t attempts_seen = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].type != LedgerEvent::kEscapeAttempt) {
+      continue;
+    }
+    ++attempts_seen;
+    bool caught = false;
+    for (size_t j = i + 1; j < events.size() && !caught; ++j) {
+      const auto& verdict = events[j];
+      if (verdict.session != events[i].session || verdict.a != events[i].a) {
+        continue;
+      }
+      caught = verdict.type == LedgerEvent::kContainmentDrop ||
+               verdict.type == LedgerEvent::kContainmentReflect ||
+               verdict.type == LedgerEvent::kContainmentRateLimit ||
+               verdict.type == LedgerEvent::kContainmentDnsProxy;
+    }
+    EXPECT_TRUE(caught) << "escape attempt " << attempts_seen
+                        << " has no containment verdict";
+  }
+  EXPECT_EQ(attempts_seen, escape.stats().attempts);
+  EXPECT_EQ(farm.gateway().containment().stats().escapes_from_infected, 0u);
+}
+
+TEST(ScenarioTest, DropperStallsAtStageOneUnderFullContainment) {
+  // The multi-stage dropper lands stage 1 but its stage-2 fetch must die at
+  // the gateway under drop-all; the infection visibly stalls (kStalled in the
+  // forensic record) instead of activating a scanner.
+  HoneyfarmConfig config = ScenarioConfig(OutboundMode::kDropAll);
+  config.server_template.guest.services = DefaultLinuxServices();
+  Honeyfarm farm(config);
+  DropperRuntime dropper(&farm.loop(),
+                         CgiDropper(Ipv4Prefix(Ipv4Address(0, 0, 0, 0), 0)),
+                         &farm.obs(), 41);
+  farm.AttachAgent(&dropper);
+  farm.Start();
+  farm.InjectInbound(dropper.MakeExploitPacket(kExternal, MacAddress::FromId(2),
+                                               kFarm.AddressAt(5)));
+  farm.RunFor(Duration::Seconds(15.0));
+
+  EXPECT_EQ(dropper.stats().infections, 1u);
+  EXPECT_EQ(dropper.stats().fetches_sent, dropper.config().fetch_attempts);
+  EXPECT_EQ(dropper.stats().stalled, 1u);
+  EXPECT_EQ(dropper.stats().activations, 0u);
+  EXPECT_EQ(dropper.scanning_instances(), 0u);
+  EXPECT_EQ(farm.gateway().containment().stats().escapes_from_infected, 0u);
+  bool stalled_on_record = false;
+  for (const auto& event : farm.obs().ledger.Events()) {
+    if (event.type == LedgerEvent::kMalwareStage &&
+        event.a == static_cast<uint64_t>(DropperStage::kStalled)) {
+      stalled_on_record = true;
+    }
+  }
+  EXPECT_TRUE(stalled_on_record);
 }
 
 TEST(ScenarioTest, TcpHandshakeSurvivesCloneLatency) {
