@@ -2,9 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cmath>
 #include <thread>
 #include <utility>
+
+#include "src/base/json_util.h"
 
 namespace potemkin {
 
@@ -26,42 +27,6 @@ std::string FirstLineOf(const char* command) {
     line.pop_back();
   }
   return line;
-}
-
-void AppendJsonString(std::string& out, const std::string& value) {
-  out += '"';
-  for (const char c : value) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
-    }
-  }
-  out += '"';
-}
-
-void AppendJsonNumber(std::string& out, double value) {
-  if (!std::isfinite(value)) {
-    out += "null";
-    return;
-  }
-  if (value == std::floor(value) && std::fabs(value) < 1e15) {
-    char buffer[32];
-    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
-    out += buffer;
-    return;
-  }
-  char buffer[48];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  out += buffer;
 }
 
 }  // namespace

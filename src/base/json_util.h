@@ -1,0 +1,32 @@
+// Shared JSON emission helpers for every artifact writer in the farm (BENCH
+// reports, health snapshots, telemetry time series, trajectory entries).
+//
+// One definition of the escaping and number-formatting rules keeps artifacts
+// byte-level comparable across tools: the CI jobs byte-compare repeated runs
+// and string-scan the output, so two writers disagreeing about how to format
+// `1e15` or escape a quote would silently break those gates.
+//
+// Appenders never allocate beyond growing `out` — callers that pre-reserve the
+// destination string (the telemetry exporter's line ring does) stay
+// allocation-free in steady state.
+#ifndef SRC_BASE_JSON_UTIL_H_
+#define SRC_BASE_JSON_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+namespace potemkin {
+
+// Appends `value` as a quoted JSON string. Escapes `"` `\` `\n` like the
+// historical per-tool copies did, plus `\uXXXX` for any other control byte
+// (< 0x20) so a hostile metric label can never produce invalid JSON.
+void AppendJsonString(std::string& out, std::string_view value);
+
+// Appends `value` as a JSON number: integral values below 1e15 print as
+// integers (`%.0f`), everything else round-trips via `%.17g`; non-finite
+// values emit `null` (JSON has no NaN/Inf).
+void AppendJsonNumber(std::string& out, double value);
+
+}  // namespace potemkin
+
+#endif  // SRC_BASE_JSON_UTIL_H_

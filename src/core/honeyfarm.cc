@@ -117,6 +117,17 @@ void Honeyfarm::StartWatchdog(Duration interval, std::vector<WatchdogRule> rules
   StartHealthSnapshots(interval);
 }
 
+TelemetryExporter& Honeyfarm::StartTelemetry(TelemetryExporterConfig config) {
+  if (telemetry_ == nullptr) {
+    telemetry_ =
+        std::make_unique<TelemetryExporter>(&loop_, &obs_.metrics,
+                                            std::move(config));
+    telemetry_->set_watchdog(watchdog_.get());
+    telemetry_->Start();
+  }
+  return *telemetry_;
+}
+
 FlightRecorder& Honeyfarm::ArmFlightRecorder(FlightRecorderConfig config) {
   if (flight_recorder_ == nullptr) {
     flight_recorder_ =

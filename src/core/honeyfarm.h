@@ -25,6 +25,7 @@
 #include "src/obs/flight_recorder.h"
 #include "src/obs/health_snapshot.h"
 #include "src/obs/observability.h"
+#include "src/obs/telemetry_exporter.h"
 #include "src/obs/watchdog.h"
 
 namespace potemkin {
@@ -154,6 +155,11 @@ class Honeyfarm : public GatewayBackend {
   // into this farm's ledger for the artifact's benefit.
   FlightRecorder& ArmFlightRecorder(FlightRecorderConfig config = {});
   FlightRecorder* flight_recorder() { return flight_recorder_.get(); }
+  // Starts the periodic JSONL time-series exporter over this farm's registry
+  // (and watchdog, when StartWatchdog ran first — call order matters only for
+  // the alerts column). Idempotent: later calls return the running exporter.
+  TelemetryExporter& StartTelemetry(TelemetryExporterConfig config = {});
+  TelemetryExporter* telemetry() { return telemetry_.get(); }
 
   // The farm's causal event ledger (shared by gateway, engines and guests).
   EventLedger& ledger() { return obs_.ledger; }
@@ -237,6 +243,7 @@ class Honeyfarm : public GatewayBackend {
   std::vector<PendingSeed> pending_seeds_;
   std::unique_ptr<Watchdog> watchdog_;
   std::unique_ptr<FlightRecorder> flight_recorder_;
+  std::unique_ptr<TelemetryExporter> telemetry_;
   bool log_hook_installed_ = false;
   std::unique_ptr<GreTunnel> gre_;
   EpidemicTracker epidemic_;

@@ -250,7 +250,11 @@ class Gateway {
   void OnCloneDone(Ipv4Address ip, VmId vm);
   void OnMigrateDone(Ipv4Address ip, HostId from, HostId to, VmId old_vm,
                      VmId vm);
-  void DeliverToBinding(Binding& binding, Packet packet, PacketView& view);
+  // `wait_ns` is the virtual time the packet spent between ingress and this
+  // delivery: 0 on the direct hit path, the first-contact clone wait for
+  // packets flushed from a binding's pending queue.
+  void DeliverToBinding(Binding& binding, Packet packet, PacketView& view,
+                        int64_t wait_ns = 0);
   void HandleDnsQuery(const PacketView& view, Binding* source_binding);
   void ScheduleSweep();
   // Retires the most-idle active VMs to relieve memory pressure.
@@ -275,6 +279,9 @@ class Gateway {
   Counter m_handoff_in_;
   FixedHistogram m_batch_bin_packets_;
   FixedHistogram m_rx_frame_bytes_;
+  // Ingress→delivery latency in virtual ns (see DeliverToBinding); shards
+  // share the farm-wide name, so the percentiles aggregate like the counters.
+  LatencyHistogram m_datapath_latency_ns_;
   BindingTable bindings_;
   ContainmentEngine containment_;
   DnsProxy dns_proxy_;

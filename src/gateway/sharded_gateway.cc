@@ -109,6 +109,19 @@ void ShardedGateway::BuildShards(const ShardedGatewayConfig& config,
     for (uint32_t i = 0; i < n; ++i) {
       InstallHandoff(i);
     }
+    // Handoff-fabric distributions, one handle per consuming shard. The
+    // names are farm-wide: in shared-loop mode all handles alias one cell
+    // block; in partitioned mode each shard registry owns its own block and
+    // Stats()/snapshot merges stay per-registry.
+    for (uint32_t i = 0; i < n; ++i) {
+      MetricRegistry& m = mode_ == Mode::kPartitioned
+                              ? obs_[i]->metrics
+                              : ObsOrDefault(config.gateway.obs).metrics;
+      m_ring_occupancy_.push_back(
+          m.RegisterLatency("gateway.handoff.ring_occupancy", "packets"));
+      m_ring_batch_.push_back(
+          m.RegisterLatency("gateway.handoff.batch_packets", "packets"));
+    }
   }
 }
 
@@ -176,8 +189,14 @@ size_t ShardedGateway::DrainIncoming(uint32_t to) {
     if (from == to || PartitionCut(from, to)) {
       continue;  // a cut path's queue stalls in the ring until healed
     }
+    SpscRing<Handoff>& ring = RingTo(from, to);
+    // Depth seen by the consumer before draining: how far ahead the producer
+    // shard ran. Sampled only when the drain actually pops (an empty ring has
+    // no event worth a histogram row, and the idle sweep would swamp p50).
+    const uint64_t occupancy = ring.SizeApprox();
+    size_t popped = 0;
     Handoff handoff;
-    while (RingTo(from, to).TryPop(&handoff)) {
+    while (ring.TryPop(&handoff)) {
       if (mode_ == Mode::kPartitioned) {
         // Adopt into the consuming shard's pool so the eventual Release never
         // races another thread's freelist.
@@ -185,7 +204,12 @@ size_t ShardedGateway::DrainIncoming(uint32_t to) {
       }
       shards_[to]->HandleHandoff(std::move(handoff.packet), handoff.ctx);
       in_flight_.fetch_sub(1);
-      ++delivered;
+      ++popped;
+    }
+    if (popped > 0) {
+      m_ring_occupancy_[to].Record(occupancy);
+      m_ring_batch_[to].Record(popped);
+      delivered += popped;
     }
   }
   return delivered;

@@ -223,6 +223,13 @@ class ShardedGateway {
   std::vector<std::unique_ptr<PacketPool>> pools_;
   // Shared-loop mode: the registry aggregate probes were registered with.
   MetricRegistry* aggregate_registry_ = nullptr;
+  // Per-consumer-shard handoff fabric distributions (N > 1 only): ring depth
+  // observed when a drain finds work, and packets popped per drain pass. In
+  // shared-loop mode every shard's handle aliases the same farm-wide cells
+  // (same-name registration); in partitioned mode each shard's registry gets
+  // its own.
+  std::vector<LatencyHistogram> m_ring_occupancy_;
+  std::vector<LatencyHistogram> m_ring_batch_;
   // Handoffs produced but not yet consumed; the parallel drain's termination
   // signal (a push increments before publication, a pop decrements after the
   // packet is fully processed, so 0 means globally quiescent).

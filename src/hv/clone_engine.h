@@ -153,6 +153,14 @@ class CloneEngine {
   Counter m_destroyed_;
   Counter m_pressure_reclaims_;
   FixedHistogram m_latency_ms_;
+  // PR-10 percentile telemetry: per-phase and end-to-end clone durations in
+  // ns, log-linear so the paper's sub-second tail claims are checkable at
+  // p99/p999 (the fixed-bucket clone.latency_ms rows cap out at coarse
+  // bounds). Names are farm-wide: every engine aggregates into one
+  // distribution per phase.
+  std::array<LatencyHistogram, static_cast<size_t>(ClonePhase::kNumPhases)>
+      m_phase_ns_;
+  LatencyHistogram m_total_ns_;
   PressureReclaimHandler pressure_reclaim_;
   std::deque<Job> queue_;
   double latency_scale_ = 1.0;

@@ -30,9 +30,11 @@ void FrameAllocator::ExportMetrics(MetricRegistry* registry,
   export_registry_ = registry;
   if (registry == nullptr) {
     denied_counter_ = Counter();
+    batch_pages_hist_ = LatencyHistogram();
     return;
   }
   denied_counter_ = registry->RegisterCounter("hv.frames.denied", "count");
+  batch_pages_hist_ = registry->RegisterLatency("hv.fault.batch_pages", "pages");
   registry->RegisterProbe(this, prefix + ".used_frames", "frames", [this] {
     return static_cast<double>(used_frames_);
   });
@@ -111,6 +113,7 @@ FrameAllocStatus FrameAllocator::AllocateBatch(uint32_t count, FrameId* out) {
   used_frames_ += count;
   total_allocations_ += count;
   peak_used_frames_ = std::max(peak_used_frames_, used_frames_);
+  batch_pages_hist_.Record(count);
   return FrameAllocStatus::kOk;
 }
 
@@ -156,6 +159,7 @@ FrameAllocStatus FrameAllocator::CloneFrameBatch(std::span<const FrameId> src,
   total_allocations_ += count;
   total_copies_ += count;
   peak_used_frames_ = std::max(peak_used_frames_, used_frames_);
+  batch_pages_hist_.Record(count);
   return FrameAllocStatus::kOk;
 }
 

@@ -154,6 +154,9 @@ class FrameAllocator {
   uint64_t total_copies_ = 0;
   uint64_t denied_requests_ = 0;
   Counter denied_counter_;  // "hv.frames.denied" once ExportMetrics ran
+  // "hv.fault.batch_pages" once ExportMetrics ran: pages per successful batch
+  // fault/clone — how well FaultRange amortizes the per-batch overhead.
+  LatencyHistogram batch_pages_hist_;
   std::vector<Frame> frames_;
   std::vector<FrameId> free_list_;
   std::vector<std::unique_ptr<uint8_t[]>> buffer_pool_;

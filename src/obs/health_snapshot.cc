@@ -1,55 +1,13 @@
 #include "src/obs/health_snapshot.h"
 
-#include <cmath>
 #include <cstdio>
 #include <utility>
 
+#include "src/base/json_util.h"
 #include "src/base/log.h"
 #include "src/obs/watchdog.h"
 
 namespace potemkin {
-
-namespace {
-
-// Same escaping/formatting rules as bench/report.cc, so the snapshot JSON and
-// the BENCH reports stay byte-level comparable for tools that read both.
-void AppendJsonString(std::string& out, const std::string& value) {
-  out += '"';
-  for (const char c : value) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
-    }
-  }
-  out += '"';
-}
-
-void AppendJsonNumber(std::string& out, double value) {
-  if (!std::isfinite(value)) {
-    out += "null";
-    return;
-  }
-  if (value == std::floor(value) && std::fabs(value) < 1e15) {
-    char buffer[32];
-    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
-    out += buffer;
-    return;
-  }
-  char buffer[48];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  out += buffer;
-}
-
-}  // namespace
 
 std::string HealthSnapshot::ToJson() const {
   std::string out = "{\n  \"snapshot\": ";

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <unordered_map>
 
 #include "src/base/log.h"
@@ -15,12 +16,88 @@ std::atomic<uint64_t> g_counter_sink{0};
 std::atomic<int64_t> g_gauge_sink{0};
 std::atomic<uint64_t> g_histogram_sink[2]{};
 const double g_histogram_sink_bound[1] = {0.0};
+LatencyHistogram::Cells g_latency_sink{};
 }  // namespace
 
 Counter::Counter() : cell_(&g_counter_sink) {}
 Gauge::Gauge() : cell_(&g_gauge_sink) {}
 FixedHistogram::FixedHistogram()
     : bounds_(g_histogram_sink_bound), num_bounds_(1), counts_(g_histogram_sink) {}
+LatencyHistogram::LatencyHistogram() : cells_(&g_latency_sink) {}
+
+uint64_t LatencyHistogram::count() const {
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < kNumBuckets; ++i) {
+    total += cells_->counts[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void LatencyHistogram::SnapshotInto(LatencySnapshot* out) const {
+  out->total = 0;
+  for (uint32_t i = 0; i < kNumBuckets; ++i) {
+    out->counts[i] = cells_->counts[i].load(std::memory_order_relaxed);
+    out->total += out->counts[i];
+  }
+  out->max = cells_->max.load(std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(uint32_t index) {
+  if (index >= kNumBuckets) {
+    index = kNumBuckets - 1;
+  }
+  if (index < kSubBuckets) {
+    return index;
+  }
+  const uint32_t base = index / kSubBuckets;  // >= 1
+  const uint64_t sub = index % kSubBuckets;
+  return ((kSubBuckets + sub + 1) << (base - 1)) - 1;
+}
+
+void LatencySnapshot::Clear() {
+  std::memset(counts, 0, sizeof(counts));
+  total = 0;
+  max = 0;
+}
+
+void LatencySnapshot::MergeFrom(const LatencySnapshot& other) {
+  for (uint32_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    counts[i] += other.counts[i];
+  }
+  total += other.total;
+  max = std::max(max, other.max);
+}
+
+void LatencySnapshot::SubtractBaseline(const LatencySnapshot& earlier) {
+  for (uint32_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    // Saturate rather than wrap: snapshots of a live histogram taken from
+    // another thread can be momentarily inconsistent per bucket.
+    counts[i] -= std::min(counts[i], earlier.counts[i]);
+  }
+  total = 0;
+  for (uint32_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    total += counts[i];
+  }
+  // `max` stays cumulative — the cells keep no per-window maximum.
+}
+
+uint64_t LatencySnapshot::Quantile(double q) const {
+  if (total == 0) {
+    return 0;
+  }
+  // 0-based rank of the q-quantile sample; q=1 stops at the highest non-empty
+  // bucket instead of falling through to the top bound, q<=0 at the lowest.
+  const double up = std::ceil(q * static_cast<double>(total));
+  const uint64_t rank = up >= 1.0 ? static_cast<uint64_t>(up) - 1 : 0;
+  uint64_t seen = 0;
+  for (uint32_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    seen += counts[i];
+    if (seen > rank) {
+      return LatencyHistogram::BucketUpperBound(i);
+    }
+  }
+  return LatencyHistogram::kMaxTrackable;
+}
 
 uint64_t FixedHistogram::count() const {
   uint64_t total = 0;
@@ -97,11 +174,29 @@ FixedHistogram MetricRegistry::RegisterHistogram(const std::string& name,
   slot.name = name;
   slot.unit = unit;
   slot.bounds = std::move(bounds);
+  slot.rows = {name + "_count", name + "_p50", name + "_p99", name + "_max"};
   // std::deque<atomic> cannot resize (atomics are not movable); grow in place.
   for (size_t i = 0; i <= slot.bounds.size(); ++i) {
     slot.counts.emplace_back(0);
   }
   return FixedHistogram(slot.bounds.data(), slot.bounds.size(), &slot.counts[0]);
+}
+
+LatencyHistogram MetricRegistry::RegisterLatency(const std::string& name,
+                                                 const std::string& unit) {
+  for (LatencySlot& slot : latencies_) {
+    if (slot.name == name) {
+      return LatencyHistogram(slot.cells.get());
+    }
+  }
+  latencies_.emplace_back();
+  LatencySlot& slot = latencies_.back();
+  slot.name = name;
+  slot.unit = unit;
+  slot.rows = {name + "_count", name + "_p50", name + "_p90",
+               name + "_p99",   name + "_p999", name + "_max"};
+  slot.cells = std::make_unique<LatencyHistogram::Cells>();
+  return LatencyHistogram(slot.cells.get());
 }
 
 void MetricRegistry::RegisterProbe(const void* owner, const std::string& name,
@@ -117,7 +212,7 @@ void MetricRegistry::RemoveProbes(const void* owner) {
 std::vector<MetricRegistry::Sample> MetricRegistry::Collect() const {
   std::vector<Sample> out;
   out.reserve(counters_.size() + gauges_.size() + 4 * histograms_.size() +
-              probes_.size());
+              6 * latencies_.size() + probes_.size());
   for (const CounterSlot& slot : counters_) {
     out.push_back({slot.name,
                    static_cast<double>(slot.value.load(std::memory_order_relaxed)),
@@ -160,6 +255,20 @@ std::vector<MetricRegistry::Sample> MetricRegistry::Collect() const {
     out.push_back({slot.name + "_p99", quantile(0.99), slot.unit});
     out.push_back({slot.name + "_max", quantile(1.0), slot.unit});
   }
+  for (const LatencySlot& slot : latencies_) {
+    LatencySnapshot snap;
+    LatencyHistogram(slot.cells.get()).SnapshotInto(&snap);
+    out.push_back({slot.rows[0], static_cast<double>(snap.total), "count"});
+    out.push_back({slot.rows[1], static_cast<double>(snap.Quantile(0.50)),
+                   slot.unit});
+    out.push_back({slot.rows[2], static_cast<double>(snap.Quantile(0.90)),
+                   slot.unit});
+    out.push_back({slot.rows[3], static_cast<double>(snap.Quantile(0.99)),
+                   slot.unit});
+    out.push_back({slot.rows[4], static_cast<double>(snap.Quantile(0.999)),
+                   slot.unit});
+    out.push_back({slot.rows[5], static_cast<double>(snap.max), slot.unit});
+  }
   // Probes: registration order, later same-name registrations replace earlier
   // samples in place (the newest live instance wins).
   std::unordered_map<std::string, size_t> probe_at;
@@ -173,6 +282,71 @@ std::vector<MetricRegistry::Sample> MetricRegistry::Collect() const {
     }
   }
   return out;
+}
+
+void MetricRegistry::VisitSamples(SampleVisitor& visitor) const {
+  for (const CounterSlot& slot : counters_) {
+    visitor.OnSample(
+        slot.name,
+        static_cast<double>(slot.value.load(std::memory_order_relaxed)));
+  }
+  for (const GaugeSlot& slot : gauges_) {
+    visitor.OnSample(
+        slot.name,
+        static_cast<double>(slot.value.load(std::memory_order_relaxed)));
+  }
+  for (const HistogramSlot& slot : histograms_) {
+    uint64_t total = 0;
+    for (const auto& cell : slot.counts) {
+      total += cell.load(std::memory_order_relaxed);
+    }
+    auto quantile = [&](double q) -> double {
+      if (total == 0) {
+        return 0.0;
+      }
+      const uint64_t rank = static_cast<uint64_t>(
+                                std::ceil(q * static_cast<double>(total))) -
+                            1;
+      uint64_t seen = 0;
+      for (size_t i = 0; i < slot.counts.size(); ++i) {
+        seen += slot.counts[i].load(std::memory_order_relaxed);
+        if (seen > rank) {
+          return slot.bounds[std::min(i, slot.bounds.size() - 1)];
+        }
+      }
+      return slot.bounds.back();
+    };
+    visitor.OnSample(slot.rows[0], static_cast<double>(total));
+    visitor.OnSample(slot.rows[1], quantile(0.50));
+    visitor.OnSample(slot.rows[2], quantile(0.99));
+    visitor.OnSample(slot.rows[3], quantile(1.0));
+  }
+  for (const LatencySlot& slot : latencies_) {
+    // The snapshot is a ~5.8 KB stack object: no heap traffic on the tick.
+    LatencySnapshot snap;
+    LatencyHistogram(slot.cells.get()).SnapshotInto(&snap);
+    visitor.OnSample(slot.rows[0], static_cast<double>(snap.total));
+    visitor.OnSample(slot.rows[1], static_cast<double>(snap.Quantile(0.50)));
+    visitor.OnSample(slot.rows[2], static_cast<double>(snap.Quantile(0.90)));
+    visitor.OnSample(slot.rows[3], static_cast<double>(snap.Quantile(0.99)));
+    visitor.OnSample(slot.rows[4], static_cast<double>(snap.Quantile(0.999)));
+    visitor.OnSample(slot.rows[5], static_cast<double>(snap.max));
+  }
+  for (const ProbeSlot& slot : probes_) {
+    visitor.OnSample(slot.name, slot.probe());
+  }
+}
+
+bool MetricRegistry::SnapshotLatency(const std::string& name,
+                                     LatencySnapshot* out) const {
+  for (const LatencySlot& slot : latencies_) {
+    if (slot.name == name) {
+      LatencyHistogram(slot.cells.get()).SnapshotInto(out);
+      return true;
+    }
+  }
+  out->Clear();
+  return false;
 }
 
 double MetricRegistry::ValueOf(const std::string& name) const {

@@ -11,12 +11,19 @@
 // Storage lives in deques, whose elements never move, so handles stay valid for
 // the registry's lifetime no matter how many metrics register after them.
 //
-// Three metric kinds cover the farm:
-//   * Counter        — monotone event count (packets delivered, clones done)
-//   * Gauge          — instantaneous signed level (queue depth)
-//   * FixedHistogram — distribution over fixed, registration-time bucket
-//                      bounds (batch bin sizes, frame bytes); recording scans
-//                      a handful of bounds and does one atomic add
+// Four metric kinds cover the farm:
+//   * Counter          — monotone event count (packets delivered, clones done)
+//   * Gauge            — instantaneous signed level (queue depth)
+//   * FixedHistogram   — distribution over fixed, registration-time bucket
+//                        bounds (batch bin sizes, frame bytes); recording scans
+//                        a handful of bounds and does one atomic add
+//   * LatencyHistogram — log-linear (HDR-style) distribution over the full
+//                        uint64 range at ~6.25% relative precision; recording
+//                        is a bit-scan plus one relaxed atomic add, and the
+//                        collect path extracts p50/p90/p99/p999 + exact max.
+//                        Per-shard instances snapshot into POD
+//                        `LatencySnapshot`s that merge deterministically in
+//                        shard order.
 //
 // plus *probes*: named callbacks sampled only when a snapshot is taken, for
 // components that already keep their own counters (binding-table load factor,
@@ -31,10 +38,13 @@
 #ifndef SRC_OBS_METRIC_REGISTRY_H_
 #define SRC_OBS_METRIC_REGISTRY_H_
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -96,6 +106,104 @@ class FixedHistogram {
   std::atomic<uint64_t>* counts_;  // num_bounds_ + 1 cells
 };
 
+struct LatencySnapshot;
+
+// Handle to a zero-allocation log-linear (HDR-style) histogram for latency and
+// size distributions whose dynamic range is unknown at registration time.
+//
+// Bucket layout: values below kSubBuckets (16) get one bucket each (exact);
+// above that, every power-of-two range splits into 16 sub-buckets, so the
+// bucket upper bound over-reports a recorded value by at most 1/16 (~6.25%).
+// Values are clamped to kMaxTrackable = 2^48-1 — anything larger lands in the
+// saturating top bucket (a separate `max` cell still remembers the exact raw
+// maximum). Total footprint is kNumBuckets (720) fixed POD cells per instance.
+//
+// Record cost: one branch-free bucket index (a count-leading-zeros plus
+// shifts) and one relaxed atomic add, plus a relaxed load of the running max
+// that only escalates to a CAS when the sample is a new maximum — by
+// construction a rare event in steady state.
+class LatencyHistogram {
+ public:
+  static constexpr uint32_t kSubBucketBits = 4;
+  static constexpr uint32_t kSubBuckets = 1u << kSubBucketBits;  // 16
+  static constexpr uint32_t kMaxExponent = 48;
+  static constexpr uint32_t kNumBuckets =
+      (kMaxExponent - kSubBucketBits) * kSubBuckets + kSubBuckets;  // 720
+  static constexpr uint64_t kMaxTrackable =
+      (uint64_t{1} << kMaxExponent) - 1;
+
+  // The POD cell block a handle points at. Owned by the registry (or the
+  // shared sink for default-constructed handles); never moves.
+  struct Cells {
+    std::atomic<uint64_t> counts[kNumBuckets]{};
+    alignas(64) std::atomic<uint64_t> max{0};
+  };
+
+  LatencyHistogram();
+
+  void Record(uint64_t value) {
+    cells_->counts[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    uint64_t prev = cells_->max.load(std::memory_order_relaxed);
+    while (value > prev &&
+           !cells_->max.compare_exchange_weak(prev, value,
+                                              std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const;
+  // Exact raw maximum ever recorded (not a bucket bound), 0 when empty.
+  uint64_t max_value() const {
+    return cells_->max.load(std::memory_order_relaxed);
+  }
+
+  // Copies the current cell values into `out` (overwrites it). Per-shard
+  // snapshots taken this way merge deterministically via
+  // LatencySnapshot::MergeFrom in shard order.
+  void SnapshotInto(LatencySnapshot* out) const;
+
+  // Bucket index for `value` after clamping to kMaxTrackable.
+  static uint32_t BucketIndex(uint64_t value) {
+    if (value > kMaxTrackable) {
+      value = kMaxTrackable;
+    }
+    if (value < kSubBuckets) {
+      return static_cast<uint32_t>(value);
+    }
+    const uint32_t msb = 63u - static_cast<uint32_t>(std::countl_zero(value));
+    return (msb - kSubBucketBits + 1) * kSubBuckets +
+           static_cast<uint32_t>((value >> (msb - kSubBucketBits)) &
+                                 (kSubBuckets - 1));
+  }
+  // Largest value that lands in bucket `index` (inverse of BucketIndex).
+  static uint64_t BucketUpperBound(uint32_t index);
+
+ private:
+  friend class MetricRegistry;
+  explicit LatencyHistogram(Cells* cells) : cells_(cells) {}
+  Cells* cells_;
+};
+
+// POD snapshot of a LatencyHistogram: plain counters, no atomics, safe to
+// copy, diff, and merge. Merging per-shard snapshots in ascending shard order
+// is the deterministic reduction used by the sharded gateway and the soak
+// harness's windowed-percentile checks.
+struct LatencySnapshot {
+  uint64_t counts[LatencyHistogram::kNumBuckets];
+  uint64_t total = 0;
+  uint64_t max = 0;
+
+  void Clear();
+  // Accumulates `other` into this snapshot (bucket-wise add, max of maxes).
+  void MergeFrom(const LatencySnapshot& other);
+  // Subtracts an earlier snapshot of the same histogram, leaving only the
+  // samples recorded in the window between the two (for "flat p99" checks).
+  void SubtractBaseline(const LatencySnapshot& earlier);
+  // Bucket-upper-bound estimate of the q-quantile (q in (0, 1]); 0 when
+  // empty. Quantile(1.0) reports the top non-empty bucket's bound, which may
+  // exceed `max` by the bucket width.
+  uint64_t Quantile(double q) const;
+};
+
 // Convenience bucket-bound builders for RegisterHistogram.
 std::vector<double> LinearBuckets(double start, double width, size_t count);
 std::vector<double> ExponentialBuckets(double start, double factor, size_t count);
@@ -119,6 +227,11 @@ class MetricRegistry {
   FixedHistogram RegisterHistogram(const std::string& name,
                                    const std::string& unit,
                                    std::vector<double> bounds);
+  // Log-linear histogram over uint64 values (latencies in ns, sizes in
+  // packets/pages). Re-registering a name returns the same storage, so shard
+  // instances sharing a registry aggregate into one farm-wide distribution.
+  LatencyHistogram RegisterLatency(const std::string& name,
+                                   const std::string& unit);
   // Registers a callback sampled at Collect() time. `owner` keys removal; the
   // callback must stay valid until RemoveProbes(owner).
   void RegisterProbe(const void* owner, const std::string& name,
@@ -127,11 +240,32 @@ class MetricRegistry {
   void RemoveProbes(const void* owner);
 
   // ---- Collection (snapshot path; never taken per packet) ----
-  // Counters and gauges emit one sample each; histograms emit `<name>_count`,
-  // `<name>_p50`, `<name>_p99`, and `<name>_max` (bucket-upper-bound
-  // estimates); probes emit their sampled value. Duplicate probe names keep
-  // the most recent registration. Order is registration order.
+  // Counters and gauges emit one sample each; fixed histograms emit
+  // `<name>_count`, `<name>_p50`, `<name>_p99`, and `<name>_max`
+  // (bucket-upper-bound estimates); latency histograms emit `<name>_count`,
+  // `<name>_p50`, `<name>_p90`, `<name>_p99`, `<name>_p999` (bucket-upper-
+  // bound estimates) and `<name>_max` (exact); probes emit their sampled
+  // value. Duplicate probe names keep the most recent registration. Order is
+  // registration order.
   std::vector<Sample> Collect() const;
+
+  // Zero-allocation alternative to Collect() for periodic exporters: walks
+  // every sample row in the same registration order and hands the visitor
+  // stable `const std::string&` names (histogram-derived row names are
+  // pre-built at registration). Differences from Collect(): duplicate probe
+  // names are NOT deduplicated — consumers whose format tolerates duplicate
+  // keys (the telemetry exporter's array-of-pairs schema) can take ticks
+  // without touching the heap.
+  class SampleVisitor {
+   public:
+    virtual ~SampleVisitor() = default;
+    virtual void OnSample(const std::string& name, double value) = 0;
+  };
+  void VisitSamples(SampleVisitor& visitor) const;
+
+  // Copies the named latency histogram's cells into `out`. Returns false (and
+  // leaves `out` cleared) when no such histogram is registered.
+  bool SnapshotLatency(const std::string& name, LatencySnapshot* out) const;
 
   // Cold lookup of a single collected value by name (tests, benches).
   // Returns 0.0 when absent.
@@ -165,6 +299,18 @@ class MetricRegistry {
     std::string unit;
     std::vector<double> bounds;
     std::deque<std::atomic<uint64_t>> counts;  // bounds.size() + 1, stable
+    // Pre-built derived row names (_count/_p50/_p99/_max) so VisitSamples
+    // never concatenates strings on an exporter tick.
+    std::array<std::string, 4> rows;
+  };
+  struct LatencySlot {
+    std::string name;
+    std::string unit;
+    // Pre-built derived row names: _count/_p50/_p90/_p99/_p999/_max.
+    std::array<std::string, 6> rows;
+    // Heap block (~5.8 KB of cells) with a stable address; the deque slot
+    // itself also never moves, but the indirection keeps slots cheap to walk.
+    std::unique_ptr<LatencyHistogram::Cells> cells;
   };
   struct ProbeSlot {
     const void* owner;
@@ -178,6 +324,7 @@ class MetricRegistry {
   std::deque<CounterSlot> counters_;
   std::deque<GaugeSlot> gauges_;
   std::deque<HistogramSlot> histograms_;
+  std::deque<LatencySlot> latencies_;
   std::vector<ProbeSlot> probes_;
 };
 

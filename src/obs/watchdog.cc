@@ -112,6 +112,14 @@ void Watchdog::Evaluate(const HealthSnapshot& snapshot) {
       }
     }
 
+    // Sustained-breach gating (kStuck already counts windows via
+    // `unchanged`): a raise needs `for_windows` consecutive breaching
+    // snapshots; any clean snapshot resets the streak.
+    if (rule.kind != WatchdogKind::kStuck) {
+      state.breach_streak = want_raise ? state.breach_streak + 1 : 0;
+      want_raise = state.breach_streak >= rule.for_windows;
+    }
+
     if (!state.firing && want_raise) {
       // Cooldown gates re-raises after a clear; the first raise is ungated.
       const bool cooled = state.raises == 0 ||
@@ -186,6 +194,18 @@ std::vector<WatchdogRule> DefaultFarmRules() {
   rules.push_back({"gateway_drop_rate", "gateway.drops.total",
                    WatchdogKind::kRateAbove, /*raise=*/100.0, /*clear=*/10.0,
                    Duration::Seconds(30)});
+  // Percentile SLOs over the PR-10 latency histograms: sustained-tail rules
+  // (p99 over threshold for 3 consecutive windows), so a single slow sample
+  // in one window cannot page. Rules whose metric row is absent (a farm
+  // without the instrumented component) simply never evaluate.
+  rules.push_back({"gateway_datapath_p99", "gateway.datapath.latency_ns_p99",
+                   WatchdogKind::kAbove, /*raise=*/5e8, /*clear=*/2.5e8,
+                   Duration::Seconds(30), /*stuck_samples=*/5,
+                   /*for_windows=*/3});
+  rules.push_back({"clone_total_p99", "clone.phase_ns.total_p99",
+                   WatchdogKind::kAbove, /*raise=*/5e8, /*clear=*/2.5e8,
+                   Duration::Seconds(30), /*stuck_samples=*/5,
+                   /*for_windows=*/3});
   return rules;
 }
 

@@ -51,6 +51,12 @@ struct WatchdogRule {
   Duration cooldown = Duration::Seconds(30);
   // kStuck only: consecutive identical samples before the rule fires.
   size_t stuck_samples = 5;
+  // kAbove/kBelow/kRateAbove: consecutive breaching snapshots required before
+  // the rule raises. The default (1) keeps the historical fire-on-first-breach
+  // behavior; percentile rules set this higher so a single-window tail spike
+  // (one slow clone skewing a p99) does not page — the paper's latency claims
+  // are about sustained behavior, and so are the alerts on them.
+  size_t for_windows = 1;
 };
 
 class Watchdog {
@@ -65,6 +71,7 @@ class Watchdog {
     int64_t since_ns = 0;   // virtual time of the last raise/clear transition
     int64_t last_raise_ns = 0;
     size_t unchanged = 0;  // kStuck: consecutive identical samples seen
+    size_t breach_streak = 0;  // consecutive breaching snapshots (for_windows)
     uint64_t raises = 0;
     uint64_t clears = 0;
   };

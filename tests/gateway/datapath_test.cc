@@ -27,6 +27,7 @@
 #include "src/net/packet_pool.h"
 #include "src/obs/event_ledger.h"
 #include "src/obs/observability.h"
+#include "src/obs/telemetry_exporter.h"
 
 namespace {
 std::atomic<uint64_t> g_heap_allocations{0};
@@ -129,13 +130,20 @@ TEST(ZeroAllocTest, SteadyStateHitPathDoesNotTouchTheHeap) {
                                 static_cast<uint16_t>(40000 + (i % kSources)),
                                 445));
   };
+  // Telemetry exporter over the same registry: its periodic sampling tick must
+  // share the packet path's zero-allocation guarantee.
+  TelemetryExporter exporter(&loop, &obs.metrics);
   // Warm-up: create the bindings, size every table, populate the flow and
-  // scan-detector state for each (src, dst) pair we will replay, and fill the
-  // pool's freelists to steady state.
+  // scan-detector state for each (src, dst) pair we will replay, fill the
+  // pool's freelists to steady state, and let the exporter's ring lines grow
+  // to their steady length (an oversized first tick may allocate once).
   for (uint32_t i = 0; i < 4096; ++i) {
     inject(i);
   }
   ASSERT_EQ(backend.delivered_, 4096u);
+  for (int i = 0; i < 3; ++i) {
+    exporter.SampleNow();
+  }
 
   // Registry baselines first: ValueOf() walks a Collect() snapshot, which
   // allocates — it must stay outside the measured window.
@@ -145,12 +153,20 @@ TEST(ZeroAllocTest, SteadyStateHitPathDoesNotTouchTheHeap) {
       static_cast<uint64_t>(obs.metrics.ValueOf("gateway.rx.hit"));
   const uint64_t frames_before =
       static_cast<uint64_t>(obs.metrics.ValueOf("gateway.rx.frame_bytes_count"));
+  const uint64_t latency_before = static_cast<uint64_t>(
+      obs.metrics.ValueOf("gateway.datapath.latency_ns_count"));
+  const uint64_t ticks_before = exporter.sequence();
   const uint64_t heap_before = g_heap_allocations.load();
   const PacketPool::Stats pool_before = PacketPool::Default().stats();
   const uint64_t ledger_before = obs.ledger.appended();
   constexpr uint32_t kMeasured = 4096;
   for (uint32_t i = 0; i < kMeasured; ++i) {
     inject(i);
+    // Sampling ticks interleaved with traffic, inside the measured window:
+    // the histogram walk and line render must stay off the heap too.
+    if (i % 512 == 511) {
+      exporter.SampleNow();
+    }
   }
   const uint64_t heap_after = g_heap_allocations.load();
   const PacketPool::Stats pool_after = PacketPool::Default().stats();
@@ -169,6 +185,15 @@ TEST(ZeroAllocTest, SteadyStateHitPathDoesNotTouchTheHeap) {
                 obs.metrics.ValueOf("gateway.rx.frame_bytes_count")) -
                 frames_before,
             kMeasured);
+  // The datapath latency histogram recorded every measured packet (hit path
+  // delivers immediately: zero virtual-time wait, bucket 0 — still one
+  // relaxed fetch_add per packet inside the window).
+  EXPECT_EQ(static_cast<uint64_t>(
+                obs.metrics.ValueOf("gateway.datapath.latency_ns_count")) -
+                latency_before,
+            kMeasured);
+  // The exporter ticked inside the window without heap traffic.
+  EXPECT_EQ(exporter.sequence() - ticks_before, kMeasured / 512);
   // The forensic ledger recorded exactly one kPacketDelivered per measured
   // packet INSIDE the zero-allocation window: appends land in the
   // preallocated ring (the default 8K ring wraps mid-window, evicting the

@@ -168,7 +168,7 @@ TEST(WatchdogTest, MonitorExportsAlertsSectionBeforeMetrics) {
 
 TEST(WatchdogTest, DefaultFarmRulesCoverTheStarterSet) {
   const auto rules = DefaultFarmRules();
-  ASSERT_EQ(rules.size(), 5u);
+  ASSERT_EQ(rules.size(), 7u);
   std::vector<std::string> names;
   for (const auto& rule : rules) {
     names.push_back(rule.name);
@@ -183,6 +183,68 @@ TEST(WatchdogTest, DefaultFarmRulesCoverTheStarterSet) {
             names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "gateway_drop_rate"),
             names.end());
+  // Percentile rules over the latency histograms (sustained-breach form).
+  EXPECT_NE(std::find(names.begin(), names.end(), "gateway_datapath_p99"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "clone_total_p99"),
+            names.end());
+  for (const auto& rule : rules) {
+    if (rule.name == "gateway_datapath_p99" || rule.name == "clone_total_p99") {
+      EXPECT_EQ(rule.for_windows, 3u) << rule.name;
+    } else {
+      EXPECT_EQ(rule.for_windows, 1u) << rule.name;
+    }
+  }
+}
+
+TEST(WatchdogTest, ForWindowsRequiresSustainedBreach) {
+  EventLedger ledger(64);
+  Watchdog dog(&ledger);
+  WatchdogRule rule{"hot_p99", "m_p99", WatchdogKind::kAbove, /*raise=*/100.0,
+                    /*clear=*/50.0, Duration::Zero()};
+  rule.for_windows = 3;
+  dog.AddRule(rule);
+
+  // Two consecutive breaches: still quiet.
+  dog.Evaluate(Snap(1 * kSecond, "m_p99", 200.0));
+  dog.Evaluate(Snap(2 * kSecond, "m_p99", 200.0));
+  EXPECT_FALSE(dog.state(0).firing);
+  EXPECT_EQ(dog.state(0).raises, 0u);
+  // Third consecutive breach: now sustained, fire once.
+  dog.Evaluate(Snap(3 * kSecond, "m_p99", 200.0));
+  EXPECT_TRUE(dog.state(0).firing);
+  EXPECT_EQ(dog.state(0).raises, 1u);
+}
+
+TEST(WatchdogTest, ForWindowsStreakResetsOnDip) {
+  EventLedger ledger(64);
+  Watchdog dog(&ledger);
+  WatchdogRule rule{"hot_p99", "m_p99", WatchdogKind::kAbove, /*raise=*/100.0,
+                    /*clear=*/50.0, Duration::Zero()};
+  rule.for_windows = 3;
+  dog.AddRule(rule);
+
+  // breach, breach, dip, breach, breach: never 3 in a row -> never fires.
+  dog.Evaluate(Snap(1 * kSecond, "m_p99", 200.0));
+  dog.Evaluate(Snap(2 * kSecond, "m_p99", 200.0));
+  dog.Evaluate(Snap(3 * kSecond, "m_p99", 10.0));
+  dog.Evaluate(Snap(4 * kSecond, "m_p99", 200.0));
+  dog.Evaluate(Snap(5 * kSecond, "m_p99", 200.0));
+  EXPECT_FALSE(dog.state(0).firing);
+  EXPECT_EQ(dog.state(0).raises, 0u);
+  // A third consecutive breach completes the streak.
+  dog.Evaluate(Snap(6 * kSecond, "m_p99", 200.0));
+  EXPECT_TRUE(dog.state(0).firing);
+}
+
+TEST(WatchdogTest, DefaultForWindowsKeepsFireOnFirstBreach) {
+  // for_windows defaults to 1: historical semantics exactly.
+  EventLedger ledger(64);
+  Watchdog dog(&ledger);
+  dog.AddRule({"latency", "m", WatchdogKind::kAbove, /*raise=*/100.0,
+               /*clear=*/50.0, Duration::Zero()});
+  dog.Evaluate(Snap(1 * kSecond, "m", 150.0));
+  EXPECT_TRUE(dog.state(0).firing);
 }
 
 }  // namespace

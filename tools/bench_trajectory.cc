@@ -1,0 +1,475 @@
+// Maintains the per-PR perf trajectory: BENCH_TRAJECTORY.jsonl, an append-only
+// JSONL history of every BENCH_<name>.json report across commits.
+//
+// bench_diff answers "did this run regress against the latest baseline?"; this
+// tool answers the question the ROADMAP kept open — "what has this metric done
+// across the last N PRs?" — by stamping each report (git SHA, shard topology,
+// host threads) into a machine-checkable series and flagging *monotone*
+// regressions: a metric that got a little worse in each of the last N entries,
+// each step inside bench_diff's single-step threshold, but compounding.
+//
+// Usage:
+//   bench_trajectory [--out=BENCH_TRAJECTORY.jsonl] BENCH_a.json [BENCH_b.json ...]
+//   bench_trajectory --check [--last=3] [--tolerance=0.05] [--out=...]
+//
+// Append mode parses each report and appends one JSONL entry per benchmark,
+// skipping reports whose latest trajectory entry already has the same git SHA
+// and identical metrics (so re-running CI on one commit does not duplicate
+// history). Check mode scans the trajectory: for every benchmark with at
+// least --last entries, a metric fails when its value moved strictly in the
+// losing direction across each of the last N entries AND the cumulative move
+// exceeds --tolerance (fractional). Direction comes from the metric's name
+// and unit; wall-clock rows (machine-dependent by definition) and rows with
+// no recognizable direction are never checked.
+//
+// Exit status: 0 ok, 1 monotone regression found (--check), 2 usage/schema
+// error. The parser is the same deliberate string scan as bench_diff — the
+// schemas are flat and fixed, so scanning beats a JSON dependency.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/base/flags.h"
+#include "src/base/json_util.h"
+
+namespace potemkin {
+namespace {
+
+constexpr int kTrajectorySchemaVersion = 1;
+
+struct Metric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+
+  bool operator==(const Metric& other) const {
+    return name == other.name && value == other.value && unit == other.unit;
+  }
+};
+
+struct Entry {
+  std::string benchmark;
+  std::string git_sha;
+  double seed = 0.0;
+  double shards = 0.0;
+  double host_threads = 0.0;
+  std::vector<Metric> metrics;
+};
+
+std::string ReadAll(const char* path) {
+  std::FILE* file = std::fopen(path, "rb");
+  if (file == nullptr) {
+    return "";
+  }
+  std::string text;
+  char buffer[4096];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, got);
+  }
+  std::fclose(file);
+  return text;
+}
+
+std::string FindStringValue(const std::string& text, const std::string& key,
+                            size_t from, size_t until) {
+  const std::string needle = "\"" + key + "\"";
+  const size_t at = text.find(needle, from);
+  if (at == std::string::npos || at >= until) {
+    return "";
+  }
+  size_t cursor = text.find('"', text.find(':', at + needle.size()));
+  if (cursor == std::string::npos || cursor >= until) {
+    return "";
+  }
+  std::string value;
+  for (++cursor; cursor < until && text[cursor] != '"'; ++cursor) {
+    value += text[cursor];
+  }
+  return value;
+}
+
+double FindNumberValue(const std::string& text, const std::string& key,
+                       size_t from, size_t until) {
+  const std::string needle = "\"" + key + "\"";
+  const size_t at = text.find(needle, from);
+  if (at == std::string::npos || at >= until) {
+    return std::nan("");
+  }
+  const size_t colon = text.find(':', at + needle.size());
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+// ---- BENCH_<name>.json (bench/report.cc schema) ----
+
+bool ParseBenchReport(const char* path, Entry* out) {
+  const std::string text = ReadAll(path);
+  if (text.empty()) {
+    std::fprintf(stderr, "bench_trajectory: cannot read %s\n", path);
+    return false;
+  }
+  const size_t metrics_at = text.find("\"metrics\"");
+  if (metrics_at == std::string::npos) {
+    std::fprintf(stderr, "bench_trajectory: %s has no \"metrics\" section\n",
+                 path);
+    return false;
+  }
+  out->benchmark = FindStringValue(text, "benchmark", 0, metrics_at);
+  if (out->benchmark.empty()) {
+    std::fprintf(stderr, "bench_trajectory: %s is not a BENCH report (missing "
+                 "\"benchmark\")\n", path);
+    return false;
+  }
+  out->git_sha = FindStringValue(text, "git_sha", 0, metrics_at);
+  out->seed = FindNumberValue(text, "seed", 0, metrics_at);
+  out->shards = FindNumberValue(text, "shards", 0, metrics_at);
+  out->host_threads = FindNumberValue(text, "host_threads", 0, metrics_at);
+  for (size_t open = text.find('{', metrics_at); open != std::string::npos;
+       open = text.find('{', open + 1)) {
+    const size_t close = text.find('}', open);
+    if (close == std::string::npos) {
+      break;
+    }
+    Metric metric;
+    metric.name = FindStringValue(text, "metric", open, close);
+    metric.value = FindNumberValue(text, "value", open, close);
+    metric.unit = FindStringValue(text, "unit", open, close);
+    if (metric.name.empty() || std::isnan(metric.value)) {
+      std::fprintf(stderr, "bench_trajectory: malformed metric entry in %s\n",
+                   path);
+      return false;
+    }
+    out->metrics.push_back(std::move(metric));
+    open = close;
+  }
+  if (out->metrics.empty()) {
+    std::fprintf(stderr, "bench_trajectory: %s has no metrics\n", path);
+    return false;
+  }
+  return true;
+}
+
+// ---- Trajectory JSONL entries ----
+
+std::string RenderEntry(const Entry& entry) {
+  std::string out = "{\"trajectory_schema_version\":";
+  AppendJsonNumber(out, kTrajectorySchemaVersion);
+  out += ",\"benchmark\":";
+  AppendJsonString(out, entry.benchmark);
+  out += ",\"git_sha\":";
+  AppendJsonString(out, entry.git_sha);
+  out += ",\"seed\":";
+  AppendJsonNumber(out, entry.seed);
+  out += ",\"shards\":";
+  AppendJsonNumber(out, entry.shards);
+  out += ",\"host_threads\":";
+  AppendJsonNumber(out, entry.host_threads);
+  out += ",\"metrics\":[";
+  for (size_t i = 0; i < entry.metrics.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += '[';
+    AppendJsonString(out, entry.metrics[i].name);
+    out += ',';
+    AppendJsonNumber(out, entry.metrics[i].value);
+    out += ',';
+    AppendJsonString(out, entry.metrics[i].unit);
+    out += ']';
+  }
+  out += "]}";
+  return out;
+}
+
+// Parses one trajectory JSONL line; the metrics array-of-triples needs a tiny
+// cursor walk rather than the keyed scan.
+bool ParseEntryLine(const std::string& line, Entry* out) {
+  const size_t metrics_at = line.find("\"metrics\"");
+  if (metrics_at == std::string::npos) {
+    return false;
+  }
+  out->benchmark = FindStringValue(line, "benchmark", 0, metrics_at);
+  out->git_sha = FindStringValue(line, "git_sha", 0, metrics_at);
+  out->seed = FindNumberValue(line, "seed", 0, metrics_at);
+  out->shards = FindNumberValue(line, "shards", 0, metrics_at);
+  out->host_threads = FindNumberValue(line, "host_threads", 0, metrics_at);
+  if (out->benchmark.empty()) {
+    return false;
+  }
+  size_t pos = line.find('[', metrics_at);
+  if (pos == std::string::npos) {
+    return false;
+  }
+  ++pos;  // inside the outer array
+  while (pos < line.size()) {
+    while (pos < line.size() && (line[pos] == ',' || line[pos] == ' ')) {
+      ++pos;
+    }
+    if (pos >= line.size() || line[pos] == ']') {
+      break;
+    }
+    if (line[pos] != '[') {
+      return false;
+    }
+    const size_t close = line.find(']', pos);
+    if (close == std::string::npos) {
+      return false;
+    }
+    Metric metric;
+    // ["name",value,"unit"]
+    size_t q1 = line.find('"', pos);
+    size_t q2 = line.find('"', q1 + 1);
+    if (q1 == std::string::npos || q2 == std::string::npos || q2 > close) {
+      return false;
+    }
+    metric.name = line.substr(q1 + 1, q2 - q1 - 1);
+    metric.value = std::strtod(line.c_str() + q2 + 2, nullptr);
+    size_t q3 = line.find('"', q2 + 2);
+    size_t q4 = q3 == std::string::npos ? std::string::npos
+                                        : line.find('"', q3 + 1);
+    if (q3 != std::string::npos && q4 != std::string::npos && q4 <= close) {
+      metric.unit = line.substr(q3 + 1, q4 - q3 - 1);
+    }
+    out->metrics.push_back(std::move(metric));
+    pos = close + 1;
+  }
+  return !out->metrics.empty();
+}
+
+std::vector<Entry> LoadTrajectory(const std::string& path) {
+  std::vector<Entry> entries;
+  const std::string text = ReadAll(path.c_str());
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) {
+      continue;
+    }
+    Entry entry;
+    if (ParseEntryLine(line, &entry)) {
+      entries.push_back(std::move(entry));
+    }
+  }
+  return entries;
+}
+
+// ---- Direction heuristics ----
+
+enum class Direction { kLowerBetter, kHigherBetter, kUnchecked };
+
+bool Contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+Direction DirectionOf(const std::string& name, const std::string& unit) {
+  // Wall-clock rows measure the runner, not the code; never trend-check them.
+  if (Contains(name, "wallclock")) {
+    return Direction::kUnchecked;
+  }
+  if (unit.find("/s") != std::string::npos || Contains(name, "_pps") ||
+      Contains(name, "throughput") || Contains(name, "hit_rate") ||
+      Contains(name, "per_sec")) {
+    return Direction::kHigherBetter;
+  }
+  if (unit == "ns" || unit == "us" || unit == "ms" || unit == "s" ||
+      unit == "mb" || Contains(name, "latency") || Contains(name, "_wait") ||
+      Contains(name, "rss") || Contains(name, "_p50") ||
+      Contains(name, "_p90") || Contains(name, "_p99") ||
+      Contains(name, "_p999")) {
+    return Direction::kLowerBetter;
+  }
+  return Direction::kUnchecked;
+}
+
+// ---- Modes ----
+
+int Append(const Flags& flags, const std::string& out_path) {
+  std::vector<Entry> history = LoadTrajectory(out_path);
+  std::FILE* file = std::fopen(out_path.c_str(), "a");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench_trajectory: cannot write %s\n",
+                 out_path.c_str());
+    return 2;
+  }
+  size_t appended = 0;
+  size_t skipped = 0;
+  for (const std::string& input : flags.positional()) {
+    Entry entry;
+    if (!ParseBenchReport(input.c_str(), &entry)) {
+      std::fclose(file);
+      return 2;
+    }
+    // Latest entry for this benchmark: identical SHA + metrics means this
+    // report is already in the history (CI re-run on one commit).
+    const Entry* latest = nullptr;
+    for (const Entry& prior : history) {
+      if (prior.benchmark == entry.benchmark) {
+        latest = &prior;
+      }
+    }
+    if (latest != nullptr && latest->git_sha == entry.git_sha &&
+        latest->metrics == entry.metrics) {
+      std::printf("unchanged  %-36s (%s, already recorded)\n",
+                  entry.benchmark.c_str(), entry.git_sha.c_str());
+      ++skipped;
+      continue;
+    }
+    const std::string line = RenderEntry(entry);
+    std::fwrite(line.data(), 1, line.size(), file);
+    std::fputc('\n', file);
+    std::printf("appended   %-36s (%s, %zu metrics)\n",
+                entry.benchmark.c_str(), entry.git_sha.c_str(),
+                entry.metrics.size());
+    history.push_back(std::move(entry));
+    ++appended;
+  }
+  std::fclose(file);
+  std::printf("trajectory: %zu appended, %zu unchanged -> %s\n", appended,
+              skipped, out_path.c_str());
+  return 0;
+}
+
+int Check(const Flags& flags, const std::string& out_path) {
+  const size_t last = static_cast<size_t>(flags.GetUint("last", 3));
+  const double tolerance = flags.GetDouble("tolerance", 0.05);
+  if (last < 2) {
+    std::fprintf(stderr, "bench_trajectory: --last must be >= 2\n");
+    return 2;
+  }
+  const std::vector<Entry> history = LoadTrajectory(out_path);
+  if (history.empty()) {
+    std::fprintf(stderr, "bench_trajectory: %s is empty or unreadable\n",
+                 out_path.c_str());
+    return 2;
+  }
+  // Benchmarks in first-seen order.
+  std::vector<std::string> benchmarks;
+  for (const Entry& entry : history) {
+    bool seen = false;
+    for (const std::string& name : benchmarks) {
+      seen = seen || name == entry.benchmark;
+    }
+    if (!seen) {
+      benchmarks.push_back(entry.benchmark);
+    }
+  }
+  size_t checked = 0;
+  size_t failures = 0;
+  for (const std::string& benchmark : benchmarks) {
+    std::vector<const Entry*> series;
+    for (const Entry& entry : history) {
+      if (entry.benchmark == benchmark) {
+        series.push_back(&entry);
+      }
+    }
+    if (series.size() < last) {
+      continue;  // not enough history yet to call a trend
+    }
+    const std::vector<const Entry*> window(series.end() - last, series.end());
+    for (const Metric& metric : window.front()->metrics) {
+      const Direction direction = DirectionOf(metric.name, metric.unit);
+      if (direction == Direction::kUnchecked) {
+        continue;
+      }
+      std::vector<double> values;
+      for (const Entry* entry : window) {
+        for (const Metric& m : entry->metrics) {
+          if (m.name == metric.name) {
+            values.push_back(m.value);
+            break;
+          }
+        }
+      }
+      if (values.size() != last) {
+        continue;  // metric not present across the whole window
+      }
+      ++checked;
+      bool monotone_worse = true;
+      for (size_t i = 0; i + 1 < values.size(); ++i) {
+        const bool worse = direction == Direction::kLowerBetter
+                               ? values[i + 1] > values[i]
+                               : values[i + 1] < values[i];
+        monotone_worse = monotone_worse && worse;
+      }
+      if (!monotone_worse) {
+        continue;
+      }
+      const double base = std::fabs(values.front());
+      const double cumulative =
+          base > 0.0 ? std::fabs(values.back() - values.front()) / base : 1.0;
+      if (cumulative <= tolerance) {
+        continue;
+      }
+      ++failures;
+      std::printf("REGRESSION %s / %s: %s across last %zu entries "
+                  "(%.6g -> %.6g, %+.1f%%)\n",
+                  benchmark.c_str(), metric.name.c_str(),
+                  direction == Direction::kLowerBetter ? "monotone rise"
+                                                       : "monotone fall",
+                  last, values.front(), values.back(),
+                  100.0 * (values.back() - values.front()) /
+                      (base > 0.0 ? base : 1.0));
+    }
+  }
+  if (failures > 0) {
+    std::printf("trajectory check: %zu monotone regression(s) across %zu "
+                "checked series\n", failures, checked);
+    return 1;
+  }
+  std::printf("trajectory check OK: %zu series checked across %zu "
+              "benchmarks, window %zu, tolerance %.0f%%\n",
+              checked, benchmarks.size(), last, 100.0 * tolerance);
+  return 0;
+}
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: bench_trajectory [--out=BENCH_TRAJECTORY.jsonl] "
+               "BENCH_a.json [...]\n"
+               "       bench_trajectory --check [--last=3] [--tolerance=0.05] "
+               "[--out=...]\n");
+}
+
+int Run(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  for (const std::string& name : flags.Names()) {
+    if (name != "out" && name != "check" && name != "last" &&
+        name != "tolerance") {
+      std::fprintf(stderr, "bench_trajectory: unknown flag --%s\n",
+                   name.c_str());
+      PrintUsage();
+      return 2;
+    }
+  }
+  const std::string out_path =
+      flags.GetString("out", "BENCH_TRAJECTORY.jsonl");
+  if (flags.GetBool("check", false)) {
+    if (!flags.positional().empty()) {
+      std::fprintf(stderr,
+                   "bench_trajectory: --check takes no report arguments\n");
+      PrintUsage();
+      return 2;
+    }
+    return Check(flags, out_path);
+  }
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "bench_trajectory: no BENCH report inputs\n");
+    PrintUsage();
+    return 2;
+  }
+  return Append(flags, out_path);
+}
+
+}  // namespace
+}  // namespace potemkin
+
+int main(int argc, char** argv) {
+  return potemkin::Run(argc, argv);
+}

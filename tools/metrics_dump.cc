@@ -9,9 +9,10 @@
 //   2  file unreadable, not a HealthSnapshot, or unsupported schema_version
 //
 // Usage:
-//   metrics_dump [--json] [--out=PATH] [snapshot.json]
+//   metrics_dump [--json] [--prom] [--out=PATH] [snapshot.json]
 //
 //   --json       emit the raw versioned JSON on stdout instead of the table
+//   --prom       emit Prometheus text exposition on stdout instead of the table
 //   --out=PATH   additionally write the snapshot JSON to PATH
 //
 // Unknown flags and unwritable --out paths are usage errors (exit 2) — a typoed
@@ -27,6 +28,7 @@
 #include "src/base/table.h"
 #include "src/core/honeyfarm.h"
 #include "src/obs/health_snapshot.h"
+#include "src/obs/telemetry_exporter.h"
 
 namespace potemkin {
 namespace {
@@ -97,7 +99,8 @@ double FindNumberValue(const std::string& text, const std::string& key,
   return std::strtod(text.c_str() + colon + 1, nullptr);
 }
 
-int PrintSnapshotFile(const char* path) {
+int ParseSnapshotFile(const char* path, HealthSnapshot* out) {
+  HealthSnapshot& snapshot = *out;
   const std::string text = ReadAll(path);
   if (text.empty()) {
     std::fprintf(stderr, "metrics_dump: cannot read %s\n", path);
@@ -105,7 +108,6 @@ int PrintSnapshotFile(const char* path) {
   }
   const size_t metrics_at = text.find("\"metrics\"");
   const size_t header = metrics_at == std::string::npos ? text.size() : metrics_at;
-  HealthSnapshot snapshot;
   snapshot.source = FindStringValue(text, "snapshot", 0, header);
   if (snapshot.source.empty() || metrics_at == std::string::npos) {
     std::fprintf(stderr, "metrics_dump: %s is not a HealthSnapshot (missing "
@@ -124,6 +126,29 @@ int PrintSnapshotFile(const char* path) {
   const double time_ns = FindNumberValue(text, "time_ns", 0, header);
   snapshot.sequence = sequence == sequence ? static_cast<uint64_t>(sequence) : 0;
   snapshot.time_ns = time_ns == time_ns ? static_cast<int64_t>(time_ns) : 0;
+  // Alert rows live between "alerts" and "metrics" (the writer guarantees the
+  // order); --prom re-exports them as potemkin_alert_firing series.
+  const size_t alerts_at = text.find("\"alerts\"");
+  if (alerts_at != std::string::npos && alerts_at < metrics_at) {
+    for (size_t open = text.find('{', alerts_at);
+         open != std::string::npos && open < metrics_at;
+         open = text.find('{', open + 1)) {
+      const size_t close = text.find('}', open);
+      if (close == std::string::npos || close > metrics_at) {
+        break;
+      }
+      AlertSample alert;
+      alert.rule = FindStringValue(text, "alert", open, close);
+      alert.metric = FindStringValue(text, "metric", open, close);
+      alert.value = FindNumberValue(text, "value", open, close);
+      alert.threshold = FindNumberValue(text, "threshold", open, close);
+      alert.firing = true;
+      if (!alert.rule.empty()) {
+        snapshot.alerts.push_back(std::move(alert));
+      }
+      open = close;
+    }
+  }
   for (size_t open = text.find('{', metrics_at); open != std::string::npos;
        open = text.find('{', open + 1)) {
     const size_t close = text.find('}', open);
@@ -141,7 +166,6 @@ int PrintSnapshotFile(const char* path) {
     snapshot.metrics.push_back(std::move(sample));
     open = close;
   }
-  PrintSnapshot(snapshot);
   return 0;
 }
 
@@ -190,15 +214,16 @@ HealthSnapshot RunDemoFarm() {
 
 void PrintUsage() {
   std::fprintf(stderr,
-               "usage: metrics_dump [--json] [--out=PATH] [snapshot.json]\n"
+               "usage: metrics_dump [--json] [--prom] [--out=PATH] [snapshot.json]\n"
                "  --json       emit raw versioned JSON instead of the table\n"
+               "  --prom       emit Prometheus text exposition instead of the table\n"
                "  --out=PATH   additionally write the snapshot JSON to PATH\n");
 }
 
 int Run(int argc, char** argv) {
   const Flags flags = Flags::Parse(argc, argv);
   for (const std::string& name : flags.Names()) {
-    if (name != "json" && name != "out") {
+    if (name != "json" && name != "out" && name != "prom") {
       std::fprintf(stderr, "metrics_dump: unknown flag --%s\n", name.c_str());
       PrintUsage();
       return 2;
@@ -217,7 +242,15 @@ int Run(int argc, char** argv) {
     std::fclose(probe);
   }
   if (!flags.positional().empty()) {
-    const int status = PrintSnapshotFile(flags.positional()[0].c_str());
+    HealthSnapshot snapshot;
+    const int status = ParseSnapshotFile(flags.positional()[0].c_str(), &snapshot);
+    if (status == 0) {
+      if (flags.GetBool("prom", false)) {
+        std::printf("%s", PrometheusTextFor(snapshot).c_str());
+      } else {
+        PrintSnapshot(snapshot);
+      }
+    }
     if (status == 0 && !out.empty()) {
       // File mode honors --out too: copy the (validated) snapshot through.
       const std::string text = ReadAll(flags.positional()[0].c_str());
@@ -243,6 +276,8 @@ int Run(int argc, char** argv) {
   }
   if (flags.GetBool("json", false)) {
     std::printf("%s", snapshot.ToJson().c_str());
+  } else if (flags.GetBool("prom", false)) {
+    std::printf("%s", PrometheusTextFor(snapshot).c_str());
   } else {
     PrintSnapshot(snapshot);
   }
